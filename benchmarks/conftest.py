@@ -1,0 +1,47 @@
+"""Shared scenario runs for the figure benchmarks.
+
+Scenario simulations are the expensive part; each is run once per
+session and every benchmark measures its analysis stage against it.
+The reproduced figure text is printed so a benchmark run doubles as a
+results report (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    baseline_run,
+    load_warehouse,
+    scenario_a,
+    scenario_b,
+)
+from repro.common.timebase import seconds
+
+#: Workloads used by the overhead sweeps (paper: 1000–8000 users).
+OVERHEAD_WORKLOADS = (1000, 2000, 4000, 8000)
+#: Run length for evaluation runs (paper: 7 min; scaled for a laptop).
+EVAL_DURATION = seconds(6)
+
+
+def report(title: str, text: str) -> None:
+    """Print a reproduced-figure block into the benchmark output."""
+    print(f"\n=== {title} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def scenario_a_run(tmp_path_factory):
+    return scenario_a(log_dir=tmp_path_factory.mktemp("bench_a_logs"))
+
+
+@pytest.fixture(scope="session")
+def scenario_a_db(scenario_a_run):
+    return load_warehouse(scenario_a_run)
+
+
+@pytest.fixture(scope="session")
+def scenario_b_run(tmp_path_factory):
+    return scenario_b(log_dir=tmp_path_factory.mktemp("bench_b_logs"))
+
+
+@pytest.fixture(scope="session")
+def accuracy_run():
+    return baseline_run(8000, duration=EVAL_DURATION, with_sysviz=True)

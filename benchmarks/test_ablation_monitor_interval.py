@@ -1,0 +1,53 @@
+"""Ablation — monitoring granularity: why milliseconds matter.
+
+The paper's core premise: a VSB lives for hundreds of milliseconds, so
+a monitor sampling at the conventional 1 s+ interval averages it away.
+This ablation reruns scenario A's resource monitoring at 50 ms, 250 ms
+and 1 s and measures what each resolution reports for the same
+~300 ms disk-saturation burst.
+"""
+
+from conftest import report
+from repro.analysis.series import Series
+from repro.common.timebase import ms, seconds
+from repro.experiments.scenarios import scenario_a
+
+INTERVALS = (ms(50), ms(250), seconds(1))
+
+
+def observed_burst(run):
+    """Peak and above-80% dwell of db1 disk util as the monitor saw it."""
+    monitor = next(
+        m
+        for m in run.resources.by_node("db1")
+        if m.monitor_name == "collectl"
+    )
+    series = Series.from_pairs(
+        (s.timestamp, s.metrics["disk_util_pct"]) for s in monitor.samples
+    )
+    saturated = [v for v in series.values if v > 80.0]
+    return series.max(), len(saturated)
+
+
+def test_ablation_monitor_interval(benchmark):
+    results = {}
+    for interval in INTERVALS:
+        run = scenario_a(monitor_interval=interval)
+        results[interval] = observed_burst(run)
+
+    def summarize():
+        return {interval: peak for interval, (peak, _) in results.items()}
+
+    peaks = benchmark(summarize)
+    lines = [
+        f"  interval={interval / 1000:6.0f} ms  observed peak disk util "
+        f"{results[interval][0]:6.1f}%  saturated samples "
+        f"{results[interval][1]}"
+        for interval in INTERVALS
+    ]
+    report("Ablation: monitoring interval vs burst visibility", "\n".join(lines))
+    # At 50 ms the burst reads as full saturation; at 1 s the same
+    # burst averages down dramatically — the Figure 2 argument, on the
+    # resource side.
+    assert peaks[ms(50)] > 95.0
+    assert peaks[seconds(1)] < peaks[ms(50)] - 40.0

@@ -1,0 +1,31 @@
+"""Ablation — trace-everything vs head-based sampling.
+
+milliScope deliberately traces every request instead of sampling.
+This ablation measures VLRT-detection recall as a Dapper-style
+sampling tracer's keep-rate drops: at production sampling rates the
+very requests the paper cares about vanish from the data.
+"""
+
+from conftest import report
+from repro.analysis.response_time import completions_from_traces
+from repro.baselines.sampling import SamplingTracer
+
+RATES = (0.01, 0.05, 0.1, 0.5, 1.0)
+
+
+def test_ablation_sampling_recall(benchmark, scenario_a_run):
+    samples = completions_from_traces(scenario_a_run.result.traces)
+
+    def sweep():
+        return {
+            rate: SamplingTracer(rate, seed=1).vlrt_recall(samples)
+            for rate in RATES
+        }
+
+    recall = benchmark(sweep)
+    lines = [f"  rate={rate:5.2f} VLRT recall={recall[rate]:.2f}" for rate in RATES]
+    report("Ablation: sampling rate vs VLRT recall", "\n".join(lines))
+    assert recall[1.0] == 1.0
+    assert recall[0.01] < 0.5
+    # Recall must be monotone-ish: tracing everything dominates.
+    assert recall[1.0] >= recall[0.1] >= recall[0.01]

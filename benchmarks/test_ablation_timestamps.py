@@ -1,0 +1,53 @@
+"""Ablation — do four timestamps suffice, and what do two lose?
+
+The event mScopeMonitors record exactly four timestamps per tier
+visit.  The upstream pair alone reconstructs queue lengths exactly
+(they define arrival/departure), but *without the downstream pair* a
+tier's exclusive time cannot be separated from its downstream wait —
+during a database bottleneck, upstream tiers absorb the blame.  This
+ablation quantifies that misattribution.
+"""
+
+from conftest import report
+from repro.common.timebase import to_ms
+
+
+def breakdown(trace, with_downstream: bool):
+    """Per-tier exclusive time, optionally ignoring the downstream pair."""
+    result: dict[str, float] = {}
+    for visit in trace.visits:
+        total = visit.server_time()
+        if with_downstream:
+            downstream = sum(c.latency() for c in visit.downstream_calls)
+            local = total - downstream
+        else:
+            local = total
+        result[visit.tier] = result.get(visit.tier, 0.0) + to_ms(local)
+    return result
+
+
+def test_ablation_timestamps(benchmark, scenario_a_run):
+    vlrts = sorted(
+        scenario_a_run.result.traces, key=lambda t: t.response_time()
+    )[-20:]
+
+    def analyze():
+        four = [breakdown(t, with_downstream=True) for t in vlrts]
+        two = [breakdown(t, with_downstream=False) for t in vlrts]
+        return four, two
+
+    four, two = benchmark(analyze)
+    blamed_four = [max(b, key=b.get) for b in four]
+    blamed_two = [max(b, key=b.get) for b in two]
+    agree = sum(1 for a, b in zip(blamed_four, blamed_two) if a == b)
+    report(
+        "Ablation: timestamp count",
+        f"  4-timestamp blame: {sorted(set(blamed_four))}\n"
+        f"  2-timestamp blame: {sorted(set(blamed_two))}\n"
+        f"  agreement: {agree}/{len(vlrts)}",
+    )
+    # With all four timestamps the VLRTs blame the bottleneck tiers
+    # (the chain below apache); with only the upstream pair every VLRT
+    # blames the front tier, because it holds the request the longest.
+    assert all(b == "apache" for b in blamed_two)
+    assert any(b != "apache" for b in blamed_four)

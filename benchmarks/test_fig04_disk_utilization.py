@@ -1,0 +1,16 @@
+"""Figure 4 — per-node disk utilization during the anomaly.
+
+Paper shape: the database node's disk saturates during the short span
+while every other tier's disk stays consistently low.
+"""
+
+from conftest import report
+from repro.experiments.figures_anomaly import figure_04
+
+
+def test_fig04_disk_utilization(benchmark, scenario_a_run):
+    result = benchmark(figure_04, scenario_a_run)
+    report("Figure 4", result.to_text())
+    assert result.peak("db1") > 95
+    for node in ("web1", "app1", "mid1"):
+        assert result.peak(node) < 30

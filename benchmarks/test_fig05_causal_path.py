@@ -1,0 +1,36 @@
+"""Figure 5 — request execution-path reconstruction.
+
+Paper shape: joining the event records sharing one request ID across
+every tier reconstructs the execution path explicitly, establishing
+happens-before relationships among the component servers.
+"""
+
+from conftest import report
+from repro.analysis.causal import reconstruct_path
+from repro.experiments.figures_anomaly import figure_05
+
+
+def test_fig05_causal_path_ground_truth(benchmark, scenario_a_run):
+    result = benchmark(figure_05, scenario_a_run)
+    report("Figure 5 (trace view)", result.to_text())
+    arrivals = [hop.upstream_arrival for hop in result.hops]
+    assert arrivals == sorted(arrivals)
+
+
+def test_fig05_causal_path_from_warehouse(benchmark, scenario_a_run, scenario_a_db):
+    slowest = max(
+        scenario_a_run.result.traces, key=lambda t: t.response_time()
+    )
+
+    def reconstruct():
+        return reconstruct_path(scenario_a_db, slowest.request_id)
+
+    path = benchmark(reconstruct)
+    path.validate_happens_before()
+    report(
+        "Figure 5 (warehouse join)",
+        f"request {path.request_id}: {len(path.hops)} hops, "
+        f"dominant tier {path.dominant_tier()}, "
+        f"breakdown {path.tier_breakdown_ms()}",
+    )
+    assert abs(path.response_time_ms() - slowest.response_time_ms()) < 5.0

@@ -1,0 +1,15 @@
+"""Figure 6 — cross-tier queue pushback.
+
+Paper shape: the database tier's queue length increases concurrently
+with every upstream tier's — the pushback signature of a downstream
+very short bottleneck.
+"""
+
+from conftest import report
+from repro.experiments.figures_anomaly import figure_06
+
+
+def test_fig06_queue_pushback(benchmark, scenario_a_run):
+    result = benchmark(figure_06, scenario_a_run)
+    report("Figure 6", result.to_text())
+    assert set(result.pushback_tiers()) == {"apache", "tomcat", "cjdbc", "mysql"}

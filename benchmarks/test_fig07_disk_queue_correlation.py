@@ -1,0 +1,15 @@
+"""Figure 7 — DB disk utilization vs Apache queue length.
+
+Paper shape: a high correlation between the database tier's disk
+utilization and the web tier's queue length — the evidence that disk
+I/O is the very short bottleneck.
+"""
+
+from conftest import report
+from repro.experiments.figures_anomaly import figure_07
+
+
+def test_fig07_disk_queue_correlation(benchmark, scenario_a_run):
+    result = benchmark(figure_07, scenario_a_run)
+    report("Figure 7", result.to_text())
+    assert result.correlation > 0.5

@@ -1,0 +1,25 @@
+"""Figure 8 — the dirty-page recycling scenario (four panels).
+
+Paper shape: two similar-looking point-in-time RT peaks in a five
+second interval; during the first only Apache's queue grows, during
+the second Apache's and Tomcat's; CPU saturates on the matching node
+while the dirty-page count drops abruptly; disks stay quiet.
+"""
+
+from conftest import report
+from repro.experiments.figures_anomaly import figure_08
+
+
+def test_fig08_dirty_page_scenario(benchmark, scenario_b_run):
+    result = benchmark(figure_08, scenario_b_run)
+    report("Figure 8", result.to_text())
+    assert len(result.peaks) == 2
+    first, second = result.peaks
+    assert result.queue_mean_in("apache", first) > 3 * result.queue_mean_in(
+        "tomcat", first
+    )
+    assert result.queue_mean_in("tomcat", second) > 15
+    assert result.cpu_peak_in("web1", first) > 85
+    assert result.cpu_peak_in("app1", second) > 85
+    assert result.dirty_drop_in("web1", first) > 10_000
+    assert result.dirty_drop_in("app1", second) > 10_000

@@ -1,0 +1,22 @@
+"""Figure 9 — queue-length accuracy vs the SysViz wire tracer.
+
+Paper shape: at workload 8000 the event mScopeMonitors' per-tier queue
+lengths are "very similar" to SysViz's for every tier (Apache, Tomcat,
+C-JDBC, MySQL).
+"""
+
+from conftest import report
+from repro.experiments.figures_validation import figure_09
+from repro.ntier.tiers import TIER_ORDER
+
+
+def test_fig09_sysviz_accuracy(benchmark, accuracy_run):
+    def analyze():
+        return figure_09(run=accuracy_run)
+
+    result = benchmark(analyze)
+    report("Figure 9", result.to_text())
+    assert result.workload == 8000
+    for tier in TIER_ORDER:
+        assert result.mean_abs_error(tier) < 0.5, tier
+    assert result.peak_queue("apache") >= 3

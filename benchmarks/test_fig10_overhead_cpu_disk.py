@@ -1,0 +1,37 @@
+"""Figure 10 — event-monitor CPU and disk-write overhead.
+
+Paper shape: Apache and C-JDBC monitors add about 1% CPU, Tomcat about
+3% (its extra logging thread); the instrumented components write up to
+twice as many bytes to disk.
+"""
+
+import pytest
+
+from conftest import EVAL_DURATION, OVERHEAD_WORKLOADS, report
+from repro.experiments.figures_validation import figure_10
+
+
+@pytest.fixture(scope="module")
+def fig10_result():
+    return figure_10(workloads=OVERHEAD_WORKLOADS, duration=EVAL_DURATION)
+
+
+def test_fig10_overhead_cpu_disk(benchmark, fig10_result):
+    # The sweep (8 full simulations) runs once; the benchmark measures
+    # the per-row overhead aggregation over its output.
+    def summarize():
+        return {
+            tier: fig10_result.max_cpu_overhead(tier)
+            for tier in ("apache", "tomcat", "cjdbc", "mysql")
+        }
+
+    overhead = benchmark(summarize)
+    report("Figure 10", fig10_result.to_text())
+    # Apache / C-JDBC / MySQL ≈ 1%; Tomcat highest, ≈ 3%.
+    assert overhead["apache"] < 2.0
+    assert overhead["cjdbc"] < 2.0
+    assert overhead["mysql"] < 2.0
+    assert overhead["tomcat"] < 6.0
+    assert overhead["tomcat"] == max(overhead.values())
+    for row in fig10_result.rows:
+        assert 1.3 < row.disk_write_ratio < 3.0

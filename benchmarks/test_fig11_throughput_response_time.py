@@ -1,0 +1,28 @@
+"""Figure 11 — system performance with monitors enabled vs disabled.
+
+Paper shape: throughput is almost unchanged at every workload; the
+instrumented system answers about two milliseconds slower.
+"""
+
+import pytest
+
+from conftest import EVAL_DURATION, OVERHEAD_WORKLOADS, report
+from repro.experiments.figures_validation import figure_11
+
+
+@pytest.fixture(scope="module")
+def fig11_result():
+    return figure_11(workloads=OVERHEAD_WORKLOADS, duration=EVAL_DURATION)
+
+
+def test_fig11_throughput_response_time(benchmark, fig11_result):
+    def summarize():
+        return (
+            fig11_result.max_throughput_delta_pct(),
+            fig11_result.max_response_delta_ms(),
+        )
+
+    throughput_delta, response_delta = benchmark(summarize)
+    report("Figure 11", fig11_result.to_text())
+    assert throughput_delta < 2.0
+    assert 0.3 < response_delta < 4.0

@@ -1,0 +1,48 @@
+"""Kernel and simulator throughput benchmarks.
+
+Not paper results — these measure the substrate itself: raw event
+throughput of the discrete-event kernel and end-to-end simulated
+requests per wall-second of the full four-tier system.  They guard
+against performance regressions that would make the figure sweeps
+impractically slow.
+"""
+
+from repro.common.timebase import ms, seconds
+from repro.ntier import NTierSystem, SystemConfig
+from repro.rubbos import WorkloadSpec
+from repro.sim import Engine
+
+
+def test_kernel_event_throughput(benchmark):
+    """Pure engine: a ping-pong of timeouts (two events per round)."""
+
+    def run_kernel():
+        engine = Engine()
+
+        def ticker():
+            for _ in range(50_000):
+                yield engine.timeout(10)
+
+        engine.process(ticker())
+        engine.run()
+        return engine.now
+
+    final = benchmark(run_kernel)
+    assert final == 500_000
+
+
+def test_full_system_simulation_rate(benchmark):
+    """Whole testbed: simulated requests per benchmark round."""
+
+    def run_system():
+        config = SystemConfig(
+            workload=WorkloadSpec(
+                users=150, think_time_us=ms(700), ramp_up_us=ms(200)
+            ),
+            seed=3,
+        )
+        result = NTierSystem(config).run(seconds(2))
+        return len(result.traces)
+
+    completed = benchmark.pedantic(run_system, rounds=3, iterations=1)
+    assert completed > 300

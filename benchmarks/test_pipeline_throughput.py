@@ -1,0 +1,30 @@
+"""Figure 3's pipeline — transformer throughput over real scenario logs.
+
+Not a paper result per se, but the transformation pipeline is the
+paper's Figure 3; this bench measures how fast mScopeDataTransformer
+moves a full scenario's native logs (every monitor format) into
+mScopeDB, and checks the load is complete.
+"""
+
+from conftest import report
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+
+def test_pipeline_throughput(benchmark, scenario_a_run):
+    def transform():
+        db = MScopeDB()
+        outcomes = MScopeDataTransformer(db).transform_directory(
+            scenario_a_run.log_dir
+        )
+        return db, outcomes
+
+    db, outcomes = benchmark(transform)
+    rows = sum(o.rows_loaded for o in outcomes)
+    report(
+        "Pipeline (Figure 3)",
+        f"{len(outcomes)} log files -> {len(db.dynamic_tables())} tables, "
+        f"{rows} rows loaded",
+    )
+    assert rows > 1_000
+    assert len(db.dynamic_tables()) >= 16

@@ -1,0 +1,26 @@
+"""Saturation sweep — the operating-region context of the paper.
+
+Maps throughput and latency across workloads; the shape to hold is
+linear throughput scaling below the knee with flat response times —
+the regime where only a *fine-grained* monitor can explain latency
+spikes, because no average utilization metric is anywhere near 100%.
+"""
+
+from conftest import report
+from repro.common.timebase import seconds
+from repro.experiments.sweeps import saturation_sweep
+
+
+def test_saturation_sweep(benchmark):
+    def run_sweep():
+        return saturation_sweep(
+            workloads=(1000, 2000, 4000, 8000), duration=seconds(5)
+        )
+
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("Saturation sweep", sweep.to_text())
+    first, *_, last = sweep.points
+    # Linear scaling across the paper's workload range...
+    assert last.throughput > 6 * first.throughput
+    # ...with response times that never hint at the VSB problem.
+    assert last.mean_response_ms < 4 * first.mean_response_ms

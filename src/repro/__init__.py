@@ -1,0 +1,120 @@
+"""milliScope reproduction: fine-grained monitoring for n-tier web services.
+
+This package reproduces the system described in "milliScope: A
+Fine-Grained Monitoring Framework for Performance Debugging of n-Tier
+Web Services" (ICDCS 2017):
+
+* a discrete-event n-tier testbed (:mod:`repro.ntier`) driven by the
+  RUBBoS benchmark workload (:mod:`repro.rubbos`);
+* the milliScope monitoring framework — event and resource
+  mScopeMonitors (:mod:`repro.monitors`), the multi-stage
+  mScopeDataTransformer (:mod:`repro.transformer`), and the mScopeDB
+  dynamic warehouse (:mod:`repro.warehouse`);
+* the analysis layer that diagnoses very short bottlenecks
+  (:mod:`repro.analysis`);
+* baselines (:mod:`repro.baselines`) and the paper's experiments
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import scenario_a, figure_02
+    run = scenario_a()
+    print(figure_02(run).to_text())
+"""
+
+from repro.analysis import (
+    Diagnoser,
+    DiagnosisReport,
+    build_markdown_report,
+    reconstruct_path,
+    write_markdown_report,
+)
+from repro.baselines import CoarseAveragingMonitor, SamplingTracer, SysVizTracer
+from repro.common import (
+    Micros,
+    RequestIdGenerator,
+    RequestTrace,
+    RngStreams,
+    WallClock,
+    ms,
+    seconds,
+)
+from repro.experiments import (
+    baseline_run,
+    saturation_sweep,
+    figure_02,
+    figure_04,
+    figure_05,
+    figure_06,
+    figure_07,
+    figure_08,
+    figure_09,
+    figure_10,
+    figure_11,
+    load_warehouse,
+    scenario_a,
+    scenario_b,
+)
+from repro.monitors import EventMonitorSuite, ResourceMonitorSuite
+from repro.ntier import (
+    DBLogFlushFault,
+    DirtyPageFlushFault,
+    NTierSystem,
+    SystemConfig,
+    TierConfig,
+)
+from repro.rubbos import WorkloadSpec, default_interactions
+from repro.transformer import (
+    LiveTransformer,
+    MScopeDataTransformer,
+    default_declaration,
+)
+from repro.warehouse import MScopeDB, WarehouseExplorer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoarseAveragingMonitor",
+    "DBLogFlushFault",
+    "Diagnoser",
+    "DiagnosisReport",
+    "DirtyPageFlushFault",
+    "EventMonitorSuite",
+    "LiveTransformer",
+    "MScopeDB",
+    "MScopeDataTransformer",
+    "Micros",
+    "NTierSystem",
+    "RequestIdGenerator",
+    "RequestTrace",
+    "ResourceMonitorSuite",
+    "RngStreams",
+    "SamplingTracer",
+    "SysVizTracer",
+    "SystemConfig",
+    "TierConfig",
+    "WallClock",
+    "WarehouseExplorer",
+    "WorkloadSpec",
+    "baseline_run",
+    "build_markdown_report",
+    "default_declaration",
+    "default_interactions",
+    "figure_02",
+    "figure_04",
+    "figure_05",
+    "figure_06",
+    "figure_07",
+    "figure_08",
+    "figure_09",
+    "figure_10",
+    "figure_11",
+    "load_warehouse",
+    "ms",
+    "reconstruct_path",
+    "saturation_sweep",
+    "scenario_a",
+    "scenario_b",
+    "seconds",
+    "write_markdown_report",
+]

@@ -1,0 +1,110 @@
+"""Analysis over mScopeDB: response times, queues, causality, diagnosis."""
+
+from repro.analysis.breakdown import (
+    NETWORK_LABEL,
+    request_breakdown_ms,
+    tier_latency_series,
+)
+from repro.analysis.causal_graph import (
+    critical_path,
+    critical_path_ms,
+    path_to_graph,
+)
+from repro.analysis.lag import (
+    LagResult,
+    correlation_with_pvalue,
+    lagged_correlation,
+)
+from repro.analysis.export import to_chrome_trace, to_span_tree, write_chrome_trace
+from repro.analysis.render import ascii_chart, sparkline
+from repro.analysis.skew import (
+    SkewEstimate,
+    estimate_pairwise_offset,
+    estimate_tier_offsets,
+)
+from repro.analysis.report import build_markdown_report, write_markdown_report
+from repro.analysis.anomaly import (
+    AnomalyWindow,
+    VlrtRequest,
+    cluster_anomaly_windows,
+    detect_vlrt,
+)
+from repro.analysis.causal import (
+    CausalHop,
+    CausalPath,
+    DEFAULT_EVENT_TABLES,
+    reconstruct_path,
+)
+from repro.analysis.diagnosis import (
+    Diagnoser,
+    DiagnosisReport,
+    QueueFinding,
+    RootCause,
+)
+from repro.analysis.metrics import MetricCandidate, discover_candidates, metric_series
+from repro.analysis.queues import (
+    concurrency_series,
+    spans_from_traces,
+    spans_from_warehouse,
+    tier_queue_lengths,
+)
+from repro.analysis.response_time import (
+    CompletionSample,
+    PointInTimeWindow,
+    completions_from_traces,
+    completions_from_warehouse,
+    percentile_windows,
+    point_in_time_response_times,
+    sampled_average_response_times,
+)
+from repro.analysis.series import Series, pearson_correlation
+
+__all__ = [
+    "AnomalyWindow",
+    "CausalHop",
+    "CausalPath",
+    "CompletionSample",
+    "DEFAULT_EVENT_TABLES",
+    "Diagnoser",
+    "DiagnosisReport",
+    "LagResult",
+    "ascii_chart",
+    "build_markdown_report",
+    "to_chrome_trace",
+    "to_span_tree",
+    "write_chrome_trace",
+    "write_markdown_report",
+    "correlation_with_pvalue",
+    "critical_path",
+    "critical_path_ms",
+    "lagged_correlation",
+    "path_to_graph",
+    "sparkline",
+    "MetricCandidate",
+    "NETWORK_LABEL",
+    "PointInTimeWindow",
+    "QueueFinding",
+    "RootCause",
+    "Series",
+    "SkewEstimate",
+    "VlrtRequest",
+    "estimate_pairwise_offset",
+    "estimate_tier_offsets",
+    "cluster_anomaly_windows",
+    "completions_from_traces",
+    "completions_from_warehouse",
+    "concurrency_series",
+    "detect_vlrt",
+    "discover_candidates",
+    "metric_series",
+    "pearson_correlation",
+    "percentile_windows",
+    "point_in_time_response_times",
+    "reconstruct_path",
+    "request_breakdown_ms",
+    "sampled_average_response_times",
+    "spans_from_traces",
+    "spans_from_warehouse",
+    "tier_latency_series",
+    "tier_queue_lengths",
+]

@@ -1,0 +1,111 @@
+"""VLRT detection and anomaly-window clustering.
+
+Very long response time (VLRT) requests take one to two orders of
+magnitude longer than the average.  Because the bottlenecks causing
+them live for only tens to hundreds of milliseconds, detection works
+on individual completions, never on period averages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.response_time import CompletionSample
+from repro.common.errors import AnalysisError
+from repro.common.timebase import Micros, ms, to_ms
+
+__all__ = ["VlrtRequest", "AnomalyWindow", "detect_vlrt", "cluster_anomaly_windows"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VlrtRequest:
+    """One very-long-response-time request."""
+
+    request_id: str
+    completed_at: Micros
+    response_time_us: Micros
+
+    @property
+    def started_at(self) -> Micros:
+        return self.completed_at - self.response_time_us
+
+    def response_time_ms(self) -> float:
+        return to_ms(self.response_time_us)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AnomalyWindow:
+    """A contiguous span containing clustered VLRT requests."""
+
+    start: Micros
+    stop: Micros
+    vlrt_count: int
+    peak_response_ms: float
+
+
+def detect_vlrt(
+    samples: list[CompletionSample],
+    threshold_factor: float = 10.0,
+    min_response_ms: float = 50.0,
+) -> list[VlrtRequest]:
+    """Completions whose response time is anomalously long.
+
+    A request qualifies when its response time exceeds both
+    ``threshold_factor`` × the population *median* and
+    ``min_response_ms``.  The median — not the mean — is the baseline:
+    the VLRT requests themselves inflate the mean enough to hide a
+    large anomaly, while the median tracks what a normal request
+    costs.  The absolute floor keeps a fast, idle system from
+    flagging noise.
+    """
+    if threshold_factor <= 1.0:
+        raise AnalysisError("threshold factor must exceed 1")
+    if not samples:
+        return []
+    ordered = sorted(s.response_time_us for s in samples)
+    median_rt = ordered[len(ordered) // 2]
+    cutoff = max(median_rt * threshold_factor, ms(min_response_ms))
+    return [
+        VlrtRequest(s.request_id, s.completed_at, s.response_time_us)
+        for s in samples
+        if s.response_time_us > cutoff
+    ]
+
+
+def cluster_anomaly_windows(
+    vlrts: list[VlrtRequest],
+    gap_us: Micros = ms(500),
+    margin_us: Micros = ms(100),
+) -> list[AnomalyWindow]:
+    """Group VLRT requests into anomaly windows.
+
+    Each window spans from the earliest *start* of its member requests
+    (a VLRT was queued somewhere for most of its lifetime) to the last
+    completion, padded by ``margin_us``; requests closer than
+    ``gap_us`` merge into the same window.
+    """
+    if not vlrts:
+        return []
+    ordered = sorted(vlrts, key=lambda v: v.started_at)
+    windows: list[AnomalyWindow] = []
+    group: list[VlrtRequest] = [ordered[0]]
+    for vlrt in ordered[1:]:
+        if vlrt.started_at - max(g.completed_at for g in group) <= gap_us:
+            group.append(vlrt)
+        else:
+            windows.append(_window_from(group, margin_us))
+            group = [vlrt]
+    windows.append(_window_from(group, margin_us))
+    return windows
+
+
+def _window_from(group: list[VlrtRequest], margin_us: Micros) -> AnomalyWindow:
+    start = min(v.started_at for v in group) - margin_us
+    stop = max(v.completed_at for v in group) + margin_us
+    peak = max(v.response_time_ms() for v in group)
+    return AnomalyWindow(
+        start=max(0, start),
+        stop=stop,
+        vlrt_count=len(group),
+        peak_response_ms=peak,
+    )

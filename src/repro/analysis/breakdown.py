@@ -1,0 +1,91 @@
+"""Per-tier latency decomposition.
+
+The event mScopeMonitors exist to answer "the contribution of each
+server to the response time of each request" (Section IV-A).  Given
+the four boundary timestamps, each tier visit's *local* time is its
+server time minus its downstream wait; summed per tier they decompose
+a request's response time exactly (up to network hops).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import Series
+from repro.common.errors import AnalysisError
+from repro.common.records import RequestTrace
+from repro.common.timebase import Micros, to_ms
+
+__all__ = ["request_breakdown_ms", "tier_latency_series", "NETWORK_LABEL"]
+
+#: Pseudo-tier label for time not attributable to any server (network
+#: hops and client-side queueing).
+NETWORK_LABEL = "network"
+
+
+def request_breakdown_ms(trace: RequestTrace) -> dict[str, float]:
+    """Decompose one request's response time by tier (plus network).
+
+    The per-tier entries are the summed local times of the tier's
+    visits; ``network`` absorbs the remainder, so the values add up to
+    the client-observed response time.
+    """
+    if not trace.is_complete():
+        raise AnalysisError(f"request {trace.request_id} never completed")
+    breakdown: dict[str, float] = {}
+    for visit in trace.visits:
+        if visit.upstream_departure is None:
+            continue
+        local = visit.local_time()
+        breakdown[visit.tier] = breakdown.get(visit.tier, 0.0) + to_ms(local)
+    attributed = sum(breakdown.values())
+    breakdown[NETWORK_LABEL] = max(0.0, trace.response_time_ms() - attributed)
+    return breakdown
+
+
+def tier_latency_series(
+    traces: list[RequestTrace],
+    window_us: Micros,
+    start: Micros,
+    stop: Micros,
+) -> dict[str, Series]:
+    """Mean per-request latency contribution of each tier, per window.
+
+    Each series' value at window ``w`` is the average (over requests
+    completing in ``w``) of the tier's local-time contribution —
+    the stacked-area view that shows *where* response time goes when a
+    VSB strikes.
+    """
+    if window_us <= 0:
+        raise AnalysisError(f"window must be positive: {window_us}")
+    if stop <= start:
+        raise AnalysisError(f"span empty: [{start}, {stop})")
+    completed = sorted(
+        (t for t in traces if t.is_complete()), key=lambda t: t.client_receive
+    )
+    tiers: set[str] = {NETWORK_LABEL}
+    for trace in completed:
+        tiers.update(v.tier for v in trace.visits)
+
+    window_starts: list[Micros] = []
+    sums: dict[str, list[float]] = {tier: [] for tier in tiers}
+    counts: list[int] = []
+
+    t = start
+    index = 0
+    while t < stop:
+        end = min(t + window_us, stop)
+        bucket: list[dict[str, float]] = []
+        while index < len(completed) and completed[index].client_receive < end:
+            if completed[index].client_receive >= t:
+                bucket.append(request_breakdown_ms(completed[index]))
+            index += 1
+        window_starts.append(t)
+        counts.append(len(bucket))
+        for tier in tiers:
+            total = sum(b.get(tier, 0.0) for b in bucket)
+            sums[tier].append(total / len(bucket) if bucket else 0.0)
+        t = end
+
+    return {
+        tier: Series.from_pairs(zip(window_starts, values))
+        for tier, values in sums.items()
+    }

@@ -1,0 +1,118 @@
+"""Causal graphs over reconstructed execution paths.
+
+Builds a networkx DAG from a request's tier visits: nodes are visits,
+edges are happens-before relations (caller → callee for downstream
+calls, sequential order between sibling visits).  The weighted longest
+path is the request's *critical path* — the chain of local times that
+actually determined its response time, which is where optimization
+effort should go.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis.causal import CausalHop, CausalPath
+from repro.common.errors import AnalysisError
+
+__all__ = ["path_to_graph", "critical_path", "critical_path_ms"]
+
+#: Node attribute keys.
+_TIER = "tier"
+_LOCAL_MS = "local_ms"
+
+
+def _node_id(index: int, hop: CausalHop) -> str:
+    return f"{index}:{hop.tier}"
+
+
+def path_to_graph(path: CausalPath) -> nx.DiGraph:
+    """Build the happens-before DAG of one request.
+
+    A hop *contains* another when the other's span nests inside its
+    downstream window; contained hops become children.  Hops that
+    share a parent are ordered sequentially by arrival.
+    """
+    if not path.hops:
+        raise AnalysisError(f"request {path.request_id} has no hops")
+    graph = nx.DiGraph(request_id=path.request_id)
+    ordered = sorted(path.hops, key=lambda h: h.upstream_arrival_us)
+    ids = [_node_id(i, hop) for i, hop in enumerate(ordered)]
+    for node, hop in zip(ids, ordered):
+        graph.add_node(
+            node,
+            **{
+                _TIER: hop.tier,
+                _LOCAL_MS: hop.local_time_ms(),
+                "arrival_us": hop.upstream_arrival_us,
+                "departure_us": hop.upstream_departure_us,
+            },
+        )
+
+    def contains(parent: CausalHop, child: CausalHop) -> bool:
+        if parent is child:
+            return False
+        if (
+            parent.downstream_sending_us is None
+            or parent.downstream_receiving_us is None
+        ):
+            return False
+        return (
+            parent.downstream_sending_us <= child.upstream_arrival_us
+            and child.upstream_departure_us <= parent.downstream_receiving_us
+        )
+
+    # Parent = the *smallest* containing hop (innermost caller).
+    parents: dict[int, int | None] = {}
+    for i, hop in enumerate(ordered):
+        candidates = [
+            j
+            for j, other in enumerate(ordered)
+            if contains(other, hop)
+        ]
+        if candidates:
+            parents[i] = min(
+                candidates,
+                key=lambda j: ordered[j].upstream_departure_us
+                - ordered[j].upstream_arrival_us,
+            )
+        else:
+            parents[i] = None
+
+    # Edges: parent -> child, plus sequential edges between siblings.
+    children: dict[int | None, list[int]] = {}
+    for i, parent in parents.items():
+        children.setdefault(parent, []).append(i)
+    for parent, kids in children.items():
+        kids.sort(key=lambda i: ordered[i].upstream_arrival_us)
+        if parent is not None:
+            graph.add_edge(ids[parent], ids[kids[0]], relation="calls")
+        for a, b in zip(kids, kids[1:]):
+            graph.add_edge(ids[a], ids[b], relation="then")
+    if not nx.is_directed_acyclic_graph(graph):
+        raise AnalysisError(f"request {path.request_id} graph has a cycle")
+    return graph
+
+
+def critical_path(path: CausalPath) -> list[str]:
+    """Node ids of the node-weighted longest chain through the DAG."""
+    graph = path_to_graph(path)
+    best: dict[str, tuple[float, list[str]]] = {}
+    for node in nx.topological_sort(graph):
+        weight = graph.nodes[node][_LOCAL_MS]
+        incoming = [
+            best[pred] for pred in graph.predecessors(node) if pred in best
+        ]
+        if incoming:
+            base_weight, base_chain = max(incoming, key=lambda wc: wc[0])
+        else:
+            base_weight, base_chain = 0.0, []
+        best[node] = (base_weight + weight, base_chain + [node])
+    return max(best.values(), key=lambda wc: wc[0])[1]
+
+
+def critical_path_ms(path: CausalPath) -> float:
+    """Total local time along the critical path (ms)."""
+    graph = path_to_graph(path)
+    nodes = critical_path(path)
+    return sum(graph.nodes[n][_LOCAL_MS] for n in nodes)

@@ -1,0 +1,405 @@
+"""The end-to-end very-short-bottleneck diagnosis engine.
+
+Automates the investigation the paper walks through manually in its
+two illustrative scenarios:
+
+1. find VLRT requests and cluster them into anomaly windows (Fig 2 /
+   Fig 8a);
+2. compute per-tier queue lengths from the event tables and identify
+   cross-tier pushback — which tiers' queues amplified (Fig 6 / 8b);
+3. pull every resource-metric candidate from the warehouse for the
+   affected window, flag saturated ones, flag abrupt dirty-page drops,
+   and correlate each with the front tier's queue (Fig 4, 7, 8c, 8d);
+4. rank root causes by evidence strength.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.anomaly import (
+    AnomalyWindow,
+    cluster_anomaly_windows,
+    detect_vlrt,
+)
+from repro.analysis.metrics import MetricCandidate, discover_candidates, metric_series
+from repro.analysis.queues import tier_queue_lengths
+from repro.analysis.response_time import (
+    CompletionSample,
+    completions_from_warehouse,
+)
+from repro.analysis.series import Series, pearson_correlation
+from repro.common.errors import AnalysisError
+from repro.common.timebase import Micros, ms
+from repro.warehouse.db import MScopeDB
+
+__all__ = ["QueueFinding", "RootCause", "DiagnosisReport", "Diagnoser"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class QueueFinding:
+    """One tier's queue behaviour inside an anomaly window."""
+
+    tier: str
+    peak_queue: float
+    baseline_queue: float
+
+    @property
+    def amplification(self) -> float:
+        """Peak over baseline (∞ ≈ large when the baseline is ~0)."""
+        return self.peak_queue / max(self.baseline_queue, 0.5)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RootCause:
+    """One ranked root-cause hypothesis."""
+
+    hostname: str
+    kind: str
+    label: str
+    peak_value: float
+    correlation: float | None
+    score: float
+    explanation: str
+    #: Best cross-correlation lag of the front queue behind this
+    #: metric (µs); positive = the metric led the queue (causal
+    #: direction), ``None`` when the lag was not computable.
+    lead_lag_us: int | None = None
+
+
+@dataclasses.dataclass(slots=True)
+class DiagnosisReport:
+    """Everything milliScope concluded about one anomaly window."""
+
+    window: AnomalyWindow
+    queue_findings: list[QueueFinding]
+    pushback_tiers: list[str]
+    causes: list[RootCause]
+    #: interaction name → (VLRT count, share of that interaction's
+    #: traffic that went VLRT).  A skew toward one class of
+    #: interactions is itself evidence: commit-blocking faults hit the
+    #: writes, CPU faults hit everything.
+    affected_interactions: dict[str, tuple[int, float]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def primary_cause(self) -> RootCause | None:
+        """The top-ranked root cause, if any evidence survived."""
+        return self.causes[0] if self.causes else None
+
+    def to_text(self) -> str:
+        """A human-readable summary of the diagnosis."""
+        lines = [
+            f"Anomaly window [{self.window.start / 1e6:.3f}s, "
+            f"{self.window.stop / 1e6:.3f}s]: {self.window.vlrt_count} VLRT "
+            f"request(s), peak response {self.window.peak_response_ms:.1f} ms",
+            "  Queue amplification by tier:",
+        ]
+        for finding in self.queue_findings:
+            marker = " <-- pushback" if finding.tier in self.pushback_tiers else ""
+            lines.append(
+                f"    {finding.tier:8s} peak={finding.peak_queue:6.1f} "
+                f"baseline={finding.baseline_queue:6.1f} "
+                f"x{finding.amplification:5.1f}{marker}"
+            )
+        if self.affected_interactions:
+            worst = sorted(
+                self.affected_interactions.items(),
+                key=lambda item: item[1][1],
+                reverse=True,
+            )[:4]
+            rendered = ", ".join(
+                f"{name} ({count} VLRT, {share * 100:.0f}% of its traffic)"
+                for name, (count, share) in worst
+            )
+            lines.append(f"  Most affected interactions: {rendered}")
+        if self.causes:
+            lines.append("  Ranked root causes:")
+            for index, cause in enumerate(self.causes, start=1):
+                corr = (
+                    f"r={cause.correlation:+.2f}"
+                    if cause.correlation is not None
+                    else "r=n/a"
+                )
+                lag = ""
+                if cause.lead_lag_us is not None and cause.lead_lag_us > 0:
+                    lag = f", led the queue by {cause.lead_lag_us / 1000:.0f} ms"
+                lines.append(
+                    f"    {index}. {cause.label} "
+                    f"(peak {cause.peak_value:.1f}, {corr}{lag}, "
+                    f"score {cause.score:.2f}) — {cause.explanation}"
+                )
+        else:
+            lines.append("  No saturated resource found (inconclusive).")
+        return "\n".join(lines)
+
+
+class Diagnoser:
+    """Diagnoses VSBs from a populated mScopeDB.
+
+    Parameters
+    ----------
+    db:
+        The warehouse holding event and resource tables.
+    tier_tables:
+        Tier → event-table mapping (defaults to the standard
+        deployment's names).
+    front_table:
+        The first tier's event table, whose upstream pair defines
+        response times.
+    epoch_us:
+        Epoch offset rebasing warehouse wall timestamps onto
+        simulation time zero.
+    """
+
+    #: A metric is "saturated" above this value (percent).
+    saturation_threshold = 80.0
+    #: Hypervisor steal is devastating far below full saturation.
+    steal_threshold = 30.0
+    #: A dirty-page drop counts when the level falls by this fraction.
+    dirty_drop_fraction = 0.4
+    #: ... and only when the level was at least this high (Collectl
+    #: reports Dirty in KB; drops of a few hundred KB are log-buffer
+    #: noise, not page-cache recycling).
+    dirty_min_level_kb = 8 * 1024
+
+    def __init__(
+        self,
+        db: MScopeDB,
+        tier_tables: dict[str, str] | None = None,
+        front_table: str = "apache_events_web1",
+        epoch_us: int = 0,
+    ) -> None:
+        from repro.analysis.causal import DEFAULT_EVENT_TABLES
+
+        self.db = db
+        requested = tier_tables or dict(DEFAULT_EVENT_TABLES)
+        present = set(db.tables())
+        # Not every deployment instruments every tier; analyze what
+        # actually loaded.
+        self.tier_tables = {
+            tier: table for tier, table in requested.items() if table in present
+        }
+        if front_table not in present:
+            raise AnalysisError(
+                f"front event table {front_table!r} is not in the warehouse"
+            )
+        if not self.tier_tables:
+            raise AnalysisError("no tier event tables found in the warehouse")
+        self.front_table = front_table
+        self.epoch_us = epoch_us
+
+    # ------------------------------------------------------------------
+
+    def diagnose(
+        self,
+        threshold_factor: float = 10.0,
+        min_response_ms: float = 50.0,
+        queue_step_us: Micros = ms(10),
+    ) -> list[DiagnosisReport]:
+        """Run the full pipeline; one report per anomaly window."""
+        completions = completions_from_warehouse(
+            self.db, self.front_table, self.epoch_us
+        )
+        if not completions:
+            raise AnalysisError(f"no completions in {self.front_table!r}")
+        vlrts = detect_vlrt(completions, threshold_factor, min_response_ms)
+        windows = cluster_anomaly_windows(vlrts)
+        candidates = discover_candidates(self.db)
+        horizon = max(c.completed_at for c in completions)
+        return [
+            self._diagnose_window(window, completions, candidates, horizon, queue_step_us)
+            for window in windows
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _diagnose_window(
+        self,
+        window: AnomalyWindow,
+        completions: list[CompletionSample],
+        candidates: list[MetricCandidate],
+        horizon: Micros,
+        queue_step_us: Micros,
+    ) -> DiagnosisReport:
+        queue_findings, pushback, front_queue = self._queue_analysis(
+            window, horizon, queue_step_us
+        )
+        causes = self._resource_analysis(window, candidates, front_queue)
+        return DiagnosisReport(
+            window=window,
+            queue_findings=queue_findings,
+            pushback_tiers=pushback,
+            causes=causes,
+            affected_interactions=self._interaction_analysis(window, completions),
+        )
+
+    def _interaction_analysis(
+        self, window: AnomalyWindow, completions: list[CompletionSample]
+    ) -> dict[str, tuple[int, float]]:
+        """Which interaction classes the window's VLRTs belong to."""
+        vlrt_counts: dict[str, int] = {}
+        totals: dict[str, int] = {}
+        vlrt_ids = {
+            v.request_id
+            for v in detect_vlrt(completions)
+            if window.start <= v.completed_at <= window.stop
+        }
+        for sample in completions:
+            if not sample.interaction:
+                continue
+            totals[sample.interaction] = totals.get(sample.interaction, 0) + 1
+            if sample.request_id in vlrt_ids:
+                vlrt_counts[sample.interaction] = (
+                    vlrt_counts.get(sample.interaction, 0) + 1
+                )
+        return {
+            name: (count, count / totals[name])
+            for name, count in vlrt_counts.items()
+        }
+
+    def _queue_analysis(
+        self, window: AnomalyWindow, horizon: Micros, step: Micros
+    ) -> tuple[list[QueueFinding], list[str], Series]:
+        context_start = max(0, window.start - ms(1_000))
+        context_stop = min(horizon, window.stop + ms(1_000))
+        queues = tier_queue_lengths(
+            self.db,
+            self.tier_tables,
+            context_start,
+            context_stop,
+            step,
+            self.epoch_us,
+        )
+        findings: list[QueueFinding] = []
+        for tier, series in queues.items():
+            inside = series.window(window.start, window.stop)
+            outside_values = [
+                series.window(context_start, window.start).mean(),
+                series.window(window.stop, context_stop).mean(),
+            ]
+            baseline = sum(outside_values) / len(outside_values)
+            findings.append(
+                QueueFinding(
+                    tier=tier, peak_queue=inside.max(), baseline_queue=baseline
+                )
+            )
+        pushback = [f.tier for f in findings if f.amplification >= 3.0]
+        front_tier = next(iter(self.tier_tables))
+        return findings, pushback, queues[front_tier]
+
+    def _resource_analysis(
+        self,
+        window: AnomalyWindow,
+        candidates: list[MetricCandidate],
+        front_queue: Series,
+    ) -> list[RootCause]:
+        causes: list[RootCause] = []
+        for candidate in candidates:
+            series = metric_series(
+                self.db,
+                candidate.table,
+                candidate.columns,
+                epoch_us=self.epoch_us,
+                start=window.start - ms(500),
+                stop=window.stop + ms(500),
+            )
+            if series.is_empty():
+                continue
+            inside = series.window(window.start, window.stop)
+            if inside.is_empty():
+                continue
+            if candidate.kind == "dirty_pages":
+                cause = self._dirty_page_cause(candidate, inside)
+            else:
+                cause = self._saturation_cause(candidate, inside, front_queue, series)
+            if cause is not None:
+                causes.append(cause)
+        causes.sort(key=lambda c: c.score, reverse=True)
+        return causes
+
+    def _saturation_cause(
+        self,
+        candidate: MetricCandidate,
+        inside: Series,
+        front_queue: Series,
+        context: Series,
+    ) -> RootCause | None:
+        peak = inside.max()
+        threshold = (
+            self.steal_threshold
+            if candidate.kind == "cpu_steal"
+            else self.saturation_threshold
+        )
+        if peak < threshold:
+            return None
+        correlation: float | None
+        lead_lag: int | None
+        try:
+            correlation = pearson_correlation(context, front_queue)
+        except AnalysisError:
+            correlation = None
+        try:
+            from repro.analysis.lag import lagged_correlation
+
+            lag_result = lagged_correlation(
+                context, front_queue, max_lag_us=ms(300), step_us=ms(25)
+            )
+            lead_lag = int(lag_result.best_lag_us)
+        except AnalysisError:
+            lead_lag = None
+        score = peak / 100.0 + (abs(correlation) if correlation is not None else 0.0)
+        if lead_lag is not None and lead_lag > 0:
+            # The metric moved before the queue did: evidence of causal
+            # direction, not mere co-occurrence.
+            score += 0.1
+        if candidate.kind == "disk_util":
+            explanation = (
+                f"disk on {candidate.hostname} saturated ({peak:.0f}%) "
+                "during the anomaly window"
+            )
+        elif candidate.kind == "cpu_steal":
+            score += 0.5  # steal implicates the hypervisor directly
+            explanation = (
+                f"hypervisor stole {peak:.0f}% of {candidate.hostname}'s "
+                "CPU — co-located VM interference"
+            )
+        else:
+            explanation = (
+                f"CPU on {candidate.hostname} saturated ({peak:.0f}%) "
+                "during the anomaly window"
+            )
+        return RootCause(
+            hostname=candidate.hostname,
+            kind=candidate.kind,
+            label=candidate.label,
+            peak_value=peak,
+            correlation=correlation,
+            score=score,
+            explanation=explanation,
+            lead_lag_us=lead_lag,
+        )
+
+    def _dirty_page_cause(
+        self, candidate: MetricCandidate, inside: Series
+    ) -> RootCause | None:
+        high = inside.max()
+        low = float(inside.values.min())
+        if high < self.dirty_min_level_kb:
+            return None
+        drop = (high - low) / high
+        if drop < self.dirty_drop_fraction:
+            return None
+        return RootCause(
+            hostname=candidate.hostname,
+            kind=candidate.kind,
+            label=candidate.label,
+            peak_value=high,
+            correlation=None,
+            score=0.5 + drop,
+            explanation=(
+                f"dirty page cache on {candidate.hostname} dropped "
+                f"{drop * 100:.0f}% inside the window — dirty-page "
+                f"recycling stole the CPU"
+            ),
+        )

@@ -1,0 +1,125 @@
+"""Trace export to standard tooling formats.
+
+milliScope reconstructs per-request execution paths; modern trace
+viewers already know how to display them.  Two exporters:
+
+* :func:`to_chrome_trace` — the Chrome trace-event format
+  (``chrome://tracing`` / Perfetto): one complete ("X") event per tier
+  visit, tiers as process rows.
+* :func:`to_span_tree` — an OpenTelemetry-like span list (dicts with
+  ``traceId`` / ``spanId`` / ``parentSpanId`` / nanosecond times),
+  nesting inferred from the downstream windows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.causal import CausalPath
+from repro.common.errors import AnalysisError
+
+__all__ = ["to_chrome_trace", "to_span_tree", "write_chrome_trace"]
+
+
+def to_chrome_trace(paths: list[CausalPath]) -> dict:
+    """Render causal paths as a Chrome trace-event document."""
+    if not paths:
+        raise AnalysisError("no paths to export")
+    events = []
+    tiers: dict[str, int] = {}
+    for path in paths:
+        for hop in path.hops:
+            pid = tiers.setdefault(hop.tier, len(tiers) + 1)
+            events.append(
+                {
+                    "name": f"{path.request_id}",
+                    "cat": hop.tier,
+                    "ph": "X",
+                    "ts": hop.upstream_arrival_us,
+                    "dur": hop.upstream_departure_us - hop.upstream_arrival_us,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {
+                        "request_id": path.request_id,
+                        "local_ms": hop.local_time_ms(),
+                    },
+                }
+            )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": tier},
+        }
+        for tier, pid in tiers.items()
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(paths: list[CausalPath], destination: Path | str) -> Path:
+    """Write the Chrome trace JSON to ``destination``."""
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(to_chrome_trace(paths), indent=1))
+    return destination
+
+
+def _span_id(request_id: str, index: int) -> str:
+    return f"{request_id}-{index:04d}"
+
+
+def to_span_tree(path: CausalPath) -> list[dict]:
+    """Render one causal path as OpenTelemetry-style span dicts.
+
+    A hop's parent is the *innermost* hop whose downstream window
+    contains it — the same containment rule the causal graph uses.
+    """
+    if not path.hops:
+        raise AnalysisError(f"request {path.request_id} has no hops")
+    ordered = sorted(path.hops, key=lambda h: h.upstream_arrival_us)
+
+    def contains(parent, child) -> bool:
+        if parent is child:
+            return False
+        if parent.downstream_sending_us is None:
+            return False
+        return (
+            parent.downstream_sending_us <= child.upstream_arrival_us
+            and child.upstream_departure_us <= parent.downstream_receiving_us
+        )
+
+    spans = []
+    for index, hop in enumerate(ordered):
+        candidates = [
+            j for j, other in enumerate(ordered) if contains(other, hop)
+        ]
+        parent_index = (
+            min(
+                candidates,
+                key=lambda j: ordered[j].upstream_departure_us
+                - ordered[j].upstream_arrival_us,
+            )
+            if candidates
+            else None
+        )
+        spans.append(
+            {
+                "traceId": path.request_id,
+                "spanId": _span_id(path.request_id, index),
+                "parentSpanId": (
+                    _span_id(path.request_id, parent_index)
+                    if parent_index is not None
+                    else None
+                ),
+                "name": hop.tier,
+                "startTimeUnixNano": hop.upstream_arrival_us * 1_000,
+                "endTimeUnixNano": hop.upstream_departure_us * 1_000,
+                "attributes": {
+                    "tier": hop.tier,
+                    "local_ms": hop.local_time_ms(),
+                },
+            }
+        )
+    return spans

@@ -1,0 +1,89 @@
+"""Lead/lag correlation between metric series.
+
+Figure 7's evidence is a correlation between the database disk and the
+Apache queue — but causality has a *direction*: the disk saturates
+first and the queue builds after.  Lagged cross-correlation makes that
+direction measurable: shifting the queue series back in time by the
+propagation delay maximizes the correlation, and the sign of the best
+lag says who led.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from scipy import stats
+
+from repro.analysis.series import Series
+from repro.common.errors import AnalysisError
+from repro.common.timebase import Micros
+
+__all__ = ["correlation_with_pvalue", "lagged_correlation", "LagResult"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LagResult:
+    """Best-lag cross-correlation between two series."""
+
+    best_lag_us: Micros
+    best_correlation: float
+    zero_lag_correlation: float
+
+    @property
+    def leader(self) -> str:
+        """``"a"`` if the first series leads, ``"b"`` if the second."""
+        if self.best_lag_us > 0:
+            return "a"
+        if self.best_lag_us < 0:
+            return "b"
+        return "simultaneous"
+
+
+def correlation_with_pvalue(a: Series, b: Series) -> tuple[float, float]:
+    """Pearson r and its two-sided p-value, step-aligned on ``a``'s grid."""
+    if len(a) < 3 or len(b) < 3:
+        raise AnalysisError("need at least 3 points per series")
+    aligned = b.resample(a.times)
+    if float(a.values.std()) == 0.0 or float(aligned.values.std()) == 0.0:
+        raise AnalysisError("correlation undefined for a constant series")
+    result = stats.pearsonr(a.values, aligned.values)
+    return float(result.statistic), float(result.pvalue)
+
+
+def lagged_correlation(
+    a: Series,
+    b: Series,
+    max_lag_us: Micros,
+    step_us: Micros,
+) -> LagResult:
+    """Find the lag of ``b`` (relative to ``a``) maximizing Pearson r.
+
+    A *positive* best lag means ``a`` leads: shifting ``b`` backwards
+    by that amount lines its response up with ``a``'s cause.
+    """
+    if step_us <= 0 or max_lag_us < step_us:
+        raise AnalysisError("need max_lag >= step > 0")
+    if len(a) < 3 or len(b) < 3:
+        raise AnalysisError("need at least 3 points per series")
+
+    def correlation_at(lag: Micros) -> float:
+        shifted = b.resample([t + lag for t in a.times])
+        if float(shifted.values.std()) == 0.0 or float(a.values.std()) == 0.0:
+            return 0.0
+        return float(stats.pearsonr(a.values, shifted.values).statistic)
+
+    zero = correlation_at(0)
+    best_lag: Micros = 0
+    best = zero
+    lag = -max_lag_us
+    while lag <= max_lag_us:
+        r = correlation_at(lag)
+        if r > best:
+            best = r
+            best_lag = lag
+        lag += step_us
+    return LagResult(
+        best_lag_us=best_lag,
+        best_correlation=best,
+        zero_lag_correlation=zero,
+    )

@@ -1,0 +1,126 @@
+"""Markdown investigation reports.
+
+Bundles everything milliScope learned about a monitoring session into
+one human-readable document: traffic summary, point-in-time response
+times (with sparklines), anomaly diagnoses, the slowest requests, and
+per-interaction statistics.  The output is the artifact a performance
+engineer would attach to an incident ticket.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.anomaly import cluster_anomaly_windows, detect_vlrt
+from repro.analysis.diagnosis import Diagnoser
+from repro.analysis.render import sparkline
+from repro.analysis.response_time import (
+    completions_from_warehouse,
+    point_in_time_response_times,
+)
+from repro.analysis.series import Series
+from repro.common.errors import AnalysisError
+from repro.common.timebase import ms
+from repro.warehouse.db import MScopeDB
+from repro.warehouse.explorer import WarehouseExplorer
+
+__all__ = ["build_markdown_report", "write_markdown_report"]
+
+
+def build_markdown_report(
+    db: MScopeDB,
+    epoch_us: int = 0,
+    front_table: str = "apache_events_web1",
+    title: str = "milliScope investigation report",
+) -> str:
+    """Render the full investigation as a Markdown document."""
+    explorer = WarehouseExplorer(db, front_table=front_table, epoch_us=epoch_us)
+    completions = completions_from_warehouse(db, front_table, epoch_us)
+    if not completions:
+        raise AnalysisError("warehouse has no completed requests to report on")
+    horizon = max(c.completed_at for c in completions)
+    lines: list[str] = [f"# {title}", ""]
+
+    # -- session summary ------------------------------------------------
+    total_rt = sum(c.response_time_us for c in completions)
+    mean_ms = total_rt / len(completions) / 1000.0
+    lines += [
+        "## Session",
+        "",
+        f"* requests: **{len(completions)}** over "
+        f"{horizon / 1e6:.1f} s simulated",
+        f"* mean response time: **{mean_ms:.2f} ms**",
+        f"* hosts: {', '.join(explorer.hosts()) or 'unregistered'}",
+        f"* warehouse tables: {len(db.dynamic_tables())} "
+        f"({len(explorer.event_tables())} event, "
+        f"{len(explorer.resource_tables())} resource)",
+        "",
+    ]
+
+    # -- point-in-time response time ------------------------------------
+    windows = point_in_time_response_times(completions, ms(50), 0, horizon)
+    pit = Series.from_pairs((w.start, w.max_ms) for w in windows)
+    lines += [
+        "## Point-in-time response time (50 ms windows)",
+        "",
+        "```",
+        f"max RT ms  {sparkline(pit, width=70)}",
+        f"peak {pit.max():.1f} ms / mean {mean_ms:.1f} ms",
+        "```",
+        "",
+    ]
+
+    # -- anomalies -------------------------------------------------------
+    vlrts = detect_vlrt(completions)
+    windows_found = cluster_anomaly_windows(vlrts)
+    lines += ["## Anomalies", ""]
+    if windows_found:
+        reports = Diagnoser(db, front_table=front_table, epoch_us=epoch_us).diagnose()
+        for report in reports:
+            lines += ["```", report.to_text(), "```", ""]
+    else:
+        lines += ["No VLRT requests detected — the session looks healthy.", ""]
+
+    # -- slowest requests -------------------------------------------------
+    lines += [
+        "## Slowest requests",
+        "",
+        "| request | interaction | response (ms) | completed at (s) |",
+        "|---|---|---:|---:|",
+    ]
+    for slow in explorer.slowest_requests(5):
+        lines.append(
+            f"| `{slow.request_id}` | {slow.interaction} "
+            f"| {slow.response_ms:.1f} | {slow.completed_at_us / 1e6:.3f} |"
+        )
+    lines.append("")
+
+    # -- per-interaction stats --------------------------------------------
+    lines += [
+        "## Interactions",
+        "",
+        "| interaction | count | mean (ms) | max (ms) |",
+        "|---|---:|---:|---:|",
+    ]
+    for stats in explorer.interaction_stats():
+        lines.append(
+            f"| {stats.interaction} | {stats.count} "
+            f"| {stats.mean_ms:.2f} | {stats.max_ms:.1f} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    db: MScopeDB,
+    destination: Path | str,
+    epoch_us: int = 0,
+    front_table: str = "apache_events_web1",
+) -> Path:
+    """Write the report to ``destination`` and return the path."""
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        build_markdown_report(db, epoch_us=epoch_us, front_table=front_table)
+    )
+    return destination

@@ -1,0 +1,196 @@
+"""Point-in-time response time analysis (the paper's Figure 2 metric).
+
+The *point-in-time* response time of a window is the maximum response
+time among requests completing in that window; the VLRT phenomenon is
+a window whose maximum exceeds the period average by an order of
+magnitude or more, even though wider averages look flat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.common.errors import AnalysisError
+from repro.common.records import RequestTrace
+from repro.common.timebase import Micros, to_ms
+from repro.warehouse.db import MScopeDB, quote_identifier
+
+__all__ = [
+    "CompletionSample",
+    "PointInTimeWindow",
+    "completions_from_traces",
+    "completions_from_warehouse",
+    "point_in_time_response_times",
+    "sampled_average_response_times",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CompletionSample:
+    """One completed request: completion time and response time."""
+
+    completed_at: Micros
+    response_time_us: Micros
+    request_id: str = ""
+    interaction: str = ""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PointInTimeWindow:
+    """One analysis window's response-time profile."""
+
+    start: Micros
+    stop: Micros
+    count: int
+    max_ms: float
+    mean_ms: float
+
+
+def completions_from_traces(
+    traces: Iterable[RequestTrace],
+) -> list[CompletionSample]:
+    """Completion samples from simulator ground-truth traces."""
+    samples = []
+    for trace in traces:
+        if trace.client_receive is None:
+            continue
+        samples.append(
+            CompletionSample(
+                completed_at=trace.client_receive,
+                response_time_us=trace.response_time(),
+                request_id=trace.request_id,
+                interaction=trace.interaction,
+            )
+        )
+    samples.sort(key=lambda s: s.completed_at)
+    return samples
+
+
+def completions_from_warehouse(
+    db: MScopeDB,
+    table: str = "apache_events_web1",
+    epoch_us: int = 0,
+) -> list[CompletionSample]:
+    """Completion samples from a first-tier event table in mScopeDB.
+
+    The first tier's upstream pair brackets the whole request, so
+    ``departure - arrival`` is the server-side response time.
+    ``epoch_us`` rebases warehouse epoch timestamps onto simulation
+    time (pass the experiment's epoch).
+    """
+    rows = db.query(
+        f"SELECT request_id, interaction, upstream_arrival_us, "
+        f"upstream_departure_us FROM {quote_identifier(table)} "
+        f"WHERE upstream_departure_us IS NOT NULL "
+        f"ORDER BY upstream_departure_us"
+    )
+    return [
+        CompletionSample(
+            completed_at=departure - epoch_us,
+            response_time_us=departure - arrival,
+            request_id=request_id or "",
+            interaction=interaction or "",
+        )
+        for request_id, interaction, arrival, departure in rows
+    ]
+
+
+def point_in_time_response_times(
+    samples: list[CompletionSample],
+    window_us: Micros,
+    start: Micros,
+    stop: Micros,
+) -> list[PointInTimeWindow]:
+    """Max/mean response time per window over ``[start, stop)``."""
+    if window_us <= 0:
+        raise AnalysisError(f"window must be positive: {window_us}")
+    if stop <= start:
+        raise AnalysisError(f"analysis span empty: [{start}, {stop})")
+    windows: list[PointInTimeWindow] = []
+    t = start
+    index = 0
+    ordered = sorted(samples, key=lambda s: s.completed_at)
+    while t < stop:
+        end = min(t + window_us, stop)
+        bucket: list[Micros] = []
+        while index < len(ordered) and ordered[index].completed_at < end:
+            if ordered[index].completed_at >= t:
+                bucket.append(ordered[index].response_time_us)
+            index += 1
+        if bucket:
+            windows.append(
+                PointInTimeWindow(
+                    start=t,
+                    stop=end,
+                    count=len(bucket),
+                    max_ms=to_ms(max(bucket)),
+                    mean_ms=to_ms(sum(bucket) / len(bucket)),
+                )
+            )
+        else:
+            windows.append(PointInTimeWindow(t, end, 0, 0.0, 0.0))
+        t = end
+    return windows
+
+
+def percentile_windows(
+    samples: list[CompletionSample],
+    window_us: Micros,
+    start: Micros,
+    stop: Micros,
+    percentiles: tuple[float, ...] = (50.0, 95.0, 99.0),
+) -> list[dict[str, float]]:
+    """Response-time percentiles (ms) per window over ``[start, stop)``.
+
+    Each returned dict has ``"start"`` plus one ``"pNN"`` key per
+    requested percentile (0.0 for empty windows).  Percentiles use the
+    nearest-rank method, matching how load-test reports quote them.
+    """
+    if window_us <= 0:
+        raise AnalysisError(f"window must be positive: {window_us}")
+    if stop <= start:
+        raise AnalysisError(f"analysis span empty: [{start}, {stop})")
+    for p in percentiles:
+        if not 0.0 < p <= 100.0:
+            raise AnalysisError(f"percentile out of (0, 100]: {p}")
+    ordered = sorted(samples, key=lambda s: s.completed_at)
+    rows: list[dict[str, float]] = []
+    t = start
+    index = 0
+    while t < stop:
+        end = min(t + window_us, stop)
+        bucket: list[Micros] = []
+        while index < len(ordered) and ordered[index].completed_at < end:
+            if ordered[index].completed_at >= t:
+                bucket.append(ordered[index].response_time_us)
+            index += 1
+        bucket.sort()
+        row: dict[str, float] = {"start": float(t)}
+        for p in percentiles:
+            if bucket:
+                rank = max(0, -(-int(p * len(bucket)) // 100) - 1)
+                rank = min(rank, len(bucket) - 1)
+                row[f"p{p:g}"] = to_ms(bucket[rank])
+            else:
+                row[f"p{p:g}"] = 0.0
+        rows.append(row)
+        t = end
+    return rows
+
+
+def sampled_average_response_times(
+    samples: list[CompletionSample],
+    window_us: Micros,
+    start: Micros,
+    stop: Micros,
+) -> list[PointInTimeWindow]:
+    """The coarse baseline: per-window *averages* only.
+
+    This is what a second-granularity sampling monitor reports — the
+    series that misses the Figure 2 peak entirely.
+    """
+    return [
+        PointInTimeWindow(w.start, w.stop, w.count, w.mean_ms, w.mean_ms)
+        for w in point_in_time_response_times(samples, window_us, start, stop)
+    ]

@@ -1,0 +1,94 @@
+"""Uniform time series and alignment utilities for analysis.
+
+Analysis routines exchange :class:`Series` — a pair of numpy arrays
+(timestamps in microseconds, float values) — whether the data came from
+simulator ground truth or from warehouse tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import AnalysisError
+from repro.common.timebase import Micros
+
+__all__ = ["Series", "pearson_correlation"]
+
+
+@dataclasses.dataclass(slots=True)
+class Series:
+    """A time series: sorted microsecond timestamps and float values."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "Series":
+        """Build a series from ``(time, value)`` pairs (sorted by time)."""
+        items = sorted(pairs)
+        if not items:
+            return cls(np.array([], dtype=np.int64), np.array([], dtype=float))
+        times, values = zip(*items)
+        return cls(np.asarray(times, dtype=np.int64), np.asarray(values, dtype=float))
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise AnalysisError("series times/values length mismatch")
+        if len(self.times) > 1 and np.any(np.diff(self.times) < 0):
+            raise AnalysisError("series timestamps must be sorted")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def is_empty(self) -> bool:
+        return len(self.times) == 0
+
+    def window(self, start: Micros, stop: Micros) -> "Series":
+        """The sub-series with ``start <= t < stop``."""
+        mask = (self.times >= start) & (self.times < stop)
+        return Series(self.times[mask], self.values[mask])
+
+    def max(self) -> float:
+        """Maximum value (0.0 for an empty series)."""
+        return float(self.values.max()) if len(self) else 0.0
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 for an empty series)."""
+        return float(self.values.mean()) if len(self) else 0.0
+
+    def value_at(self, time: Micros) -> float:
+        """Step interpolation: the last value at or before ``time``."""
+        if self.is_empty():
+            raise AnalysisError("cannot interpolate an empty series")
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        if index < 0:
+            return float(self.values[0])
+        return float(self.values[index])
+
+    def resample(self, grid: Sequence[Micros]) -> "Series":
+        """Step-interpolate onto an explicit grid."""
+        grid_arr = np.asarray(list(grid), dtype=np.int64)
+        indices = np.searchsorted(self.times, grid_arr, side="right") - 1
+        indices = np.clip(indices, 0, len(self.times) - 1)
+        return Series(grid_arr, self.values[indices])
+
+
+def pearson_correlation(a: Series, b: Series) -> float:
+    """Pearson r between two series, step-aligned on ``a``'s grid.
+
+    Raises :class:`AnalysisError` when either series is too short or
+    constant (correlation undefined).
+    """
+    if len(a) < 3 or len(b) < 3:
+        raise AnalysisError("need at least 3 points per series")
+    aligned_b = b.resample(a.times)
+    x = a.values
+    y = aligned_b.values
+    if float(np.std(x)) == 0.0 or float(np.std(y)) == 0.0:
+        raise AnalysisError("correlation undefined for a constant series")
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,104 @@
+"""Sampling-based monitoring baselines.
+
+Two baselines the paper argues against:
+
+* :class:`CoarseAveragingMonitor` — a second-granularity monitor that
+  reports per-interval *average* response times; the Figure 2 peak is
+  invisible in its output.
+* :class:`SamplingTracer` — a Dapper/Zipkin-style tracer that keeps
+  each trace with probability ``rate``; the sampling ablation measures
+  how quickly VLRT recall collapses as the rate drops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.anomaly import detect_vlrt
+from repro.analysis.response_time import CompletionSample
+from repro.analysis.series import Series
+from repro.common.errors import AnalysisError
+from repro.common.timebase import Micros, seconds
+
+__all__ = ["CoarseAveragingMonitor", "SamplingTracer"]
+
+
+class CoarseAveragingMonitor:
+    """Reports per-interval average response times (the classic tool).
+
+    Parameters
+    ----------
+    interval_us:
+        Averaging interval; defaults to 1 second, the typical
+        monitoring resolution the paper contrasts against.
+    """
+
+    def __init__(self, interval_us: Micros = seconds(1)) -> None:
+        if interval_us <= 0:
+            raise AnalysisError("interval must be positive")
+        self.interval_us = interval_us
+
+    def observe(
+        self,
+        samples: list[CompletionSample],
+        start: Micros,
+        stop: Micros,
+    ) -> Series:
+        """Average response time (ms) per interval."""
+        times: list[Micros] = []
+        values: list[float] = []
+        t = start
+        ordered = sorted(samples, key=lambda s: s.completed_at)
+        index = 0
+        while t < stop:
+            end = min(t + self.interval_us, stop)
+            bucket: list[float] = []
+            while index < len(ordered) and ordered[index].completed_at < end:
+                if ordered[index].completed_at >= t:
+                    bucket.append(ordered[index].response_time_us / 1_000.0)
+                index += 1
+            times.append(t)
+            values.append(sum(bucket) / len(bucket) if bucket else 0.0)
+            t = end
+        return Series.from_pairs(zip(times, values))
+
+
+class SamplingTracer:
+    """Keeps each request trace with probability ``rate``.
+
+    Mirrors the head-based sampling of production tracers: the keep
+    decision is made per request, so an entire VLRT either appears or
+    vanishes from the data.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise AnalysisError(f"sampling rate out of (0, 1]: {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def sample(self, samples: list[CompletionSample]) -> list[CompletionSample]:
+        """The subset of completions this tracer would have kept."""
+        if self.rate >= 1.0:
+            return list(samples)
+        return [s for s in samples if self._rng.random() < self.rate]
+
+    def vlrt_recall(
+        self,
+        samples: list[CompletionSample],
+        threshold_factor: float = 10.0,
+        min_response_ms: float = 50.0,
+    ) -> float:
+        """Fraction of true VLRT requests the sampled data still contains."""
+        truth = {
+            v.request_id
+            for v in detect_vlrt(samples, threshold_factor, min_response_ms)
+        }
+        if not truth:
+            raise AnalysisError("no VLRT requests in the ground truth")
+        kept = self.sample(samples)
+        found = {
+            v.request_id
+            for v in detect_vlrt(kept, threshold_factor, min_response_ms)
+        }
+        return len(found & truth) / len(truth)

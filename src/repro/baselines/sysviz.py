@@ -1,0 +1,173 @@
+"""A SysViz-style passive network tracer.
+
+Fujitsu SysViz — the commercial tool the paper validates against —
+reconstructs every transaction's trace from messages captured by
+network taps and port-mirroring switches.  Here the tap subscribes to
+the simulator's message bus: it sees every request and reply at wire
+time, *independently of the event mScopeMonitors' logs*, and rebuilds
+per-tier queue lengths from message pairing alone.  Comparing its
+queue series with the monitors' reproduces the paper's Figure 9
+accuracy validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict, deque
+
+from repro.analysis.queues import concurrency_series
+from repro.analysis.series import Series
+from repro.common.errors import AnalysisError
+from repro.common.timebase import Micros
+from repro.ntier.messages import Message
+from repro.ntier.system import NTierSystem
+
+__all__ = ["WireRecord", "SysVizTracer"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WireRecord:
+    """One message observed on the wire."""
+
+    kind: str
+    request_id: str
+    src: str
+    dst: str
+    wire_time: Micros
+    serial: int
+
+
+class SysVizTracer:
+    """Passive tap reconstructing transactions from wire traffic."""
+
+    def __init__(self) -> None:
+        self.records: list[WireRecord] = []
+
+    # ------------------------------------------------------------------
+    # tap interface
+
+    def attach(self, system: NTierSystem) -> None:
+        """Mirror the system's network into this tracer."""
+        system.bus.add_tap(self)
+
+    def on_message(self, message: Message) -> None:
+        """Bus callback; called at wire time for every message."""
+        self.records.append(
+            WireRecord(
+                kind=message.kind,
+                request_id=message.request.request_id,
+                src=message.src,
+                dst=message.dst,
+                wire_time=message.sent_at if message.sent_at is not None else 0,
+                serial=message.serial,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # reconstruction
+
+    def tier_spans(self, tier: str) -> list[tuple[Micros, Micros]]:
+        """``(arrival, departure)`` spans for one tier from wire pairing.
+
+        A request message *into* the tier opens a span; the tier's next
+        reply for the same request ID closes the innermost open span
+        (LIFO pairing — nested sub-requests close before their parent).
+        Replicated addresses (``tomcat#2``) aggregate under their
+        logical tier, as a port-mirroring tap on the tier's switch
+        would see them.
+        """
+        from repro.ntier.system import logical_tier
+
+        open_spans: dict[str, deque[Micros]] = defaultdict(deque)
+        spans: list[tuple[Micros, Micros]] = []
+        for record in self.records:
+            if record.kind == "request" and logical_tier(record.dst) == tier:
+                open_spans[record.request_id].append(record.wire_time)
+            elif record.kind == "reply" and logical_tier(record.src) == tier:
+                stack = open_spans.get(record.request_id)
+                if not stack:
+                    raise AnalysisError(
+                        f"reply without a matching request at {tier} "
+                        f"({record.request_id})"
+                    )
+                arrival = stack.pop()
+                spans.append((arrival, record.wire_time))
+        spans.sort()
+        return spans
+
+    def queue_series(
+        self, tier: str, start: Micros, stop: Micros, step: Micros
+    ) -> Series:
+        """Per-tier queue length as SysViz would report it."""
+        return concurrency_series(self.tier_spans(tier), start, stop, step)
+
+    def transaction(self, request_id: str) -> list[WireRecord]:
+        """Every wire record of one transaction, in wire order."""
+        return [r for r in self.records if r.request_id == request_id]
+
+    def reconstruct_transaction(self, request_id: str):
+        """Rebuild one transaction's full execution path from the wire.
+
+        Returns a :class:`~repro.analysis.causal.CausalPath` — the same
+        structure the event monitors' warehouse join produces (Fig 5) —
+        assembled purely from wire pairing, so the two reconstructions
+        can be compared hop by hop.
+        """
+        from repro.analysis.causal import CausalHop, CausalPath
+        from repro.ntier.system import logical_tier
+
+        records = self.transaction(request_id)
+        if not records:
+            raise AnalysisError(f"transaction {request_id!r} not on the wire")
+        open_stack: list[dict] = []
+        hops: list[dict] = []
+        for record in records:
+            if record.kind == "request":
+                hop = {
+                    "tier": logical_tier(record.dst),
+                    "arrival": record.wire_time,
+                    "departure": None,
+                    "ds": None,
+                    "dr": None,
+                }
+                if open_stack:
+                    parent = open_stack[-1]
+                    if parent["ds"] is None:
+                        parent["ds"] = record.wire_time
+                open_stack.append(hop)
+                hops.append(hop)
+            else:
+                if not open_stack:
+                    raise AnalysisError(
+                        f"reply without open request for {request_id!r}"
+                    )
+                hop = open_stack.pop()
+                hop["departure"] = record.wire_time
+                if open_stack:
+                    open_stack[-1]["dr"] = record.wire_time
+        if open_stack:
+            raise AnalysisError(f"transaction {request_id!r} still in flight")
+        causal_hops = [
+            CausalHop(
+                tier=h["tier"],
+                upstream_arrival_us=h["arrival"],
+                upstream_departure_us=h["departure"],
+                downstream_sending_us=h["ds"],
+                downstream_receiving_us=h["dr"],
+            )
+            for h in hops
+        ]
+        return CausalPath(request_id=request_id, hops=causal_hops)
+
+    def transaction_count(self) -> int:
+        """Number of distinct client transactions observed."""
+        return len(
+            {
+                r.request_id
+                for r in self.records
+                if r.kind == "request" and r.src == "client"
+            }
+        )

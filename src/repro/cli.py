@@ -1,0 +1,285 @@
+"""The ``mscope`` command-line interface.
+
+Four subcommands mirror the framework's workflow:
+
+* ``mscope run``        — simulate an instrumented scenario, writing
+  native monitor logs plus a ``run_meta.json`` describing the run;
+* ``mscope transform``  — run mScopeDataTransformer over a log
+  directory into an mScopeDB file;
+* ``mscope diagnose``   — run the VSB diagnosis engine over a
+  warehouse and print the reports;
+* ``mscope figures``    — regenerate the paper's figures.
+
+Example session::
+
+    mscope run --scenario a --out out/
+    mscope transform --logs out/logs --db out/mscope.db
+    mscope diagnose --db out/mscope.db
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnosis import Diagnoser
+from repro.common.timebase import seconds
+from repro.experiments.scenarios import baseline_run, scenario_a, scenario_b
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+__all__ = ["main", "build_parser"]
+
+_META_FILE = "run_meta.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="mscope",
+        description="milliScope: fine-grained monitoring for n-tier services",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="simulate an instrumented scenario")
+    run.add_argument(
+        "--scenario",
+        choices=("a", "b", "baseline"),
+        default="a",
+        help="a = DB log flush, b = dirty pages, baseline = healthy run",
+    )
+    run.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="JSON scenario file (overrides --scenario)",
+    )
+    run.add_argument("--seed", type=int, default=3)
+    run.add_argument(
+        "--duration", type=float, default=None, help="simulated seconds"
+    )
+    run.add_argument(
+        "--workload", type=int, default=2000, help="users (baseline scenario)"
+    )
+    run.add_argument("--out", type=Path, required=True, help="output directory")
+
+    transform = subparsers.add_parser(
+        "transform", help="native logs -> mScopeDB"
+    )
+    transform.add_argument("--logs", type=Path, required=True)
+    transform.add_argument("--db", type=Path, required=True)
+    transform.add_argument(
+        "--workdir", type=Path, default=None, help="keep XML/CSV artifacts here"
+    )
+
+    diagnose = subparsers.add_parser(
+        "diagnose", help="find and explain very short bottlenecks"
+    )
+    diagnose.add_argument("--db", type=Path, required=True)
+    diagnose.add_argument(
+        "--epoch-us",
+        type=int,
+        default=None,
+        help="epoch offset; defaults to the warehouse's recorded value",
+    )
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's figures"
+    )
+    figures.add_argument(
+        "--which",
+        default="2,4,5,6,7,8",
+        help="comma-separated figure numbers (2,4,5,6,7,8,9,10,11)",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="write a Markdown investigation report"
+    )
+    report.add_argument("--db", type=Path, required=True)
+    report.add_argument("--out", type=Path, required=True)
+    report.add_argument("--epoch-us", type=int, default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "transform": _cmd_transform,
+        "diagnose": _cmd_diagnose,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+
+
+def _cmd_run(args) -> int:
+    out: Path = args.out
+    log_dir = out / "logs"
+    if args.config is not None:
+        run = _run_from_config(args.config, log_dir)
+    elif args.scenario == "a":
+        duration = seconds(args.duration) if args.duration else seconds(5)
+        run = scenario_a(seed=args.seed, duration=duration, log_dir=log_dir)
+    elif args.scenario == "b":
+        duration = seconds(args.duration) if args.duration else seconds(5)
+        run = scenario_b(seed=args.seed, duration=duration, log_dir=log_dir)
+    else:
+        duration = seconds(args.duration) if args.duration else seconds(6)
+        run = baseline_run(
+            args.workload,
+            seed=args.seed,
+            duration=duration,
+            log_dir=log_dir,
+            resource_monitors=True,
+        )
+    meta = {
+        "scenario": "config" if args.config is not None else args.scenario,
+        "seed": run.system.config.seed,
+        "duration_us": run.duration,
+        "epoch_us": run.epoch_us,
+        "workload_users": run.system.config.workload.users,
+        "completed_requests": len(run.result.traces),
+    }
+    out.mkdir(parents=True, exist_ok=True)
+    (out / _META_FILE).write_text(json.dumps(meta, indent=2) + "\n")
+    print(
+        f"scenario {meta['scenario']}: {meta['completed_requests']} requests, "
+        f"{run.result.throughput():.0f} req/s, "
+        f"mean RT {run.result.mean_response_time_ms():.2f} ms"
+    )
+    print(f"logs -> {log_dir}")
+    return 0
+
+
+def _run_from_config(config_path: Path, log_dir: Path):
+    from repro.experiments.configfile import load_scenario_file
+    from repro.experiments.scenarios import ScenarioRun
+    from repro.monitors.event.suite import EventMonitorSuite
+    from repro.monitors.resource.suite import ResourceMonitorSuite
+    from repro.ntier.system import NTierSystem
+
+    spec = load_scenario_file(config_path)
+    spec.system_config.log_dir = log_dir
+    system = NTierSystem(spec.system_config, faults=spec.faults)
+    events = EventMonitorSuite()
+    events.attach(system)
+    resources = ResourceMonitorSuite(system)
+    resources.start()
+    result = system.run(spec.duration)
+    return ScenarioRun(
+        system=system,
+        result=result,
+        faults=spec.faults,
+        events=events,
+        resources=resources,
+        sysviz=None,
+        log_dir=log_dir,
+        duration=spec.duration,
+    )
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import write_markdown_report
+
+    db = MScopeDB(args.db)
+    epoch = args.epoch_us
+    if epoch is None:
+        recorded = db.get_experiment_meta("epoch_us")
+        epoch = int(recorded) if recorded is not None else 0
+    path = write_markdown_report(db, args.out, epoch_us=epoch)
+    print(f"report -> {path}")
+    db.close()
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    db = MScopeDB(args.db)
+    transformer = MScopeDataTransformer(db, workdir=args.workdir)
+    outcomes = transformer.transform_directory(args.logs)
+    meta_path = args.logs.parent / _META_FILE
+    if meta_path.exists():
+        meta = json.loads(meta_path.read_text())
+        for key in ("seed", "duration_us", "epoch_us", "workload_users"):
+            if key in meta:
+                db.set_experiment_meta(key, str(meta[key]))
+    rows = sum(o.rows_loaded for o in outcomes)
+    for outcome in outcomes:
+        print(
+            f"  {outcome.source.parent.name}/{outcome.source.name}"
+            f" -> {outcome.table_name} ({outcome.rows_loaded} rows)"
+        )
+    print(f"{len(outcomes)} logs, {rows} rows -> {args.db}")
+    db.close()
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    db = MScopeDB(args.db)
+    epoch = args.epoch_us
+    if epoch is None:
+        recorded = db.get_experiment_meta("epoch_us")
+        epoch = int(recorded) if recorded is not None else 0
+    reports = Diagnoser(db, epoch_us=epoch).diagnose()
+    if not reports:
+        print("no anomaly windows found")
+        db.close()
+        return 1
+    for report in reports:
+        print(report.to_text())
+        print()
+    db.close()
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import (
+        figure_02,
+        figure_04,
+        figure_05,
+        figure_06,
+        figure_07,
+        figure_08,
+        figure_09,
+        figure_10,
+        figure_11,
+    )
+
+    wanted = {token.strip() for token in args.which.split(",") if token.strip()}
+    run_a = None
+    if wanted & {"2", "4", "5", "6", "7"}:
+        run_a = scenario_a()
+    for number in sorted(wanted, key=int):
+        if number == "2":
+            print(figure_02(run_a).to_text())
+        elif number == "4":
+            print(figure_04(run_a).to_text())
+        elif number == "5":
+            print(figure_05(run_a).to_text())
+        elif number == "6":
+            print(figure_06(run_a).to_text())
+        elif number == "7":
+            print(figure_07(run_a).to_text())
+        elif number == "8":
+            print(figure_08(scenario_b()).to_text())
+        elif number == "9":
+            print(figure_09(workload=2000, duration=seconds(6)).to_text())
+        elif number == "10":
+            print(figure_10(workloads=(1000, 2000), duration=seconds(6)).to_text())
+        elif number == "11":
+            print(figure_11(workloads=(1000, 2000), duration=seconds(6)).to_text())
+        else:
+            print(f"unknown figure {number!r}", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the milliScope reproduction.
+
+Every error raised by this package derives from :class:`MilliScopeError`
+so callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MilliScopeError",
+    "ConfigError",
+    "SimulationError",
+    "MonitorError",
+    "LogFormatError",
+    "ParseError",
+    "DeclarationError",
+    "SchemaInferenceError",
+    "DataImportError",
+    "WarehouseError",
+    "QueryError",
+    "AnalysisError",
+]
+
+
+class MilliScopeError(Exception):
+    """Base class for all errors raised by the milliScope reproduction."""
+
+
+class ConfigError(MilliScopeError):
+    """An experiment or component configuration is invalid."""
+
+
+class SimulationError(MilliScopeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class MonitorError(MilliScopeError):
+    """An mScopeMonitor failed to attach, sample, or log."""
+
+
+class LogFormatError(MilliScopeError):
+    """A native log emitter was asked to format an invalid record."""
+
+
+class ParseError(MilliScopeError):
+    """An mScopeParser could not enrich a log line or file.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    path:
+        The log file being parsed, if known.
+    line_number:
+        The 1-based line number at which parsing failed, if known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line_number: int | None = None,
+    ) -> None:
+        location = ""
+        if path is not None:
+            location = f" [{path}"
+            if line_number is not None:
+                location += f":{line_number}"
+            location += "]"
+        super().__init__(message + location)
+        self.path = path
+        self.line_number = line_number
+
+
+class DeclarationError(MilliScopeError):
+    """A parsing declaration is malformed or references an unknown parser."""
+
+
+class SchemaInferenceError(MilliScopeError):
+    """The XML-to-CSV converter could not infer a relational schema."""
+
+
+class DataImportError(MilliScopeError):
+    """The mScope Data Importer failed to create or load a table."""
+
+
+class WarehouseError(MilliScopeError):
+    """mScopeDB could not complete a storage operation."""
+
+
+class QueryError(WarehouseError):
+    """A warehouse query was malformed or referenced a missing table."""
+
+
+class AnalysisError(MilliScopeError):
+    """An analysis routine received inconsistent or insufficient data."""

@@ -1,0 +1,62 @@
+"""Request identifier generation.
+
+The paper's Apache mScopeMonitor inserts a *static, fixed-width* request
+ID into the URL of every incoming request (Appendix A); the ID then
+propagates to downstream tiers as a URL parameter and as a SQL comment.
+Fixed width matters: it lets the specialized logging code reserve a
+constant-size buffer and keeps the instrumented log lines aligned.
+
+:class:`RequestIdGenerator` reproduces this scheme: IDs are zero-padded
+decimal counters with a per-experiment prefix, e.g. ``R0A000000042``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+__all__ = ["RequestIdGenerator", "REQUEST_ID_WIDTH"]
+
+#: Total width of a generated request ID, prefix included.
+REQUEST_ID_WIDTH = 12
+
+
+class RequestIdGenerator:
+    """Generates unique, fixed-width request identifiers.
+
+    Parameters
+    ----------
+    experiment_tag:
+        Two-character alphanumeric tag distinguishing experiments whose
+        logs may later be loaded into the same warehouse.
+
+    Examples
+    --------
+    >>> gen = RequestIdGenerator("0A")
+    >>> gen.next_id()
+    'R0A000000000'
+    >>> gen.next_id()
+    'R0A000000001'
+    """
+
+    def __init__(self, experiment_tag: str = "0A") -> None:
+        if len(experiment_tag) != 2 or not experiment_tag.isalnum():
+            raise ConfigError(
+                f"experiment_tag must be 2 alphanumeric chars, got {experiment_tag!r}"
+            )
+        self._prefix = "R" + experiment_tag
+        self._issued = 0
+        self._digits = REQUEST_ID_WIDTH - len(self._prefix)
+        self._limit = 10**self._digits
+
+    def next_id(self) -> str:
+        """Return the next unique request ID (always ``REQUEST_ID_WIDTH`` chars)."""
+        if self._issued >= self._limit:
+            raise ConfigError("request counter overflowed fixed ID width")
+        rendered = f"{self._prefix}{self._issued:0{self._digits}d}"
+        self._issued += 1
+        return rendered
+
+    @property
+    def issued(self) -> int:
+        """Number of IDs handed out so far."""
+        return self._issued

@@ -1,0 +1,275 @@
+"""Calibrated experiment scenarios.
+
+Builders for the paper's experimental setups:
+
+* :func:`scenario_a` — database log flush saturates the DB disk
+  (Section V-A; Figures 2, 4, 6, 7);
+* :func:`scenario_b` — dirty-page recycling saturates web/app CPUs at
+  two different moments (Section V-B; Figure 8);
+* :func:`baseline_run` — a healthy system at a given workload, with
+  monitors on or off (Section VI; Figures 9, 10, 11).
+
+Each builder returns a :class:`ScenarioRun` carrying the system, its
+ground truth, the attached monitors, and (when a log directory was
+given) the native logs ready for mScopeDataTransformer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.baselines.sysviz import SysVizTracer
+from repro.common.timebase import Micros, ms, seconds
+from repro.monitors.event.suite import EventMonitorSuite
+from repro.monitors.resource.suite import ResourceMonitorSuite
+from repro.ntier.faults import DBLogFlushFault, DirtyPageFlushFault, Fault
+from repro.ntier.system import NTierSystem, SystemConfig, SystemResult, TierConfig
+from repro.rubbos.workload import WorkloadSpec
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+__all__ = [
+    "ScenarioRun",
+    "scenario_tier_configs",
+    "scenario_a",
+    "scenario_b",
+    "baseline_run",
+    "load_warehouse",
+]
+
+MB = 1024 * 1024
+
+
+@dataclasses.dataclass(slots=True)
+class ScenarioRun:
+    """One executed scenario and everything observed during it."""
+
+    system: NTierSystem
+    result: SystemResult
+    faults: list[Fault]
+    events: EventMonitorSuite | None
+    resources: ResourceMonitorSuite | None
+    sysviz: SysVizTracer | None
+    log_dir: Path | None
+    duration: Micros
+
+    @property
+    def epoch_us(self) -> int:
+        """Epoch offset for rebasing warehouse timestamps."""
+        return self.system.wall_clock.epoch_micros(0)
+
+
+def scenario_tier_configs() -> dict[str, TierConfig]:
+    """Deliberately small worker pools, as in the paper's testbed.
+
+    Transient bottlenecks amplify into cross-tier pushback only when
+    thread pools can fill during the bottleneck's lifetime.
+    """
+    return {
+        "apache": TierConfig(workers=60),
+        "tomcat": TierConfig(workers=24),
+        "cjdbc": TierConfig(workers=24),
+        "mysql": TierConfig(workers=16),
+    }
+
+
+def _build(
+    users: int,
+    think_ms: float,
+    seed: int,
+    log_dir: Path | None,
+    tiers: dict[str, TierConfig] | None,
+    faults: list[Fault],
+    monitor_interval: Micros,
+    with_event_monitors: bool,
+    with_resource_monitors: bool,
+    with_sysviz: bool,
+) -> tuple[NTierSystem, EventMonitorSuite | None, ResourceMonitorSuite | None, SysVizTracer | None]:
+    workload = WorkloadSpec(
+        users=users, think_time_us=ms(think_ms), ramp_up_us=ms(300)
+    )
+    config = SystemConfig(workload=workload, seed=seed, log_dir=log_dir)
+    if tiers is not None:
+        config.tiers = tiers
+    system = NTierSystem(config, faults=faults)
+    events = None
+    if with_event_monitors:
+        events = EventMonitorSuite()
+        events.attach(system)
+    resources = None
+    if with_resource_monitors:
+        resources = ResourceMonitorSuite(system, interval_us=monitor_interval)
+        resources.start()
+    sysviz = None
+    if with_sysviz:
+        sysviz = SysVizTracer()
+        sysviz.attach(system)
+    return system, events, resources, sysviz
+
+
+def scenario_a(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    flush_at: Micros = seconds(2),
+    flush_bytes: int = 30 * MB,
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+) -> ScenarioRun:
+    """Database-I/O very short bottleneck (Figures 2, 4, 6, 7)."""
+    fault = DBLogFlushFault(
+        start_at=flush_at,
+        period=seconds(10),
+        flush_bytes=flush_bytes,
+        bursts=1,
+    )
+    system, events, resources, sysviz = _build(
+        users,
+        think_ms,
+        seed,
+        log_dir,
+        scenario_tier_configs(),
+        [fault],
+        monitor_interval,
+        with_event_monitors=True,
+        with_resource_monitors=True,
+        with_sysviz=with_sysviz,
+    )
+    result = system.run(duration)
+    return ScenarioRun(
+        system=system,
+        result=result,
+        faults=[fault],
+        events=events,
+        resources=resources,
+        sysviz=sysviz,
+        log_dir=log_dir,
+        duration=duration,
+    )
+
+
+def scenario_b(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+) -> ScenarioRun:
+    """Dirty-page recycling bottleneck, two staggered peaks (Figure 8).
+
+    The Apache node's dirty level starts near its threshold, so its
+    flusher fires first (first RT peak: Apache queue only); the Tomcat
+    node crosses its higher threshold about a second later (second
+    peak: Apache *and* Tomcat queues — cross-tier amplification).
+    """
+    apache_fault = DirtyPageFlushFault(
+        tier="apache",
+        threshold_bytes=40 * MB,
+        low_watermark_bytes=12 * MB,
+        dirty_rate_bytes_per_sec=8 * MB,
+        initial_dirty_bytes=30 * MB,
+    )
+    tomcat_fault = DirtyPageFlushFault(
+        tier="tomcat",
+        threshold_bytes=44 * MB,
+        low_watermark_bytes=12 * MB,
+        dirty_rate_bytes_per_sec=8 * MB,
+        initial_dirty_bytes=20 * MB,
+    )
+    system, events, resources, sysviz = _build(
+        users,
+        think_ms,
+        seed,
+        log_dir,
+        scenario_tier_configs(),
+        [apache_fault, tomcat_fault],
+        monitor_interval,
+        with_event_monitors=True,
+        with_resource_monitors=True,
+        with_sysviz=with_sysviz,
+    )
+    result = system.run(duration)
+    return ScenarioRun(
+        system=system,
+        result=result,
+        faults=[apache_fault, tomcat_fault],
+        events=events,
+        resources=resources,
+        sysviz=sysviz,
+        log_dir=log_dir,
+        duration=duration,
+    )
+
+
+def baseline_run(
+    workload_users: int,
+    seed: int = 7,
+    think_ms: float = 7_000.0,
+    duration: Micros = seconds(8),
+    monitors_enabled: bool = True,
+    resource_monitors: bool = False,
+    log_dir: Path | None = None,
+    with_sysviz: bool = False,
+    monitor_interval: Micros = ms(50),
+) -> ScenarioRun:
+    """A healthy full-size run for accuracy/overhead evaluation.
+
+    ``workload_users`` follows the paper's convention: the workload
+    *is* the number of concurrent users (RUBBoS think time 7 s).
+    """
+    system, events, resources, sysviz = _build(
+        workload_users,
+        think_ms,
+        seed,
+        log_dir,
+        None,  # default (production-size) tier configs
+        [],
+        monitor_interval,
+        with_event_monitors=monitors_enabled,
+        with_resource_monitors=resource_monitors,
+        with_sysviz=with_sysviz,
+    )
+    result = system.run(duration)
+    return ScenarioRun(
+        system=system,
+        result=result,
+        faults=[],
+        events=events,
+        resources=resources,
+        sysviz=sysviz,
+        log_dir=log_dir,
+        duration=duration,
+    )
+
+
+def load_warehouse(
+    run: ScenarioRun,
+    db: MScopeDB | None = None,
+    workdir: Path | None = None,
+) -> MScopeDB:
+    """Run mScopeDataTransformer over a scenario's native logs.
+
+    Also records the experiment and host metadata in the static
+    tables.  Requires the scenario to have been run with ``log_dir``.
+    """
+    if run.log_dir is None:
+        raise ValueError("scenario was run without a log directory")
+    if db is None:
+        db = MScopeDB()
+    transformer = MScopeDataTransformer(db, workdir=workdir)
+    transformer.transform_directory(run.log_dir)
+    db.set_experiment_meta("seed", str(run.system.config.seed))
+    db.set_experiment_meta("workload_users", str(run.system.config.workload.users))
+    db.set_experiment_meta("duration_us", str(run.duration))
+    db.set_experiment_meta("epoch_us", str(run.epoch_us))
+    for tier, server in run.system.servers.items():
+        node = server.node
+        db.register_host(
+            node.name, tier, node.spec.cores, node.spec.disk_bandwidth_bytes_per_sec
+        )
+    return db

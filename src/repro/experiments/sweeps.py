@@ -1,0 +1,102 @@
+"""Workload sweeps: the classic n-tier saturation curve.
+
+Sweeping the number of concurrent users maps the system's operating
+regions — linear throughput growth, the knee, then saturation where
+queueing dominates response time.  VSB research lives just *below*
+the knee: the paper's transient bottlenecks hurt precisely because the
+system is not obviously saturated on any average metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ConfigError
+from repro.common.timebase import Micros, ms, seconds
+from repro.experiments.scenarios import baseline_run
+
+__all__ = ["SweepPoint", "SaturationSweep", "saturation_sweep"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One workload's steady-state performance."""
+
+    workload: int
+    throughput: float
+    mean_response_ms: float
+    p99_response_ms: float
+    bottleneck_utilization: float
+
+
+@dataclasses.dataclass(slots=True)
+class SaturationSweep:
+    """A full workload sweep with knee detection."""
+
+    points: list[SweepPoint]
+
+    def knee_workload(self) -> int:
+        """The first workload where throughput stops scaling linearly.
+
+        Detected as the point where per-user throughput efficiency
+        drops below 80% of the first point's.
+        """
+        if len(self.points) < 2:
+            raise ConfigError("knee detection needs at least two points")
+        base = self.points[0].throughput / self.points[0].workload
+        for point in self.points[1:]:
+            efficiency = point.throughput / point.workload
+            if efficiency < 0.8 * base:
+                return point.workload
+        return self.points[-1].workload
+
+    def to_text(self) -> str:
+        lines = [
+            "Saturation sweep (RUBBoS, monitors enabled)",
+            f"  {'workload':>8s} {'thpt':>8s} {'meanRT':>8s} {'p99RT':>8s} "
+            f"{'maxutil':>8s}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"  {point.workload:8d} {point.throughput:8.1f} "
+                f"{point.mean_response_ms:8.2f} {point.p99_response_ms:8.2f} "
+                f"{point.bottleneck_utilization:8.2f}"
+            )
+        lines.append(f"  knee at workload ~{self.knee_workload()}")
+        return "\n".join(lines)
+
+
+def saturation_sweep(
+    workloads: tuple[int, ...] = (1000, 2000, 4000, 8000, 12000),
+    duration: Micros = seconds(6),
+    seed: int = 7,
+    think_ms: float = 7_000.0,
+) -> SaturationSweep:
+    """Run the sweep; each point is an independent run at one workload."""
+    if not workloads:
+        raise ConfigError("sweep needs at least one workload")
+    points: list[SweepPoint] = []
+    measure_from = ms(1_000)
+    for workload in workloads:
+        run = baseline_run(
+            workload, seed=seed, think_ms=think_ms, duration=duration
+        )
+        window = run.result.collector.completed_between(measure_from, duration)
+        response_times = sorted(t.response_time_ms() for t in window)
+        p99 = response_times[int(len(response_times) * 0.99)] if response_times else 0.0
+        utilization = max(
+            node.cpu.utilization(measure_from, duration)
+            for node in run.system.nodes.values()
+        )
+        points.append(
+            SweepPoint(
+                workload=workload,
+                throughput=run.result.throughput(measure_from, duration),
+                mean_response_ms=run.result.mean_response_time_ms(
+                    measure_from, duration
+                ),
+                p99_response_ms=p99,
+                bottleneck_utilization=utilization,
+            )
+        )
+    return SaturationSweep(points=points)

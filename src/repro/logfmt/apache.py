@@ -1,0 +1,85 @@
+"""Apache HTTPD access-log formats.
+
+Two formats are emitted:
+
+* :func:`format_plain_access` — the stock combined-ish access log of an
+  unmodified Apache (second-granularity CLF timestamp, no request ID).
+* :func:`format_mscope_access` — the Apache mScopeMonitor format from
+  the paper's Appendix A: the request ID is injected into the URL
+  (``?ID=...``) and the four boundary timestamps (epoch microseconds)
+  are appended by the modified ``mod_log_config``; the two connector
+  timestamps come from the ``request_rec`` extension recorded around
+  the ModJK call.
+"""
+
+from __future__ import annotations
+
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock
+
+__all__ = [
+    "format_plain_access",
+    "format_mscope_access",
+    "MSCOPE_ACCESS_FIELDS",
+]
+
+#: Positional meaning of the four appended microsecond fields.
+MSCOPE_ACCESS_FIELDS = (
+    "upstream_arrival_us",
+    "downstream_sending_us",
+    "downstream_receiving_us",
+    "upstream_departure_us",
+)
+
+_CLIENT = "10.10.1.100"
+
+
+def _status_and_bytes(response_bytes: int) -> str:
+    return f"200 {response_bytes}"
+
+
+def format_plain_access(
+    wall: WallClock,
+    url: str,
+    boundary: BoundaryRecord,
+    response_bytes: int,
+) -> str:
+    """Stock access-log line of an unmodified Apache."""
+    stamp = wall.apache_clf(boundary.upstream_arrival)
+    return (
+        f'{_CLIENT} - - [{stamp}] "GET {url} HTTP/1.1" '
+        f"{_status_and_bytes(response_bytes)}"
+    )
+
+
+def format_mscope_access(
+    wall: WallClock,
+    url_with_id: str,
+    boundary: BoundaryRecord,
+    response_bytes: int,
+) -> str:
+    """Apache mScopeMonitor access-log line (ID in URL + 4 timestamps)."""
+    stamp = wall.apache_clf(boundary.upstream_arrival)
+    fields = [
+        wall.epoch_micros(boundary.upstream_arrival),
+        _maybe(wall, boundary.downstream_sending),
+        _maybe(wall, boundary.downstream_receiving),
+        wall.epoch_micros(_required_departure(boundary)),
+    ]
+    rendered = " ".join(str(f) for f in fields)
+    return (
+        f'{_CLIENT} - - [{stamp}] "GET {url_with_id} HTTP/1.1" '
+        f"{_status_and_bytes(response_bytes)} {rendered}"
+    )
+
+
+def _maybe(wall: WallClock, value):
+    return wall.epoch_micros(value) if value is not None else "-"
+
+
+def _required_departure(boundary: BoundaryRecord):
+    if boundary.upstream_departure is None:
+        raise ValueError(
+            f"request {boundary.request_id} logged before departure"
+        )
+    return boundary.upstream_departure

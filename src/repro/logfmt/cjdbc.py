@@ -1,0 +1,53 @@
+"""C-JDBC middleware log formats (log4j-style).
+
+C-JDBC (the clustered JDBC middleware RUBBoS deploys between Tomcat and
+MySQL) logs through log4j; the C-JDBC mScopeMonitor adds the propagated
+request ID and the microsecond boundary pair to each routed statement's
+log record.
+"""
+
+from __future__ import annotations
+
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock
+
+__all__ = ["format_plain_cjdbc", "format_mscope_cjdbc"]
+
+
+def format_plain_cjdbc(
+    wall: WallClock,
+    boundary: BoundaryRecord,
+    statement: str,
+) -> str:
+    """Unmodified C-JDBC log4j line for a routed statement."""
+    date = wall.date(boundary.upstream_arrival)
+    stamp = wall.hms(boundary.upstream_arrival)
+    head = statement.split(" ", 1)[0]
+    return (
+        f"{date} {stamp} INFO controller.RequestManager "
+        f"routed {head} to backend mysql1"
+    )
+
+
+def format_mscope_cjdbc(
+    wall: WallClock,
+    boundary: BoundaryRecord,
+    statement: str,
+) -> str:
+    """C-JDBC mScopeMonitor line with request ID and boundary pair."""
+    if boundary.upstream_departure is None:
+        raise ValueError(f"request {boundary.request_id} logged before departure")
+    date = wall.date(boundary.upstream_arrival)
+    stamp = wall.hms_ms(boundary.upstream_arrival).replace(".", ",")
+    return (
+        f"{date} {stamp} INFO controller.RequestManager "
+        f"req={boundary.request_id} "
+        f"ua={wall.epoch_micros(boundary.upstream_arrival)} "
+        f"ds={_maybe(wall, boundary.downstream_sending)} "
+        f"dr={_maybe(wall, boundary.downstream_receiving)} "
+        f"ud={wall.epoch_micros(boundary.upstream_departure)}"
+    )
+
+
+def _maybe(wall: WallClock, value):
+    return wall.epoch_micros(value) if value is not None else "-"

@@ -1,0 +1,113 @@
+"""Collectl output formats (plain text and CSV).
+
+Collectl is the paper's workhorse resource monitor: both illustrative
+scenarios read its CPU, disk, and memory subsystems.  The CSV format
+(``collectl -P``) writes a ``#``-prefixed header whose bracketed column
+names identify subsystems — ``[CPU]User%``, ``[DSK]WriteKBTot``,
+``[MEM]Dirty`` — followed by comma-separated data rows.
+"""
+
+from __future__ import annotations
+
+from repro.common.timebase import Micros, WallClock
+
+__all__ = [
+    "CollectlSample",
+    "COLLECTL_CSV_COLUMNS",
+    "collectl_csv_header",
+    "format_collectl_csv_row",
+    "format_collectl_text_row",
+    "collectl_text_header",
+]
+
+
+class CollectlSample:
+    """One multi-subsystem Collectl sample."""
+
+    __slots__ = (
+        "timestamp",
+        "cpu_user",
+        "cpu_sys",
+        "cpu_wait",
+        "disk_read_kb",
+        "disk_write_kb",
+        "disk_util",
+        "mem_dirty_kb",
+    )
+
+    def __init__(
+        self,
+        timestamp: Micros,
+        cpu_user: float,
+        cpu_sys: float,
+        cpu_wait: float,
+        disk_read_kb: float,
+        disk_write_kb: float,
+        disk_util: float,
+        mem_dirty_kb: float,
+    ) -> None:
+        self.timestamp = timestamp
+        self.cpu_user = cpu_user
+        self.cpu_sys = cpu_sys
+        self.cpu_wait = cpu_wait
+        self.disk_read_kb = disk_read_kb
+        self.disk_write_kb = disk_write_kb
+        self.disk_util = disk_util
+        self.mem_dirty_kb = mem_dirty_kb
+
+    @property
+    def cpu_idle(self) -> float:
+        return max(0.0, 100.0 - self.cpu_user - self.cpu_sys - self.cpu_wait)
+
+
+#: Column order of the CSV format (after Date and Time).
+COLLECTL_CSV_COLUMNS = (
+    "[CPU]User%",
+    "[CPU]Sys%",
+    "[CPU]Wait%",
+    "[CPU]Idle%",
+    "[DSK]ReadKBTot",
+    "[DSK]WriteKBTot",
+    "[DSK]PctUtil",
+    "[MEM]Dirty",
+)
+
+
+def collectl_csv_header() -> str:
+    """The ``#``-prefixed CSV header row."""
+    return "#Date,Time," + ",".join(COLLECTL_CSV_COLUMNS)
+
+
+def format_collectl_csv_row(wall: WallClock, sample: CollectlSample) -> str:
+    """One CSV data row."""
+    date = wall.at(sample.timestamp).strftime("%Y%m%d")
+    time = wall.hms_ms(sample.timestamp)
+    values = (
+        f"{sample.cpu_user:.1f}",
+        f"{sample.cpu_sys:.1f}",
+        f"{sample.cpu_wait:.1f}",
+        f"{sample.cpu_idle:.1f}",
+        f"{sample.disk_read_kb:.1f}",
+        f"{sample.disk_write_kb:.1f}",
+        f"{sample.disk_util:.1f}",
+        f"{sample.mem_dirty_kb:.0f}",
+    )
+    return f"{date},{time}," + ",".join(values)
+
+
+def collectl_text_header() -> str:
+    """Header of the interactive ``collectl -scdm`` text display."""
+    return (
+        "#Time         CPU%  SysT%  Wait%  KBRead KBWrite DskUtil DirtyKB"
+    )
+
+
+def format_collectl_text_row(wall: WallClock, sample: CollectlSample) -> str:
+    """One plain-text row."""
+    time = wall.hms_ms(sample.timestamp)
+    return (
+        f"{time} {sample.cpu_user:6.1f} {sample.cpu_sys:6.1f}"
+        f" {sample.cpu_wait:6.1f} {sample.disk_read_kb:7.1f}"
+        f" {sample.disk_write_kb:7.1f} {sample.disk_util:7.1f}"
+        f" {sample.mem_dirty_kb:7.0f}"
+    )

@@ -1,0 +1,68 @@
+"""IOstat extended-device-report format (``iostat -dxt`` style).
+
+Each sample is a block: a timestamp line, the ``Device:`` header, one
+row per device, then a blank line.  Block structure — not line
+structure — is what the IOstat mScopeParser must recover.
+"""
+
+from __future__ import annotations
+
+from repro.common.timebase import Micros, WallClock
+
+__all__ = ["IostatDeviceRow", "format_iostat_block"]
+
+
+class IostatDeviceRow:
+    """One device's extended statistics for one interval."""
+
+    __slots__ = (
+        "device",
+        "reads_per_sec",
+        "writes_per_sec",
+        "read_kb_per_sec",
+        "write_kb_per_sec",
+        "avg_queue",
+        "util_pct",
+    )
+
+    def __init__(
+        self,
+        device: str,
+        reads_per_sec: float,
+        writes_per_sec: float,
+        read_kb_per_sec: float,
+        write_kb_per_sec: float,
+        avg_queue: float,
+        util_pct: float,
+    ) -> None:
+        self.device = device
+        self.reads_per_sec = reads_per_sec
+        self.writes_per_sec = writes_per_sec
+        self.read_kb_per_sec = read_kb_per_sec
+        self.write_kb_per_sec = write_kb_per_sec
+        self.avg_queue = avg_queue
+        self.util_pct = util_pct
+
+
+_HEADER = (
+    "Device:         r/s     w/s    rkB/s    wkB/s avgqu-sz  %util"
+)
+
+
+def format_iostat_block(
+    wall: WallClock,
+    timestamp: Micros,
+    rows: list[IostatDeviceRow],
+) -> list[str]:
+    """Render one sample block (timestamp, header, device rows, blank)."""
+    date = wall.at(timestamp).strftime("%m/%d/%Y")
+    time = wall.hms_ms(timestamp)
+    lines = [f"{date} {time}", _HEADER]
+    for row in rows:
+        lines.append(
+            f"{row.device:<12} {row.reads_per_sec:7.2f} {row.writes_per_sec:7.2f}"
+            f" {row.read_kb_per_sec:8.2f} {row.write_kb_per_sec:8.2f}"
+            f" {row.avg_queue:8.2f} {row.util_pct:6.2f}"
+        )
+    lines.append("")
+    return lines

@@ -1,0 +1,57 @@
+"""MySQL query-log formats.
+
+The MySQL mScopeMonitor reproduces the paper's Appendix A convention:
+the propagated request ID arrives *inside a SQL comment*
+(``/*ID=R0A000000042*/``) appended to each statement by the upstream
+instrumentation, and the monitor logs each statement with its boundary
+timestamps in a tab-separated, general-query-log-like format.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock
+
+__all__ = [
+    "format_plain_binlog",
+    "format_mscope_query",
+    "statement_with_id",
+]
+
+
+def statement_with_id(statement: str, request_id: str) -> str:
+    """Append the milliScope ID comment to a SQL statement."""
+    return f"{statement} /*ID={request_id}*/"
+
+
+def format_plain_binlog(
+    wall: WallClock,
+    boundary: BoundaryRecord,
+    statement: str,
+) -> str:
+    """Unmodified MySQL's general-query-log line (no ID, no boundaries).
+
+    The paper's overhead comparison is against servers with their
+    stock logging on; the general log records the bare statement with
+    a second-granularity stamp and a connection id.
+    """
+    stamp = wall.at(boundary.upstream_arrival).strftime("%y%m%d %H:%M:%S")
+    conn = zlib.crc32(boundary.request_id.encode()) % 97 + 2
+    return f"{stamp}\t{conn:5d} Query\t{statement}"
+
+
+def format_mscope_query(
+    wall: WallClock,
+    boundary: BoundaryRecord,
+    statement: str,
+) -> str:
+    """MySQL mScopeMonitor line: tab-separated with the ID comment intact."""
+    if boundary.upstream_departure is None:
+        raise ValueError(f"request {boundary.request_id} logged before departure")
+    stamp = wall.at(boundary.upstream_arrival).strftime("%y%m%d %H:%M:%S")
+    arrival = wall.epoch_micros(boundary.upstream_arrival)
+    departure = wall.epoch_micros(boundary.upstream_departure)
+    instrumented = statement_with_id(statement, boundary.request_id)
+    return f"{stamp}\tQuery\t{arrival}\t{departure}\t{instrumented}"

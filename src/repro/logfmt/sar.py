@@ -1,0 +1,120 @@
+"""SAR (sysstat) output formats.
+
+Two formats, matching the paper's two SAR paths through
+mScopeDataTransformer (Figure 3):
+
+* **Text** — the classic ``sar -u`` report: a banner line, a header
+  row repeated periodically, data rows, and a trailing ``Average:``
+  row.  This ambiguous shape is what the customized SAR mScopeParser
+  has to untangle.
+* **XML** — the ``sadf -x`` style output the authors switched to after
+  upgrading SAR, which feeds the XML-to-CSV converter directly and
+  "obviates the custom approach".
+"""
+
+from __future__ import annotations
+
+from repro.common.timebase import Micros, WallClock
+
+__all__ = [
+    "SarCpuRow",
+    "sar_text_banner",
+    "sar_text_header",
+    "format_sar_text_row",
+    "format_sar_text_average",
+    "sar_xml_open",
+    "sar_xml_close",
+    "format_sar_xml_row",
+]
+
+
+class SarCpuRow:
+    """One CPU utilization sample in SAR's column order."""
+
+    __slots__ = ("timestamp", "user", "system", "iowait", "steal", "idle")
+
+    def __init__(
+        self,
+        timestamp: Micros,
+        user: float,
+        system: float,
+        iowait: float,
+        steal: float = 0.0,
+    ) -> None:
+        self.timestamp = timestamp
+        self.user = user
+        self.system = system
+        self.iowait = iowait
+        self.steal = steal
+        self.idle = max(0.0, 100.0 - user - system - iowait - steal)
+
+
+def sar_text_banner(wall: WallClock, hostname: str, cores: int) -> str:
+    """The ``uname``-style banner SAR prints at the top of a report."""
+    date = wall.at(0).strftime("%m/%d/%Y")
+    return f"Linux 2.6.32-mscope ({hostname}) \t{date} \t_x86_64_\t({cores} CPU)"
+
+
+def sar_text_header(wall: WallClock, timestamp: Micros) -> str:
+    """The column-header row (repeated periodically inside a report)."""
+    stamp = wall.hms_ms(timestamp)
+    return (
+        f"{stamp}     CPU     %user     %nice   %system   %iowait"
+        "    %steal     %idle"
+    )
+
+
+def format_sar_text_row(wall: WallClock, row: SarCpuRow) -> str:
+    """One ``all``-CPU data row."""
+    stamp = wall.hms_ms(row.timestamp)
+    return (
+        f"{stamp}     all {row.user:9.2f} {0.0:9.2f} {row.system:9.2f}"
+        f" {row.iowait:9.2f} {row.steal:9.2f} {row.idle:9.2f}"
+    )
+
+
+def format_sar_text_average(rows: list[SarCpuRow]) -> str:
+    """The trailing ``Average:`` row of a SAR text report."""
+    if not rows:
+        return (
+            "Average:        all      0.00      0.00      0.00      0.00"
+            "      0.00    100.00"
+        )
+    n = len(rows)
+    user = sum(r.user for r in rows) / n
+    system = sum(r.system for r in rows) / n
+    iowait = sum(r.iowait for r in rows) / n
+    steal = sum(r.steal for r in rows) / n
+    idle = sum(r.idle for r in rows) / n
+    return (
+        f"Average:        all {user:9.2f} {0.0:9.2f} {system:9.2f}"
+        f" {iowait:9.2f} {steal:9.2f} {idle:9.2f}"
+    )
+
+
+def sar_xml_open(wall: WallClock, hostname: str, cores: int) -> str:
+    """Opening lines of a ``sadf -x`` style XML document."""
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        "<sysstat>\n"
+        f'<host nodename="{hostname}" cpus="{cores}">\n'
+        "<statistics>"
+    )
+
+
+def sar_xml_close() -> str:
+    """Closing lines of the XML document."""
+    return "</statistics>\n</host>\n</sysstat>"
+
+
+def format_sar_xml_row(wall: WallClock, row: SarCpuRow) -> str:
+    """One ``<timestamp>`` element with its ``cpu-load`` payload."""
+    date = wall.date(row.timestamp)
+    time = wall.hms_ms(row.timestamp)
+    return (
+        f'<timestamp date="{date}" time="{time}">'
+        f'<cpu-load><cpu number="all" user="{row.user:.2f}" '
+        f'system="{row.system:.2f}" iowait="{row.iowait:.2f}" '
+        f'steal="{row.steal:.2f}" idle="{row.idle:.2f}"/></cpu-load>'
+        "</timestamp>"
+    )

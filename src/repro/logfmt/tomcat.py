@@ -1,0 +1,59 @@
+"""Tomcat application-log formats.
+
+The Tomcat mScopeMonitor logs one bracketed key=value line per served
+request.  Unlike Apache's positional fields, Tomcat's instrumented
+format is self-describing — the extra logging thread the paper
+describes (Section VI-B) writes variable-width records covering the
+dynamic downstream communication, so key=value is the natural shape.
+"""
+
+from __future__ import annotations
+
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock
+
+__all__ = ["format_plain_tomcat", "format_mscope_tomcat"]
+
+
+def format_plain_tomcat(
+    wall: WallClock,
+    interaction: str,
+    boundary: BoundaryRecord,
+) -> str:
+    """Unmodified Tomcat localhost-access style line (second granularity)."""
+    stamp = wall.hms(boundary.upstream_arrival)
+    duration_ms = 0
+    if boundary.upstream_departure is not None:
+        duration_ms = (
+            boundary.upstream_departure - boundary.upstream_arrival
+        ) // 1000
+    return (
+        f'{stamp} INFO [http-worker] "GET /rubbos/{interaction} HTTP/1.1" '
+        f"200 {duration_ms}ms"
+    )
+
+
+def format_mscope_tomcat(
+    wall: WallClock,
+    interaction: str,
+    boundary: BoundaryRecord,
+) -> str:
+    """Tomcat mScopeMonitor line: bracketed timestamp + key=value fields."""
+    if boundary.upstream_departure is None:
+        raise ValueError(f"request {boundary.request_id} logged before departure")
+    stamp = wall.hms_ms(boundary.upstream_arrival)
+    parts = [
+        f"[{stamp}]",
+        f"servlet={interaction}",
+        f"ID={boundary.request_id}",
+        f"UA={wall.epoch_micros(boundary.upstream_arrival)}",
+        f"DS={_maybe(wall, boundary.downstream_sending)}",
+        f"DR={_maybe(wall, boundary.downstream_receiving)}",
+        f"UD={wall.epoch_micros(boundary.upstream_departure)}",
+        f"queries={len(boundary.downstream_calls)}",
+    ]
+    return " ".join(parts)
+
+
+def _maybe(wall: WallClock, value):
+    return wall.epoch_micros(value) if value is not None else "-"

@@ -1,0 +1,35 @@
+"""The Apache event mScopeMonitor.
+
+Reproduces the paper's Appendix A: a unique fixed-width request ID is
+inserted into the URL (``?ID=...``), and the modified
+``mod_log_config`` appends the four boundary timestamps — the upstream
+pair Apache records natively, plus the ModJK connector pair captured by
+the ``request_rec`` extension.
+"""
+
+from __future__ import annotations
+
+from repro.logfmt.apache import format_mscope_access
+from repro.monitors.event.base import EventMonitor
+
+__all__ = ["ApacheMScopeMonitor"]
+
+
+class ApacheMScopeMonitor(EventMonitor):
+    """Event monitor for the web tier (~1% CPU overhead in the paper)."""
+
+    tier = "apache"
+    monitor_name = "apache_mscope"
+
+    def __init__(
+        self, per_event_cpu_us: int = 8, per_event_wait_us: int = 80
+    ) -> None:
+        super().__init__(per_event_cpu_us, per_event_wait_us)
+
+    def format_line(self, server, request, boundary, payload):
+        return format_mscope_access(
+            server.wall_clock,
+            request.url,
+            boundary,
+            request.interaction.response_bytes,
+        )

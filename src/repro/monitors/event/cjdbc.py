@@ -1,0 +1,23 @@
+"""The C-JDBC event mScopeMonitor (one log4j line per routed statement)."""
+
+from __future__ import annotations
+
+from repro.logfmt.cjdbc import format_mscope_cjdbc
+from repro.monitors.event.base import EventMonitor
+
+__all__ = ["CjdbcMScopeMonitor"]
+
+
+class CjdbcMScopeMonitor(EventMonitor):
+    """Event monitor for the middleware tier (~1% CPU in the paper)."""
+
+    tier = "cjdbc"
+    monitor_name = "cjdbc_mscope"
+
+    def __init__(
+        self, per_event_cpu_us: int = 5, per_event_wait_us: int = 50
+    ) -> None:
+        super().__init__(per_event_cpu_us, per_event_wait_us)
+
+    def format_line(self, server, request, boundary, payload):
+        return format_mscope_cjdbc(server.wall_clock, boundary, payload.statement)

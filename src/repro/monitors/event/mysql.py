@@ -1,0 +1,28 @@
+"""The MySQL event mScopeMonitor.
+
+Logs every statement (with the propagated ``/*ID=...*/`` comment and
+its boundary pair) in a general-query-log-like format — the last link
+of the causal chain the paper's Figure 5 reconstructs.
+"""
+
+from __future__ import annotations
+
+from repro.logfmt.mysql import format_mscope_query
+from repro.monitors.event.base import EventMonitor
+
+__all__ = ["MySqlMScopeMonitor"]
+
+
+class MySqlMScopeMonitor(EventMonitor):
+    """Event monitor for the database tier."""
+
+    tier = "mysql"
+    monitor_name = "mysql_mscope"
+
+    def __init__(
+        self, per_event_cpu_us: int = 10, per_event_wait_us: int = 60
+    ) -> None:
+        super().__init__(per_event_cpu_us, per_event_wait_us)
+
+    def format_line(self, server, request, boundary, payload):
+        return format_mscope_query(server.wall_clock, boundary, payload.statement)

@@ -1,0 +1,62 @@
+"""Convenience wiring of event monitors across every tier server."""
+
+from __future__ import annotations
+
+from repro.common.errors import MonitorError
+from repro.monitors.event.apache import ApacheMScopeMonitor
+from repro.monitors.event.base import EventMonitor
+from repro.monitors.event.cjdbc import CjdbcMScopeMonitor
+from repro.monitors.event.mysql import MySqlMScopeMonitor
+from repro.monitors.event.tomcat import TomcatMScopeMonitor
+from repro.ntier.system import NTierSystem
+
+__all__ = ["EventMonitorSuite"]
+
+_MONITOR_CLASSES = {
+    "apache": ApacheMScopeMonitor,
+    "tomcat": TomcatMScopeMonitor,
+    "cjdbc": CjdbcMScopeMonitor,
+    "mysql": MySqlMScopeMonitor,
+}
+
+
+class EventMonitorSuite:
+    """One event mScopeMonitor per tier server (replicas included)."""
+
+    def __init__(self) -> None:
+        self.monitors: dict[str, EventMonitor] = {}
+        self._attached = False
+
+    def attach(self, system: NTierSystem) -> None:
+        """Instrument every server of ``system``."""
+        if self._attached:
+            raise MonitorError("event monitor suite already attached")
+        for address, server in system.servers.items():
+            monitor_cls = _MONITOR_CLASSES.get(server.tier)
+            if monitor_cls is None:
+                raise MonitorError(f"no event monitor for tier {server.tier!r}")
+            monitor = monitor_cls()
+            monitor.attach(server)
+            self.monitors[address] = monitor
+        self._attached = True
+
+    def detach(self) -> None:
+        """Remove the instrumentation from every server."""
+        if not self._attached:
+            raise MonitorError("event monitor suite is not attached")
+        for monitor in self.monitors.values():
+            monitor.detach()
+        self.monitors.clear()
+        self._attached = False
+
+    @property
+    def attached(self) -> bool:
+        """Whether the suite is currently instrumenting a system."""
+        return self._attached
+
+    def monitor_for(self, address: str) -> EventMonitor:
+        """The monitor instrumenting one server address."""
+        try:
+            return self.monitors[address]
+        except KeyError:
+            raise MonitorError(f"no monitor attached at {address!r}") from None

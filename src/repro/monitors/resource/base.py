@@ -1,0 +1,172 @@
+"""Base class for resource mScopeMonitors.
+
+A resource monitor samples one node's hardware counters on a fixed
+interval — tens of milliseconds, the granularity the paper argues VSB
+diagnosis requires — and renders each sample in its tool's native log
+format through the node's logging facility (so monitoring overhead is
+part of the model, not outside it).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MonitorError
+from repro.common.records import ResourceSample
+from repro.common.timebase import Micros, US_PER_SEC, WallClock, ms
+from repro.ntier.node import Node
+
+__all__ = ["ResourceMonitor", "cpu_window_metrics", "disk_window_metrics"]
+
+
+def cpu_window_metrics(node: Node, start: Micros, stop: Micros) -> dict[str, float]:
+    """CPU percentages over a window, as SAR would report them.
+
+    Quantum charges land at quantum *end* instants, so a window edge
+    can catch slightly more than a window's worth of charge; the
+    percentages are clamped the way /proc-based tools clamp theirs.
+    """
+    user = min(100.0, node.cpu.category_pct("user", start, stop))
+    system = min(100.0 - user, node.cpu.category_pct("system", start, stop))
+    steal = min(
+        100.0 - user - system, node.cpu.category_pct("steal", start, stop)
+    )
+    iowait = min(
+        100.0 - user - system - steal,
+        node.cpu.category_pct("iowait", start, stop),
+    )
+    return {
+        "cpu_user_pct": user,
+        "cpu_system_pct": system,
+        "cpu_iowait_pct": iowait,
+        "cpu_steal_pct": steal,
+        "cpu_idle_pct": max(0.0, 100.0 - user - system - iowait - steal),
+    }
+
+
+def disk_window_metrics(node: Node, start: Micros, stop: Micros) -> dict[str, float]:
+    """Disk rates and utilization over a window, as IOstat would report."""
+    span_sec = (stop - start) / US_PER_SEC
+    disk = node.disk
+    return {
+        "disk_reads_per_sec": disk.read_ops.between(start, stop) / span_sec,
+        "disk_writes_per_sec": disk.write_ops.between(start, stop) / span_sec,
+        "disk_read_kb_per_sec": disk.read_bytes.between(start, stop) / 1024 / span_sec,
+        "disk_write_kb_per_sec": disk.write_bytes.between(start, stop) / 1024 / span_sec,
+        "disk_avg_queue": disk.queue_series.mean(start, stop),
+        "disk_util_pct": 100.0 * disk.utilization(start, stop),
+    }
+
+
+class ResourceMonitor:
+    """Samples one node at a fixed interval and logs native-format rows.
+
+    Parameters
+    ----------
+    node:
+        The node to observe.
+    wall_clock:
+        Wall-clock mapping for rendered timestamps.
+    interval_us:
+        Sampling interval (default 50 ms — fine-grained monitoring).
+    cpu_us_per_sample:
+        CPU consumed by the sampling process itself.
+    """
+
+    #: Monitor name recorded in metadata and warehouse tables.
+    monitor_name: str = "resource_monitor"
+    #: Node log stream the monitor writes to.
+    log_stream: str = "resource_log"
+
+    def __init__(
+        self,
+        node: Node,
+        wall_clock: WallClock,
+        interval_us: Micros = ms(50),
+        cpu_us_per_sample: Micros = 50,
+    ) -> None:
+        if interval_us <= 0:
+            raise MonitorError(f"sampling interval must be positive: {interval_us}")
+        self.node = node
+        self.wall_clock = wall_clock
+        self.interval_us = interval_us
+        self.cpu_us_per_sample = cpu_us_per_sample
+        self.samples: list[ResourceSample] = []
+        self._started = False
+        self._finalized = False
+
+    @property
+    def facility(self):
+        """The node log facility this monitor writes through."""
+        return self.node.facility(self.log_stream)
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for line in self.preamble():
+            self.facility.write_line(line)
+        self.node.engine.process(self._sampling_loop())
+
+    def _sampling_loop(self):
+        engine = self.node.engine
+        last = engine.now
+        next_tick = engine.now + self.interval_us
+        while True:
+            # Absolute schedule: the monitor's own CPU cost must not
+            # drift the sampling grid.
+            delay = next_tick - engine.now
+            if delay > 0:
+                yield engine.timeout(delay)
+            next_tick += self.interval_us
+            # If the monitor was starved past one or more gridpoints
+            # (CPU saturation starves the sampler too), emit a single
+            # late sample covering the gap and realign — never a
+            # catch-up burst of near-zero windows.
+            while next_tick <= engine.now:
+                next_tick += self.interval_us
+            window_start, window_stop = last, engine.now
+            last = window_stop
+            if window_stop == window_start:
+                continue
+            metrics = self.collect(window_start, window_stop)
+            sample = ResourceSample(
+                node=self.node.name,
+                monitor=self.monitor_name,
+                timestamp=window_stop,
+                interval=window_stop - window_start,
+                metrics=metrics,
+            )
+            self.samples.append(sample)
+            for line in self.render(sample):
+                self.facility.write_line(line)
+            if self.cpu_us_per_sample > 0:
+                yield from self.node.cpu.consume(
+                    self.cpu_us_per_sample, category="system"
+                )
+
+    def finalize(self) -> None:
+        """Write any trailer lines (idempotent; call after the run)."""
+        if self._finalized or not self._started:
+            return
+        self._finalized = True
+        for line in self.postamble():
+            self.facility.write_line(line)
+
+    # ------------------------------------------------------------------
+    # subclass interface
+
+    def preamble(self) -> list[str]:
+        """Lines written once before sampling begins."""
+        return []
+
+    def postamble(self) -> list[str]:
+        """Lines written once after the run ends."""
+        return []
+
+    def collect(self, start: Micros, stop: Micros) -> dict[str, float]:
+        """Gather the window's metrics."""
+        raise NotImplementedError
+
+    def render(self, sample: ResourceSample) -> list[str]:
+        """Render one sample as native log lines."""
+        raise NotImplementedError

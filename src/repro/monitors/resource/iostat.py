@@ -1,0 +1,44 @@
+"""The IOstat resource mScopeMonitor (disk activity)."""
+
+from __future__ import annotations
+
+from repro.common.records import ResourceSample
+from repro.common.timebase import Micros, WallClock, ms
+from repro.logfmt.iostat import IostatDeviceRow, format_iostat_block
+from repro.monitors.resource.base import ResourceMonitor, disk_window_metrics
+from repro.ntier.node import Node
+
+__all__ = ["IostatMonitor"]
+
+
+class IostatMonitor(ResourceMonitor):
+    """Disk monitor in ``iostat -dxt`` block format."""
+
+    monitor_name = "iostat"
+    log_stream = "iostat"
+
+    def __init__(
+        self,
+        node: Node,
+        wall_clock: WallClock,
+        interval_us: Micros = ms(50),
+        device: str = "sda",
+        cpu_us_per_sample: Micros = 50,
+    ) -> None:
+        super().__init__(node, wall_clock, interval_us, cpu_us_per_sample)
+        self.device = device
+
+    def collect(self, start: Micros, stop: Micros) -> dict[str, float]:
+        return disk_window_metrics(self.node, start, stop)
+
+    def render(self, sample: ResourceSample) -> list[str]:
+        row = IostatDeviceRow(
+            device=self.device,
+            reads_per_sec=sample.metrics["disk_reads_per_sec"],
+            writes_per_sec=sample.metrics["disk_writes_per_sec"],
+            read_kb_per_sec=sample.metrics["disk_read_kb_per_sec"],
+            write_kb_per_sec=sample.metrics["disk_write_kb_per_sec"],
+            avg_queue=sample.metrics["disk_avg_queue"],
+            util_pct=sample.metrics["disk_util_pct"],
+        )
+        return format_iostat_block(self.wall_clock, sample.timestamp, [row])

@@ -1,0 +1,71 @@
+"""Convenience wiring of resource monitors across a system's nodes."""
+
+from __future__ import annotations
+
+from repro.common.timebase import Micros, ms
+from repro.monitors.resource.base import ResourceMonitor
+from repro.monitors.resource.collectl import CollectlMonitor
+from repro.monitors.resource.iostat import IostatMonitor
+from repro.monitors.resource.sar import SarMonitor
+from repro.ntier.system import NTierSystem
+
+__all__ = ["ResourceMonitorSuite"]
+
+
+class ResourceMonitorSuite:
+    """One Collectl + IOstat + SAR per node, started and finalized together.
+
+    Parameters
+    ----------
+    system:
+        The built (not yet run) system to observe.
+    interval_us:
+        Sampling interval for every monitor.
+    include:
+        Monitor kinds to deploy, any of ``{"collectl", "iostat", "sar"}``.
+    sar_mode / collectl_mode:
+        Output formats (exercise different transformer paths).
+    """
+
+    def __init__(
+        self,
+        system: NTierSystem,
+        interval_us: Micros = ms(50),
+        include: tuple[str, ...] = ("collectl", "iostat", "sar"),
+        sar_mode: str = "text",
+        collectl_mode: str = "csv",
+    ) -> None:
+        system.add_finalizer(self.finalize)
+        self.monitors: list[ResourceMonitor] = []
+        for node in system.nodes.values():
+            # Each monitor stamps samples with its host's (possibly
+            # skewed) clock, exactly like a real sar on that box.
+            wall = node.wall_clock or system.wall_clock
+            if "collectl" in include:
+                self.monitors.append(
+                    CollectlMonitor(node, wall, interval_us, mode=collectl_mode)
+                )
+            if "iostat" in include:
+                self.monitors.append(IostatMonitor(node, wall, interval_us))
+            if "sar" in include:
+                self.monitors.append(
+                    SarMonitor(node, wall, interval_us, mode=sar_mode)
+                )
+
+    def start(self) -> None:
+        """Start every monitor."""
+        for monitor in self.monitors:
+            monitor.start()
+
+    def finalize(self) -> None:
+        """Write every monitor's trailer lines (after the run)."""
+        for monitor in self.monitors:
+            monitor.finalize()
+
+    def by_node(self, node_name: str) -> list[ResourceMonitor]:
+        """Monitors observing ``node_name``."""
+        return [m for m in self.monitors if m.node.name == node_name]
+
+    def by_kind(self, monitor_name: str) -> list[ResourceMonitor]:
+        """Monitors of one kind (``"collectl"``, ``"iostat"``, ``"sar"``)."""
+        return [m for m in self.monitors if m.monitor_name == monitor_name]

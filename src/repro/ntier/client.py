@@ -1,0 +1,154 @@
+"""Client emulation.
+
+Reproduces the RUBBoS client emulator: ``workload`` concurrent users,
+each alternating an exponential think time with one interaction drawn
+from the mix.  Completed request traces accumulate in a
+:class:`TraceCollector` — the simulator's ground truth, against which
+the monitoring pipeline's reconstructions are validated.
+"""
+
+from __future__ import annotations
+
+from repro.common.ids import RequestIdGenerator
+from repro.common.records import RequestTrace
+from repro.common.rng import RngStreams
+from repro.common.timebase import Micros, US_PER_SEC
+from repro.ntier.messages import NetworkBus
+from repro.ntier.request import Request
+from repro.rubbos.workload import WorkloadSpec
+from repro.sim.engine import Engine
+
+__all__ = ["TraceCollector", "ClientEmulator"]
+
+
+class TraceCollector:
+    """Accumulates completed request traces in completion order."""
+
+    def __init__(self) -> None:
+        self.traces: list[RequestTrace] = []
+
+    def add(self, trace: RequestTrace) -> None:
+        """Record one completed trace."""
+        self.traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def completed_between(self, start: Micros, stop: Micros) -> list[RequestTrace]:
+        """Traces whose response arrived in ``[start, stop)``."""
+        return [
+            t
+            for t in self.traces
+            if t.client_receive is not None and start <= t.client_receive < stop
+        ]
+
+    def throughput(self, start: Micros, stop: Micros) -> float:
+        """Completed requests per second over ``[start, stop)``."""
+        if stop <= start:
+            raise ValueError(f"throughput window empty: [{start}, {stop})")
+        count = len(self.completed_between(start, stop))
+        return count * US_PER_SEC / (stop - start)
+
+    def mean_response_time_ms(self, start: Micros, stop: Micros) -> float:
+        """Mean response time (ms) of requests completing in the window."""
+        window = self.completed_between(start, stop)
+        if not window:
+            return 0.0
+        return sum(t.response_time_ms() for t in window) / len(window)
+
+
+class ClientEmulator:
+    """Drives the workload against the first tier.
+
+    Parameters
+    ----------
+    engine, bus:
+        Simulation engine and the network the first tier listens on.
+    workload:
+        User count, think time, ramp-up, and interaction mix.
+    streams:
+        RNG family; consumes ``client.think``, ``client.mix``,
+        ``client.ramp`` streams.
+    id_generator:
+        Source of fixed-width request IDs (the Apache mScopeMonitor's
+        injection, performed here because the emulator builds the URL).
+    first_tier:
+        Bus address(es) of the entry tier; a list is balanced
+        round-robin across replicas.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        bus: NetworkBus,
+        workload: WorkloadSpec,
+        streams: RngStreams,
+        id_generator: RequestIdGenerator,
+        first_tier: "str | list[str]" = "apache",
+    ) -> None:
+        workload.validate()
+        self.engine = engine
+        self.bus = bus
+        self.workload = workload
+        self.mix = workload.build_mix()
+        self.id_generator = id_generator
+        if isinstance(first_tier, str):
+            self.first_tier_addresses = [first_tier]
+        else:
+            self.first_tier_addresses = list(first_tier)
+        self._balance_counter = 0
+        self.collector = TraceCollector()
+        self._think_rng = streams.stream("client.think")
+        self._mix_rng = streams.stream("client.mix")
+        self._ramp_rng = streams.stream("client.ramp")
+        self._transitions = None
+        if workload.session_model == "markov":
+            from repro.rubbos.transitions import TransitionModel
+
+            self._transitions = TransitionModel()
+        self._started = False
+
+    def start(self) -> None:
+        """Launch every emulated user (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self.workload.users):
+            self.engine.process(self._user_session())
+
+    def _user_session(self):
+        session = (
+            self._transitions.new_session() if self._transitions is not None else None
+        )
+        if self.workload.ramp_up_us > 0:
+            offset = int(self._ramp_rng.random() * self.workload.ramp_up_us)
+            yield self.engine.timeout(offset)
+        while True:
+            think = self._sample_think()
+            if think > 0:
+                yield self.engine.timeout(think)
+            yield from self._one_request(session)
+
+    def _sample_think(self) -> Micros:
+        mean = self.workload.think_time_us
+        if mean == 0:
+            return 0
+        return int(self._think_rng.expovariate(1.0 / mean))
+
+    def _one_request(self, session=None):
+        if self._transitions is not None and session is not None:
+            interaction = self._transitions.advance(session, self._mix_rng)
+        else:
+            interaction = self.mix.sample(self._mix_rng)
+        request_id = self.id_generator.next_id()
+        now = self.engine.now
+        trace = RequestTrace(request_id, interaction.name, client_send=now)
+        request = Request(request_id, interaction, trace, created_at=now)
+        target = self.first_tier_addresses[
+            self._balance_counter % len(self.first_tier_addresses)
+        ]
+        self._balance_counter += 1
+        reply_event = self.bus.send(request, "client", target)
+        yield reply_event
+        trace.client_receive = self.engine.now
+        self.collector.add(trace)

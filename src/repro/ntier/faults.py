@@ -1,0 +1,280 @@
+"""Very-short-bottleneck fault injectors.
+
+These reproduce the two root causes the paper's illustrative scenarios
+diagnose (Section V), plus a Java garbage-collection injector covering
+the related cause cited from earlier work:
+
+* :class:`DBLogFlushFault` — the database flushes its log from memory
+  to disk in large bursts; the disk saturates for hundreds of
+  milliseconds and synchronous commits queue behind the flush
+  (scenario A / Figures 2, 4, 6, 7).
+* :class:`DirtyPageFlushFault` — dirty pages accumulate until the
+  kernel flusher kicks in, stealing every core at kernel priority for
+  a short burst; the dirty-page count drops abruptly while the CPU
+  saturates (scenario B / Figure 8).
+* :class:`GarbageCollectionFault` — stop-the-world JVM collections on
+  a tier, an alternative CPU-level VSB used by extension experiments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.common.timebase import Micros, ms
+from repro.ntier.hardware import Cpu
+from repro.ntier.node import Node
+
+if TYPE_CHECKING:
+    from repro.ntier.system import NTierSystem
+
+__all__ = [
+    "Fault",
+    "DBLogFlushFault",
+    "DirtyPageFlushFault",
+    "GarbageCollectionFault",
+]
+
+
+class Fault:
+    """Base class for fault injectors."""
+
+    #: Human-readable fault name recorded in experiment metadata.
+    name = "fault"
+
+    def install(self, system: "NTierSystem") -> None:
+        """Attach the fault's processes to the built system."""
+        raise NotImplementedError
+
+
+class DBLogFlushFault(Fault):
+    """Periodic large log flushes on the database node's disk.
+
+    Parameters
+    ----------
+    start_at:
+        Simulation time of the first flush.
+    period:
+        Interval between flush bursts.
+    flush_bytes:
+        Volume written per burst; at the default disk bandwidth,
+        30 MiB ≈ 300 ms of disk saturation.
+    bursts:
+        Number of bursts to inject (``None`` = keep going forever).
+    tier:
+        The tier whose node hosts the flush (default ``"mysql"``).
+    """
+
+    name = "db_log_flush"
+
+    def __init__(
+        self,
+        start_at: Micros,
+        period: Micros,
+        flush_bytes: int = 30 * 1024 * 1024,
+        bursts: int | None = None,
+        tier: str = "mysql",
+    ) -> None:
+        if flush_bytes <= 0:
+            raise ConfigError("flush_bytes must be positive")
+        if period <= 0:
+            raise ConfigError("period must be positive")
+        self.start_at = start_at
+        self.period = period
+        self.flush_bytes = flush_bytes
+        self.bursts = bursts
+        self.tier = tier
+        self.flush_times: list[Micros] = []
+
+    def install(self, system: "NTierSystem") -> None:
+        node = system.node_for_tier(self.tier)
+        server = system.servers.get(self.tier)
+        system.engine.process(self._run(node, server))
+
+    def _run(self, node: Node, server):
+        engine = node.engine
+        yield engine.timeout(self.start_at)
+        injected = 0
+        while self.bursts is None or injected < self.bursts:
+            self.flush_times.append(engine.now)
+            # Group-commit semantics: commits arriving during the flush
+            # wait on the barrier, and the flush itself is one large
+            # sequential write that saturates the disk — together these
+            # produce the VLRT requests of scenario A.
+            if server is not None and hasattr(server, "begin_log_flush"):
+                server.begin_log_flush()
+            yield from node.disk.write(self.flush_bytes, priority=5)
+            if server is not None and hasattr(server, "end_log_flush"):
+                server.end_log_flush()
+            injected += 1
+            if self.bursts is not None and injected >= self.bursts:
+                break
+            yield engine.timeout(self.period)
+
+
+class DirtyPageFlushFault(Fault):
+    """Kernel dirty-page writeback bursts on one tier's node.
+
+    A background dirtier (standing in for application file writes plus
+    log traffic) raises the dirty level; when it crosses ``threshold``
+    the flusher claims every core at kernel priority and cleans down to
+    ``low_watermark``, saturating the CPU for the burst duration.
+
+    Parameters
+    ----------
+    tier:
+        The tier whose node is affected.
+    threshold_bytes / low_watermark_bytes:
+        Trigger and stop levels (``vm.dirty_ratio`` semantics).
+    dirty_rate_bytes_per_sec:
+        Background dirtying rate.
+    chunk_bytes:
+        Page volume recycled per flusher work unit.
+    cpu_per_chunk_us:
+        Kernel CPU consumed per chunk per worker.  Recycling is pure
+        page-reclaim scanning — CPU work, no disk traffic — matching
+        the paper's observation that scenario B shows CPU saturation
+        *without* elevated I/O utilization.
+    check_interval:
+        How often the watcher samples the dirty level.
+    """
+
+    name = "dirty_page_flush"
+
+    def __init__(
+        self,
+        tier: str,
+        threshold_bytes: int = 96 * 1024 * 1024,
+        low_watermark_bytes: int = 16 * 1024 * 1024,
+        dirty_rate_bytes_per_sec: int = 48 * 1024 * 1024,
+        chunk_bytes: int = 256 * 1024,
+        cpu_per_chunk_us: Micros = ms(10),
+        check_interval: Micros = ms(10),
+        initial_dirty_bytes: int = 0,
+    ) -> None:
+        if low_watermark_bytes >= threshold_bytes:
+            raise ConfigError("low watermark must be below the threshold")
+        if min(chunk_bytes, cpu_per_chunk_us, check_interval) <= 0:
+            raise ConfigError("chunk/cpu/check parameters must be positive")
+        self.tier = tier
+        self.threshold_bytes = threshold_bytes
+        self.low_watermark_bytes = low_watermark_bytes
+        self.dirty_rate = dirty_rate_bytes_per_sec
+        self.chunk_bytes = chunk_bytes
+        self.cpu_per_chunk_us = cpu_per_chunk_us
+        self.check_interval = check_interval
+        self.initial_dirty_bytes = initial_dirty_bytes
+        self.burst_windows: list[tuple[Micros, Micros]] = []
+
+    def install(self, system: "NTierSystem") -> None:
+        node = system.node_for_tier(self.tier)
+        if self.initial_dirty_bytes:
+            node.page_cache.dirty(self.initial_dirty_bytes)
+        if self.dirty_rate > 0:
+            system.engine.process(self._dirtier(node))
+        system.engine.process(self._watcher(node))
+
+    def _dirtier(self, node: Node):
+        engine = node.engine
+        per_tick = int(self.dirty_rate * self.check_interval / 1_000_000)
+        while True:
+            yield engine.timeout(self.check_interval)
+            node.page_cache.dirty(per_tick)
+
+    def _watcher(self, node: Node):
+        engine = node.engine
+        while True:
+            yield engine.timeout(self.check_interval)
+            if node.page_cache.dirty_bytes >= self.threshold_bytes:
+                started = engine.now
+                yield from self._flush_burst(node)
+                self.burst_windows.append((started, engine.now))
+
+    def _flush_burst(self, node: Node):
+        cores = node.spec.cores
+        state = {"active": True}
+        workers = [
+            node.engine.process(self._flusher_worker(node, state))
+            for _ in range(cores)
+        ]
+        # Wait for every worker to drain its share.
+        for worker in workers:
+            yield worker
+
+    def _flusher_worker(self, node: Node, state: dict):
+        # The reclaim worker holds its core for the whole burst: direct
+        # reclaim throttles every other task on the CPU, which is what
+        # starves request processing and produces the ~second-long RT
+        # peaks of Fig 8a.
+        claim = node.cpu.seize(priority=Cpu.KERNEL_PRIORITY)
+        yield claim
+        try:
+            while state["active"]:
+                if node.page_cache.dirty_bytes <= self.low_watermark_bytes:
+                    state["active"] = False
+                    break
+                yield node.engine.timeout(self.cpu_per_chunk_us)
+                node.cpu.charge("system", self.cpu_per_chunk_us)
+                node.page_cache.clean(self.chunk_bytes)
+        finally:
+            node.cpu.release(claim)
+
+
+class GarbageCollectionFault(Fault):
+    """Stop-the-world JVM collections: periodic full-CPU kernel bursts."""
+
+    name = "jvm_gc"
+
+    def __init__(
+        self,
+        tier: str,
+        start_at: Micros,
+        period: Micros,
+        pause: Micros = ms(250),
+        collections: int | None = None,
+    ) -> None:
+        if period <= 0 or pause <= 0:
+            raise ConfigError("period and pause must be positive")
+        self.tier = tier
+        self.start_at = start_at
+        self.period = period
+        self.pause = pause
+        self.collections = collections
+        self.pause_windows: list[tuple[Micros, Micros]] = []
+
+    def install(self, system: "NTierSystem") -> None:
+        node = system.node_for_tier(self.tier)
+        system.engine.process(self._run(node))
+
+    def _run(self, node: Node):
+        engine = node.engine
+        yield engine.timeout(self.start_at)
+        done = 0
+        while self.collections is None or done < self.collections:
+            started = engine.now
+            workers = [
+                engine.process(self._pause_core(node)) for _ in range(node.spec.cores)
+            ]
+            for worker in workers:
+                yield worker
+            self.pause_windows.append((started, engine.now))
+            done += 1
+            if self.collections is not None and done >= self.collections:
+                break
+            yield engine.timeout(self.period)
+
+    def _pause_core(self, node: Node):
+        # Stop-the-world: hold the core for the entire pause so no
+        # request thread makes progress; account the time in quanta so
+        # sampling windows see the saturation spread over the pause.
+        claim = node.cpu.seize(priority=Cpu.KERNEL_PRIORITY)
+        yield claim
+        try:
+            remaining = self.pause
+            while remaining > 0:
+                piece = min(node.cpu.quantum, remaining)
+                yield node.engine.timeout(piece)
+                node.cpu.charge("system", piece)
+                remaining -= piece
+        finally:
+            node.cpu.release(claim)

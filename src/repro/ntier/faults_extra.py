@@ -1,0 +1,172 @@
+"""Additional VSB root causes the paper cites (Section II).
+
+Beyond the two illustrated scenarios, the paper lists further known
+causes of VLRT requests: CPU dynamic voltage and frequency scaling
+(DVFS) at the architectural layer and virtual-machine consolidation at
+the VM layer.  These injectors reproduce them on the testbed so the
+monitoring framework can be exercised against the full cause
+catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.common.timebase import Micros, ms
+from repro.ntier.faults import Fault
+from repro.ntier.hardware import Cpu
+from repro.ntier.node import Node
+
+if TYPE_CHECKING:
+    from repro.ntier.system import NTierSystem
+
+__all__ = ["DvfsSlowdownFault", "VmConsolidationFault"]
+
+
+class DvfsSlowdownFault(Fault):
+    """CPU frequency drops for short windows (governor napping).
+
+    Under a power-saving governor, a lull in utilization drops the
+    clock; the next request burst then executes at a fraction of the
+    nominal speed until the governor ramps back up — a classic
+    architectural-layer VSB.
+
+    Parameters
+    ----------
+    tier:
+        The affected tier.
+    start_at / period / episodes:
+        When the first slowdown begins, the spacing between slowdowns,
+        and how many to inject (``None`` = forever).
+    slow_duration:
+        Length of each reduced-frequency window.
+    speed_factor:
+        Relative clock during the window (e.g. 0.25 = quarter speed).
+    """
+
+    name = "dvfs_slowdown"
+
+    def __init__(
+        self,
+        tier: str,
+        start_at: Micros,
+        period: Micros,
+        slow_duration: Micros = ms(400),
+        speed_factor: float = 0.25,
+        episodes: int | None = None,
+    ) -> None:
+        if not 0.0 < speed_factor < 1.0:
+            raise ConfigError(f"speed factor out of (0, 1): {speed_factor}")
+        if period <= 0 or slow_duration <= 0:
+            raise ConfigError("period and slow_duration must be positive")
+        self.tier = tier
+        self.start_at = start_at
+        self.period = period
+        self.slow_duration = slow_duration
+        self.speed_factor = speed_factor
+        self.episodes = episodes
+        self.slow_windows: list[tuple[Micros, Micros]] = []
+
+    def install(self, system: "NTierSystem") -> None:
+        node = system.node_for_tier(self.tier)
+        system.engine.process(self._run(node))
+
+    def _run(self, node: Node):
+        engine = node.engine
+        yield engine.timeout(self.start_at)
+        injected = 0
+        while self.episodes is None or injected < self.episodes:
+            started = engine.now
+            node.cpu.speed = self.speed_factor
+            yield engine.timeout(self.slow_duration)
+            node.cpu.speed = 1.0
+            self.slow_windows.append((started, engine.now))
+            injected += 1
+            if self.episodes is not None and injected >= self.episodes:
+                break
+            yield engine.timeout(self.period)
+
+
+class VmConsolidationFault(Fault):
+    """A co-located VM steals CPU for short bursts.
+
+    Consolidation places other tenants on the same physical host; when
+    a neighbour becomes active, the hypervisor takes cores away and
+    the guest's SAR shows %steal — the VM-layer VSB the paper cites.
+
+    Parameters
+    ----------
+    tier:
+        The affected tier.
+    stolen_cores:
+        How many cores the neighbour takes during a burst.
+    burst:
+        Length of each interference burst.
+    period:
+        Spacing between bursts.
+    """
+
+    name = "vm_consolidation"
+
+    def __init__(
+        self,
+        tier: str,
+        start_at: Micros,
+        period: Micros,
+        burst: Micros = ms(300),
+        stolen_cores: int = 0,
+        episodes: int | None = None,
+    ) -> None:
+        if period <= 0 or burst <= 0:
+            raise ConfigError("period and burst must be positive")
+        if stolen_cores < 0:
+            raise ConfigError("stolen_cores must be non-negative")
+        self.tier = tier
+        self.start_at = start_at
+        self.period = period
+        self.burst = burst
+        self.stolen_cores = stolen_cores
+        self.episodes = episodes
+        self.steal_windows: list[tuple[Micros, Micros]] = []
+
+    def install(self, system: "NTierSystem") -> None:
+        node = system.node_for_tier(self.tier)
+        # stolen_cores=0 means "all of them".
+        if self.stolen_cores == 0:
+            self.stolen_cores = node.spec.cores
+        system.engine.process(self._run(node))
+
+    def _run(self, node: Node):
+        engine = node.engine
+        yield engine.timeout(self.start_at)
+        injected = 0
+        while self.episodes is None or injected < self.episodes:
+            started = engine.now
+            thieves = [
+                engine.process(self._steal_core(node))
+                for _ in range(min(self.stolen_cores, node.spec.cores))
+            ]
+            for thief in thieves:
+                yield thief
+            self.steal_windows.append((started, engine.now))
+            injected += 1
+            if self.episodes is not None and injected >= self.episodes:
+                break
+            yield engine.timeout(self.period)
+
+    def _steal_core(self, node: Node):
+        # The hypervisor preempts the guest outright: hold the core at
+        # kernel priority, accounting steal time in quantum-sized
+        # pieces so sampling windows see it spread over the burst.
+        claim = node.cpu.seize(priority=Cpu.KERNEL_PRIORITY)
+        yield claim
+        try:
+            remaining = self.burst
+            while remaining > 0:
+                piece = min(node.cpu.quantum, remaining)
+                yield node.engine.timeout(piece)
+                node.cpu.charge("steal", piece)
+                remaining -= piece
+        finally:
+            node.cpu.release(claim)

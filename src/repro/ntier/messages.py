@@ -1,0 +1,147 @@
+"""Inter-tier messaging.
+
+Tiers exchange :class:`Message` objects over a :class:`NetworkBus` with
+a fixed one-way latency.  The bus supports passive *taps*: observers
+that see every request and reply message with wire timestamps but never
+perturb delivery.  The SysViz baseline (the paper's hardware network
+tracer) is implemented as such a tap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import TYPE_CHECKING, Any, Protocol
+
+from repro.common.errors import SimulationError
+from repro.common.timebase import Micros
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:
+    from repro.ntier.request import Request
+
+__all__ = ["Message", "NetworkBus", "BusTap"]
+
+
+@dataclasses.dataclass(slots=True)
+class Message:
+    """One inter-tier message (a request hop or its reply).
+
+    ``payload`` carries hop-specific data (e.g. the
+    :class:`~repro.rubbos.interactions.QuerySpec` for a SQL hop).
+    ``reply_to`` is the event the sender waits on; the receiving tier
+    answers through :meth:`NetworkBus.reply`.
+    """
+
+    kind: str  # "request" or "reply"
+    request: "Request"
+    src: str
+    dst: str
+    payload: Any = None
+    reply_to: Event | None = None
+    sent_at: Micros | None = None
+    delivered_at: Micros | None = None
+    serial: int = -1
+
+
+class BusTap(Protocol):
+    """Passive observer of every message on the bus."""
+
+    def on_message(self, message: Message) -> None:
+        """Called at wire time; must not mutate the message."""
+        ...
+
+
+class NetworkBus:
+    """Delivers messages between tiers with fixed one-way latency.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    latency_us:
+        One-way network latency applied to every hop.
+    """
+
+    def __init__(self, engine: Engine, latency_us: Micros = 150) -> None:
+        if latency_us < 0:
+            raise SimulationError(f"negative bus latency: {latency_us}")
+        self.engine = engine
+        self.latency_us = latency_us
+        self._inboxes: dict[str, Store] = {}
+        self._taps: list[BusTap] = []
+        self._serial = itertools.count()
+
+    def register(self, tier: str) -> Store:
+        """Create and return the inbox for ``tier``."""
+        if tier in self._inboxes:
+            raise SimulationError(f"tier {tier!r} already registered on the bus")
+        inbox = Store(self.engine, name=f"{tier}.inbox")
+        self._inboxes[tier] = inbox
+        return inbox
+
+    def inbox(self, tier: str) -> Store:
+        """The inbox of a registered tier."""
+        try:
+            return self._inboxes[tier]
+        except KeyError:
+            raise SimulationError(f"unknown tier {tier!r}") from None
+
+    def add_tap(self, tap: BusTap) -> None:
+        """Attach a passive observer (e.g. the SysViz tracer)."""
+        self._taps.append(tap)
+
+    def send(
+        self,
+        request: "Request",
+        src: str,
+        dst: str,
+        payload: Any = None,
+    ) -> Event:
+        """Send a request hop from ``src`` to ``dst``.
+
+        Returns the reply event the caller should yield on; its value is
+        the reply payload.
+        """
+        inbox = self.inbox(dst)
+        reply_to = Event(self.engine)
+        message = Message(
+            kind="request",
+            request=request,
+            src=src,
+            dst=dst,
+            payload=payload,
+            reply_to=reply_to,
+            sent_at=self.engine.now,
+            serial=next(self._serial),
+        )
+        self._notify_taps(message)
+        delivery = self.engine.timeout(self.latency_us)
+        delivery.callbacks.append(lambda _e: self._deliver(message, inbox))
+        return reply_to
+
+    def _deliver(self, message: Message, inbox: Store) -> None:
+        message.delivered_at = self.engine.now
+        inbox.put(message)
+
+    def reply(self, original: Message, payload: Any = None) -> None:
+        """Answer a request hop; fires ``original.reply_to`` after latency."""
+        if original.reply_to is None:
+            raise SimulationError("message has no reply channel")
+        reply = Message(
+            kind="reply",
+            request=original.request,
+            src=original.dst,
+            dst=original.src,
+            payload=payload,
+            sent_at=self.engine.now,
+            serial=next(self._serial),
+        )
+        self._notify_taps(reply)
+        original.reply_to.succeed(payload, delay=self.latency_us)
+
+    def _notify_taps(self, message: Message) -> None:
+        for tap in self._taps:
+            tap.on_message(message)

@@ -1,0 +1,40 @@
+"""Requests flowing through the n-tier system."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.common.records import RequestTrace
+from repro.common.timebase import Micros
+
+if TYPE_CHECKING:
+    from repro.rubbos.interactions import InteractionProfile
+
+__all__ = ["Request"]
+
+
+@dataclasses.dataclass(slots=True)
+class Request:
+    """One client request, carrying its interaction profile and trace.
+
+    The ``request_id`` is the fixed-width identifier the Apache
+    mScopeMonitor injects into the URL; it rides along to every tier
+    (URL parameter, then SQL comment) exactly as in the paper's
+    Appendix A.
+    """
+
+    request_id: str
+    interaction: "InteractionProfile"
+    trace: RequestTrace
+    created_at: Micros
+
+    @property
+    def url(self) -> str:
+        """The instrumented URL including the propagated request ID."""
+        return f"/rubbos/{self.interaction.name}?ID={self.request_id}"
+
+    @property
+    def plain_url(self) -> str:
+        """The URL as an uninstrumented client would send it."""
+        return f"/rubbos/{self.interaction.name}"

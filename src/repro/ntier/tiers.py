@@ -1,0 +1,141 @@
+"""The four concrete tiers of the RUBBoS deployment.
+
+Apache (web) → Tomcat (application) → C-JDBC (middleware) → MySQL
+(database), exactly the pipeline in the paper's Figure 1.  Each tier
+implements its :meth:`~repro.ntier.server.TierServer.work` generator
+against the node's hardware models and writes its unmodified native
+log line; the event mScopeMonitors later *replace* the line formatter
+with the instrumented format and add their hook costs.
+"""
+
+from __future__ import annotations
+
+from repro.common.records import BoundaryRecord
+from repro.logfmt.apache import format_plain_access
+from repro.logfmt.cjdbc import format_plain_cjdbc
+from repro.logfmt.mysql import format_plain_binlog
+from repro.logfmt.tomcat import format_plain_tomcat
+from repro.ntier.messages import Message
+from repro.ntier.server import TierServer
+from repro.rubbos.interactions import QuerySpec
+
+__all__ = ["ApacheServer", "TomcatServer", "CjdbcServer", "MySqlServer", "TIER_ORDER"]
+
+#: Upstream-to-downstream tier order of the standard deployment.
+TIER_ORDER = ("apache", "tomcat", "cjdbc", "mysql")
+
+
+class ApacheServer(TierServer):
+    """The web tier: parses the request, proxies to Tomcat via ModJK."""
+
+    log_stream = "access_log"
+
+    def work(self, message: Message, boundary: BoundaryRecord):
+        interaction = message.request.interaction
+        # Request parsing + static handling before the ModJK forward.
+        yield from self.node.cpu.consume(int(interaction.apache_cpu_us * 0.6))
+        reply = yield from self.call_downstream(message.request, boundary)
+        # Response assembly and socket write after the proxy returns.
+        yield from self.node.cpu.consume(int(interaction.apache_cpu_us * 0.4))
+        return reply
+
+    def default_line_formatter(self, request, boundary, payload):
+        return format_plain_access(
+            self.wall_clock,
+            request.plain_url,
+            boundary,
+            request.interaction.response_bytes,
+        )
+
+
+class TomcatServer(TierServer):
+    """The application tier: runs the servlet, issues SQL sequentially."""
+
+    log_stream = "catalina_log"
+
+    def work(self, message: Message, boundary: BoundaryRecord):
+        interaction = message.request.interaction
+        yield from self.node.cpu.consume(int(interaction.tomcat_cpu_us * 0.5))
+        rows = 0
+        for query in interaction.queries:
+            result = yield from self.call_downstream(
+                message.request, boundary, payload=query
+            )
+            rows += result if isinstance(result, int) else 0
+        yield from self.node.cpu.consume(int(interaction.tomcat_cpu_us * 0.5))
+        return rows
+
+    def default_line_formatter(self, request, boundary, payload):
+        return format_plain_tomcat(
+            self.wall_clock, request.interaction.name, boundary
+        )
+
+
+class CjdbcServer(TierServer):
+    """The middleware tier: routes each statement to the database backend."""
+
+    log_stream = "controller_log"
+
+    def work(self, message: Message, boundary: BoundaryRecord):
+        query: QuerySpec = message.payload
+        yield from self.node.cpu.consume(query.cjdbc_cpu_us)
+        result = yield from self.call_downstream(
+            message.request, boundary, payload=query
+        )
+        return result
+
+    def default_line_formatter(self, request, boundary, payload):
+        query: QuerySpec = payload
+        return format_plain_cjdbc(self.wall_clock, boundary, query.statement)
+
+
+class MySqlServer(TierServer):
+    """The database tier: executes queries against buffer pool and disk.
+
+    Reads miss the buffer pool with the query's ``miss_ratio`` and then
+    fetch from disk; writes append a synchronous commit record to the
+    database log.  While a background log flush is in flight (scenario
+    A's :class:`~repro.ntier.faults.DBLogFlushFault`), commits wait on
+    the flush barrier — group-commit semantics — and buffer-pool misses
+    queue behind the flush's large sequential write on the disk.
+    """
+
+    log_stream = "mysql_log"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._log_flush_barrier = None
+
+    def begin_log_flush(self):
+        """Raise the commit barrier; returns the event to succeed at flush end."""
+        if self._log_flush_barrier is not None and not self._log_flush_barrier.triggered:
+            return self._log_flush_barrier
+        self._log_flush_barrier = self.engine.event()
+        return self._log_flush_barrier
+
+    def end_log_flush(self) -> None:
+        """Release the commit barrier (idempotent)."""
+        if self._log_flush_barrier is not None and not self._log_flush_barrier.triggered:
+            self._log_flush_barrier.succeed()
+        self._log_flush_barrier = None
+
+    def work(self, message: Message, boundary: BoundaryRecord):
+        query: QuerySpec = message.payload
+        yield from self.node.cpu.consume(query.mysql_cpu_us)
+        if query.read_bytes > 0 and self.rng.random() < query.miss_ratio:
+            started = self.engine.now
+            yield from self.node.disk.read(query.read_bytes, priority=5)
+            self.node.cpu.charge("iowait", self.engine.now - started)
+        if query.is_write:
+            started = self.engine.now
+            barrier = self._log_flush_barrier
+            if barrier is not None and not barrier.triggered:
+                yield barrier
+            yield from self.node.disk.write(query.commit_bytes, priority=5)
+            self.node.cpu.charge("iowait", self.engine.now - started)
+            self.node.page_cache.dirty(query.commit_bytes)
+        return 1
+
+    def default_line_formatter(self, request, boundary, payload):
+        query: QuerySpec = payload
+        return format_plain_binlog(self.wall_clock, boundary, query.statement)

@@ -1,0 +1,208 @@
+"""The RUBBoS interaction catalog.
+
+RUBBoS (the Rice University Bulletin Board System benchmark) models a
+Slashdot-style news site.  Its workload consists of 24 distinct
+interactions — browsing stories, searching, registering, submitting and
+moderating content — each exercising the four tiers differently.
+
+Every interaction here carries a *demand profile*: CPU time on Apache
+and Tomcat, and a list of SQL queries, each with C-JDBC routing cost,
+MySQL CPU cost, a probability of missing the buffer pool (and thus
+reading from disk), and, for writes, a synchronous commit record that
+lands in the database log.  The numbers are calibrated so a lightly
+loaded system answers in a few milliseconds and the read/write mix
+roughly matches the benchmark's read-heavy behaviour; absolute values
+are not meant to match any specific testbed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ConfigError
+
+__all__ = [
+    "QuerySpec",
+    "InteractionProfile",
+    "default_interactions",
+    "interaction_by_name",
+    "READ_WRITE_MIX",
+    "BROWSE_ONLY_MIX",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One SQL statement issued by a servlet.
+
+    Parameters
+    ----------
+    statement:
+        The SQL text template (without the propagated request-ID
+        comment, which the Tomcat mScopeMonitor appends).
+    cjdbc_cpu_us / mysql_cpu_us:
+        CPU demand on the middleware and database tiers.
+    read_bytes:
+        Bytes fetched from disk when the buffer pool misses.
+    miss_ratio:
+        Probability that this query misses the buffer pool.
+    is_write:
+        Whether the query modifies data (forces a synchronous log
+        commit of ``commit_bytes``).
+    commit_bytes:
+        Size of the database log record for a write.
+    """
+
+    statement: str
+    cjdbc_cpu_us: int = 150
+    mysql_cpu_us: int = 700
+    read_bytes: int = 16 * 1024
+    miss_ratio: float = 0.05
+    is_write: bool = False
+    commit_bytes: int = 2 * 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_ratio <= 1.0:
+            raise ConfigError(f"miss_ratio out of range: {self.miss_ratio}")
+        if min(self.cjdbc_cpu_us, self.mysql_cpu_us, self.read_bytes) < 0:
+            raise ConfigError("query demands must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class InteractionProfile:
+    """Demand profile of one RUBBoS interaction.
+
+    ``weight`` is the interaction's share in the read-write mix; the
+    browse-only mix zeroes the write interactions.
+    """
+
+    name: str
+    apache_cpu_us: int
+    tomcat_cpu_us: int
+    queries: tuple[QuerySpec, ...]
+    weight: float
+    response_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ConfigError(f"negative weight for {self.name}")
+        if min(self.apache_cpu_us, self.tomcat_cpu_us) < 0:
+            raise ConfigError(f"negative CPU demand for {self.name}")
+
+    @property
+    def is_write(self) -> bool:
+        """Whether any query modifies data."""
+        return any(q.is_write for q in self.queries)
+
+    def total_queries(self) -> int:
+        """Number of SQL statements this interaction issues."""
+        return len(self.queries)
+
+
+def _read(statement: str, mysql_us: int = 700, **kwargs) -> QuerySpec:
+    return QuerySpec(statement, mysql_cpu_us=mysql_us, **kwargs)
+
+
+def _write(statement: str, mysql_us: int = 900, **kwargs) -> QuerySpec:
+    return QuerySpec(statement, mysql_cpu_us=mysql_us, is_write=True, **kwargs)
+
+
+def default_interactions() -> tuple[InteractionProfile, ...]:
+    """The 24 RUBBoS interactions with calibrated demand profiles."""
+    i = InteractionProfile
+    return (
+        i("Home", 400, 900,
+          (_read("SELECT id,title FROM stories ORDER BY date DESC LIMIT 10"),),
+          weight=10.0),
+        i("StoriesOfTheDay", 450, 1300,
+          (_read("SELECT id,title FROM stories WHERE date=CURDATE()"),
+           _read("SELECT count(*) FROM comments WHERE story_id=?", 500)),
+          weight=12.0),
+        i("Register", 350, 500, (), weight=1.0, response_bytes=4 * 1024),
+        i("RegisterUser", 450, 1100,
+          (_write("INSERT INTO users VALUES (?,?,?,?)"),),
+          weight=0.6),
+        i("BrowseCategories", 400, 800,
+          (_read("SELECT id,name FROM categories"),),
+          weight=8.0),
+        i("BrowseStoriesByCategory", 450, 1200,
+          (_read("SELECT id,title FROM stories WHERE category=?"),
+           _read("SELECT count(*) FROM stories WHERE category=?", 450)),
+          weight=9.0),
+        i("OlderStories", 420, 1100,
+          (_read("SELECT id,title FROM stories WHERE date<? LIMIT 20"),
+           _read("SELECT count(*) FROM stories WHERE date<?", 400)),
+          weight=6.0),
+        i("ViewStory", 480, 1500,
+          (_read("SELECT * FROM stories WHERE id=?", 800, read_bytes=24 * 1024),
+           _read("SELECT id FROM comments WHERE story_id=?", 600)),
+          weight=18.0, response_bytes=16 * 1024),
+        i("ViewComment", 460, 1300,
+          (_read("SELECT * FROM comments WHERE id=?", 700),
+           _read("SELECT rating FROM comments WHERE id=?", 350)),
+          weight=14.0),
+        i("ModerateComment", 420, 1000,
+          (_read("SELECT * FROM comments WHERE id=? FOR UPDATE", 650),),
+          weight=1.0),
+        i("StoreModerateLog", 430, 1100,
+          (_write("UPDATE comments SET rating=rating+? WHERE id=?"),
+           _write("INSERT INTO moderator_log VALUES (?,?,?)", 700)),
+          weight=0.7),
+        i("SubmitStory", 380, 700, (), weight=1.5, response_bytes=4 * 1024),
+        i("StoreStory", 480, 1400,
+          (_write("INSERT INTO submissions VALUES (?,?,?,?,?)", 1100,
+                  commit_bytes=8 * 1024),),
+          weight=1.2),
+        i("SubmitComment", 400, 800,
+          (_read("SELECT title FROM stories WHERE id=?", 400),),
+          weight=2.0),
+        i("StoreComment", 460, 1300,
+          (_write("INSERT INTO comments VALUES (?,?,?,?,?)", 1000,
+                  commit_bytes=4 * 1024),),
+          weight=1.8),
+        i("Search", 380, 600, (), weight=5.0, response_bytes=4 * 1024),
+        i("SearchInStories", 500, 1600,
+          (_read("SELECT id,title FROM stories WHERE title LIKE ?", 2200,
+                 read_bytes=64 * 1024, miss_ratio=0.15),),
+          weight=5.0),
+        i("SearchInComments", 500, 1500,
+          (_read("SELECT id FROM comments WHERE comment LIKE ?", 2500,
+                 read_bytes=64 * 1024, miss_ratio=0.15),),
+          weight=3.0),
+        i("SearchInUsers", 480, 1200,
+          (_read("SELECT id,nickname FROM users WHERE nickname LIKE ?", 1500,
+                 read_bytes=32 * 1024, miss_ratio=0.10),),
+          weight=2.0),
+        i("AuthorLogin", 420, 900,
+          (_read("SELECT id,password FROM users WHERE nickname=?", 450),),
+          weight=0.8),
+        i("AuthorTasks", 420, 1000,
+          (_read("SELECT id,title FROM submissions", 800),),
+          weight=0.6),
+        i("ReviewStories", 450, 1300,
+          (_read("SELECT * FROM submissions ORDER BY date", 900),
+           _read("SELECT count(*) FROM submissions", 350)),
+          weight=0.7),
+        i("AcceptStory", 470, 1300,
+          (_write("INSERT INTO stories SELECT * FROM submissions WHERE id=?",
+                  1200, commit_bytes=8 * 1024),
+           _write("DELETE FROM submissions WHERE id=?", 600)),
+          weight=0.4),
+        i("RejectStory", 440, 1000,
+          (_write("DELETE FROM submissions WHERE id=?", 700),),
+          weight=0.3),
+    )
+
+
+#: Default read-write mix: the catalog weights as given (~5% writes).
+READ_WRITE_MIX = "read_write"
+#: Browse-only mix: write interactions removed.
+BROWSE_ONLY_MIX = "browse_only"
+
+
+def interaction_by_name(name: str) -> InteractionProfile:
+    """Look one interaction up by name."""
+    for profile in default_interactions():
+        if profile.name == name:
+            return profile
+    raise ConfigError(f"unknown RUBBoS interaction {name!r}")

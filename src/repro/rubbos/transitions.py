@@ -1,0 +1,191 @@
+"""The RUBBoS user transition model.
+
+The real RUBBoS client emulator does not draw interactions
+independently: each emulated user walks a Markov chain whose
+transition table encodes plausible browsing behaviour (you view a
+story *after* landing on a story list; you store a comment *after*
+submitting one).  This module provides that session model; the
+simpler weighted-random mix remains available for quick runs.
+
+The transition table here is hand-built to mirror the benchmark's
+default "read-write" user behaviour, not copied from the original
+properties files; the stationary distribution stays browse-heavy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import ConfigError
+from repro.rubbos.interactions import InteractionProfile, default_interactions
+
+__all__ = ["TransitionModel", "default_transition_table", "START_STATE"]
+
+#: The state a fresh session starts from (before the first request).
+START_STATE = "_start"
+
+
+def default_transition_table() -> dict[str, list[tuple[str, float]]]:
+    """Per-state successor distributions (probabilities sum to 1).
+
+    Unlisted interactions are reachable through the hub states
+    (``Home``, ``StoriesOfTheDay``, ``Search``), like the real table's
+    "back to home" columns.
+    """
+    return {
+        START_STATE: [("Home", 0.7), ("StoriesOfTheDay", 0.3)],
+        "Home": [
+            ("StoriesOfTheDay", 0.45),
+            ("BrowseCategories", 0.25),
+            ("Search", 0.15),
+            ("OlderStories", 0.10),
+            ("AuthorLogin", 0.05),
+        ],
+        "StoriesOfTheDay": [
+            ("ViewStory", 0.60),
+            ("OlderStories", 0.15),
+            ("Home", 0.15),
+            ("Search", 0.10),
+        ],
+        "BrowseCategories": [
+            ("BrowseStoriesByCategory", 0.75),
+            ("Home", 0.25),
+        ],
+        "BrowseStoriesByCategory": [
+            ("ViewStory", 0.60),
+            ("BrowseCategories", 0.20),
+            ("Home", 0.20),
+        ],
+        "OlderStories": [
+            ("ViewStory", 0.55),
+            ("OlderStories", 0.20),
+            ("Home", 0.25),
+        ],
+        "ViewStory": [
+            ("ViewComment", 0.40),
+            ("SubmitComment", 0.08),
+            ("StoriesOfTheDay", 0.27),
+            ("Home", 0.25),
+        ],
+        "ViewComment": [
+            ("ViewStory", 0.35),
+            ("ModerateComment", 0.05),
+            ("SubmitComment", 0.10),
+            ("Home", 0.50),
+        ],
+        "ModerateComment": [("StoreModerateLog", 0.80), ("Home", 0.20)],
+        "StoreModerateLog": [("Home", 1.0)],
+        "SubmitComment": [("StoreComment", 0.85), ("Home", 0.15)],
+        "StoreComment": [("ViewStory", 0.50), ("Home", 0.50)],
+        "Search": [
+            ("SearchInStories", 0.55),
+            ("SearchInComments", 0.25),
+            ("SearchInUsers", 0.20),
+        ],
+        "SearchInStories": [("ViewStory", 0.60), ("Search", 0.15), ("Home", 0.25)],
+        "SearchInComments": [("ViewComment", 0.55), ("Search", 0.15), ("Home", 0.30)],
+        "SearchInUsers": [("Home", 0.70), ("Search", 0.30)],
+        "AuthorLogin": [("AuthorTasks", 0.90), ("Home", 0.10)],
+        "AuthorTasks": [
+            ("ReviewStories", 0.55),
+            ("SubmitStory", 0.35),
+            ("Home", 0.10),
+        ],
+        "ReviewStories": [
+            ("AcceptStory", 0.45),
+            ("RejectStory", 0.30),
+            ("AuthorTasks", 0.25),
+        ],
+        "AcceptStory": [("ReviewStories", 0.60), ("Home", 0.40)],
+        "RejectStory": [("ReviewStories", 0.60), ("Home", 0.40)],
+        "SubmitStory": [("StoreStory", 0.85), ("AuthorTasks", 0.15)],
+        "StoreStory": [("AuthorTasks", 0.50), ("Home", 0.50)],
+        "Register": [("RegisterUser", 0.80), ("Home", 0.20)],
+        "RegisterUser": [("Home", 1.0)],
+    }
+
+
+class TransitionModel:
+    """A per-session Markov walk over the interaction catalog.
+
+    Examples
+    --------
+    >>> import random
+    >>> model = TransitionModel()
+    >>> session = model.new_session()
+    >>> first = model.advance(session, random.Random(1))
+    >>> first.name in ("Home", "StoriesOfTheDay")
+    True
+    """
+
+    def __init__(
+        self, table: dict[str, list[tuple[str, float]]] | None = None
+    ) -> None:
+        self._table = table if table is not None else default_transition_table()
+        self._validate()
+        self._profiles: dict[str, InteractionProfile] = {
+            p.name: p for p in default_interactions()
+        }
+
+    def _validate(self) -> None:
+        known = {p.name for p in default_interactions()} | {START_STATE}
+        if START_STATE not in self._table:
+            raise ConfigError(f"transition table needs a {START_STATE!r} state")
+        for state, successors in self._table.items():
+            if state not in known:
+                raise ConfigError(f"unknown state {state!r}")
+            if not successors:
+                raise ConfigError(f"state {state!r} has no successors")
+            total = sum(p for _, p in successors)
+            if abs(total - 1.0) > 1e-6:
+                raise ConfigError(
+                    f"state {state!r} probabilities sum to {total}, not 1"
+                )
+            for successor, probability in successors:
+                if successor not in known or successor == START_STATE:
+                    raise ConfigError(
+                        f"state {state!r} transitions to unknown {successor!r}"
+                    )
+                if probability < 0:
+                    raise ConfigError(f"negative probability in {state!r}")
+
+    def new_session(self) -> dict:
+        """Fresh per-user session state."""
+        return {"state": START_STATE, "steps": 0}
+
+    def advance(self, session: dict, rng: random.Random) -> InteractionProfile:
+        """Move the session one step; returns the interaction to issue.
+
+        States with no outgoing entry (a leaf not in the table) fall
+        back to ``Home``, like the benchmark's back-to-home default.
+        """
+        successors = self._table.get(session["state"])
+        if successors is None:
+            successors = [("Home", 1.0)]
+        names = [name for name, _ in successors]
+        weights = [probability for _, probability in successors]
+        chosen = rng.choices(names, weights=weights, k=1)[0]
+        session["state"] = chosen
+        session["steps"] += 1
+        return self._profiles[chosen]
+
+    def reachable_states(self) -> set[str]:
+        """Interactions reachable from the start state."""
+        seen: set[str] = set()
+        frontier = [START_STATE]
+        while frontier:
+            state = frontier.pop()
+            for successor, _ in self._table.get(state, [("Home", 1.0)]):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    def stationary_write_share(self, rng: random.Random, steps: int = 20_000) -> float:
+        """Empirical share of write interactions on a long walk."""
+        session = self.new_session()
+        writes = 0
+        for _ in range(steps):
+            if self.advance(session, rng).is_write:
+                writes += 1
+        return writes / steps

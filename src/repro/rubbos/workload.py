@@ -1,0 +1,113 @@
+"""RUBBoS workload generation.
+
+The benchmark's load unit is the *concurrent user*: each emulated user
+alternates between an exponentially distributed think time and one
+interaction chosen from a mix.  ``workload = number of users`` exactly
+as the paper uses the term ("the value of the workload represents the
+number of concurrent users").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.common.errors import ConfigError
+from repro.common.timebase import Micros, ms
+from repro.rubbos.interactions import (
+    BROWSE_ONLY_MIX,
+    READ_WRITE_MIX,
+    InteractionProfile,
+    default_interactions,
+)
+
+__all__ = ["InteractionMix", "WorkloadSpec"]
+
+
+class InteractionMix:
+    """A weighted interaction mix with deterministic sampling.
+
+    Parameters
+    ----------
+    profiles:
+        The interactions and their weights (``weight`` field).
+    """
+
+    def __init__(self, profiles: tuple[InteractionProfile, ...]) -> None:
+        active = [p for p in profiles if p.weight > 0]
+        if not active:
+            raise ConfigError("interaction mix has no positive-weight entries")
+        self._profiles = active
+        self._weights = [p.weight for p in active]
+        total = sum(self._weights)
+        self._write_share = (
+            sum(p.weight for p in active if p.is_write) / total
+        )
+
+    @classmethod
+    def named(cls, name: str) -> "InteractionMix":
+        """Build one of the standard mixes (read-write or browse-only)."""
+        profiles = default_interactions()
+        if name == READ_WRITE_MIX:
+            return cls(profiles)
+        if name == BROWSE_ONLY_MIX:
+            reads = tuple(p for p in profiles if not p.is_write)
+            return cls(reads)
+        raise ConfigError(f"unknown interaction mix {name!r}")
+
+    @property
+    def profiles(self) -> list[InteractionProfile]:
+        """Active interactions in this mix."""
+        return list(self._profiles)
+
+    @property
+    def write_share(self) -> float:
+        """Fraction of the mix weight on write interactions."""
+        return self._write_share
+
+    def sample(self, rng: random.Random) -> InteractionProfile:
+        """Draw one interaction according to the mix weights."""
+        return rng.choices(self._profiles, weights=self._weights, k=1)[0]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Client-side workload parameters.
+
+    Parameters
+    ----------
+    users:
+        Number of concurrent emulated users (the paper's "workload").
+    think_time_us:
+        Mean of the exponential think time.  RUBBoS's default is 7 s;
+        scenario experiments shorten it to raise request rates with
+        fewer user processes.
+    ramp_up_us:
+        Users start uniformly spread over this interval so the first
+        samples are not a synchronized thundering herd.
+    mix_name:
+        ``"read_write"`` or ``"browse_only"``.
+    session_model:
+        ``"weighted"`` draws interactions independently from the mix;
+        ``"markov"`` walks the RUBBoS transition table per user (the
+        real benchmark's behaviour).
+    """
+
+    users: int
+    think_time_us: Micros = ms(7_000)
+    ramp_up_us: Micros = ms(1_000)
+    mix_name: str = READ_WRITE_MIX
+    session_model: str = "weighted"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on an impossible workload."""
+        if self.users < 1:
+            raise ConfigError(f"workload needs >= 1 user, got {self.users}")
+        if self.think_time_us < 0 or self.ramp_up_us < 0:
+            raise ConfigError("think/ramp times must be non-negative")
+        if self.session_model not in ("weighted", "markov"):
+            raise ConfigError(f"unknown session model {self.session_model!r}")
+
+    def build_mix(self) -> InteractionMix:
+        """Instantiate the interaction mix this spec names."""
+        return InteractionMix.named(self.mix_name)

@@ -1,0 +1,105 @@
+"""The discrete-event engine.
+
+The engine owns the simulation clock (integer microseconds) and the
+agenda — a priority queue of triggered events.  Ties at the same
+timestamp are broken by insertion order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator
+
+from repro.common.errors import SimulationError
+from repro.common.timebase import Micros
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Examples
+    --------
+    >>> engine = Engine()
+    >>> def hello():
+    ...     yield engine.timeout(1_000)
+    ...     return "done"
+    >>> proc = engine.process(hello())
+    >>> engine.run()
+    >>> proc.value
+    'done'
+    """
+
+    def __init__(self) -> None:
+        self._now: Micros = 0
+        self._agenda: list[tuple[Micros, int, Event]] = []
+        self._sequence = 0
+        self._running = False
+
+    @property
+    def now(self) -> Micros:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: Micros = 0) -> None:
+        """Place a triggered event on the agenda (kernel use only)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        heapq.heappush(self._agenda, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: Micros, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def peek(self) -> Micros | None:
+        """Timestamp of the next agenda entry, or ``None`` if empty."""
+        if not self._agenda:
+            return None
+        return self._agenda[0][0]
+
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        if not self._agenda:
+            raise SimulationError("agenda is empty")
+        timestamp, _, event = heapq.heappop(self._agenda)
+        if timestamp < self._now:
+            raise SimulationError("agenda went backwards in time")
+        self._now = timestamp
+        event._process()
+
+    def run(self, until: Micros | None = None) -> None:
+        """Run until the agenda drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier, so utilization
+        integrals cover the whole requested horizon.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (no reentrant run)")
+        self._running = True
+        try:
+            while self._agenda:
+                next_time = self._agenda[0][0]
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) is in the past (now={self._now})"
+                    )
+                self._now = until
+        finally:
+            self._running = False

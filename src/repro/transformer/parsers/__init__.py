@@ -1,0 +1,32 @@
+"""mScopeParsers: per-monitor log enrichment into tagged XML."""
+
+from repro.transformer.parsers.apache import ApacheMScopeParser
+from repro.transformer.parsers.base import (
+    MScopeParser,
+    create_parser,
+    register_parser,
+    registered_parsers,
+)
+from repro.transformer.parsers.cjdbc import CjdbcMScopeParser
+from repro.transformer.parsers.collectl import CollectlCsvParser, CollectlTextParser
+from repro.transformer.parsers.iostat import IostatParser
+from repro.transformer.parsers.mysql import MySqlMScopeParser
+from repro.transformer.parsers.sar_text import SarTextParser
+from repro.transformer.parsers.sar_xml import SarXmlAdapter
+from repro.transformer.parsers.tomcat import TomcatMScopeParser
+
+__all__ = [
+    "ApacheMScopeParser",
+    "CjdbcMScopeParser",
+    "CollectlCsvParser",
+    "CollectlTextParser",
+    "IostatParser",
+    "MScopeParser",
+    "MySqlMScopeParser",
+    "SarTextParser",
+    "SarXmlAdapter",
+    "TomcatMScopeParser",
+    "create_parser",
+    "register_parser",
+    "registered_parsers",
+]

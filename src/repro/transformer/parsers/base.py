@@ -1,0 +1,100 @@
+"""mScopeParser base class and registry.
+
+A parser turns one raw monitor log into an
+:class:`~repro.transformer.xmlmodel.XmlDocument`.  Its behaviour is
+governed by the :class:`~repro.transformer.declaration.ParserBinding`
+it was constructed with — in particular the regex-token rules, which
+let the declaration stage inject extra semantics (e.g. where the
+request ID hides) without touching parser code.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Type
+
+from repro.common.errors import DeclarationError, ParseError
+from repro.transformer.declaration import (
+    RULE_REGEX_TOKEN,
+    ParserBinding,
+)
+from repro.transformer.xmlmodel import XmlDocument
+
+__all__ = ["MScopeParser", "register_parser", "create_parser", "registered_parsers"]
+
+_PARSER_REGISTRY: dict[str, Type["MScopeParser"]] = {}
+
+
+def register_parser(cls: Type["MScopeParser"]) -> Type["MScopeParser"]:
+    """Class decorator adding a parser to the registry by its ``name``."""
+    if not cls.name:
+        raise DeclarationError(f"{cls.__name__} has no parser name")
+    if cls.name in _PARSER_REGISTRY:
+        raise DeclarationError(f"duplicate parser name {cls.name!r}")
+    _PARSER_REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_parsers() -> list[str]:
+    """Names of all registered parsers."""
+    return sorted(_PARSER_REGISTRY)
+
+
+def create_parser(binding: ParserBinding) -> "MScopeParser":
+    """Instantiate the parser a binding names."""
+    try:
+        cls = _PARSER_REGISTRY[binding.parser_name]
+    except KeyError:
+        raise DeclarationError(
+            f"no parser registered under {binding.parser_name!r}"
+        ) from None
+    return cls(binding)
+
+
+class MScopeParser:
+    """Base class: common file handling plus regex-token rule support."""
+
+    #: Registry name; subclasses must set it.
+    name = ""
+
+    def __init__(self, binding: ParserBinding) -> None:
+        self.binding = binding
+        self._token_rules: list[tuple[str, re.Pattern[str]]] = []
+        for rule in binding.rules:
+            if rule.kind == RULE_REGEX_TOKEN:
+                tag = rule.params.get("tag")
+                pattern = rule.params.get("pattern")
+                if not tag or not pattern:
+                    raise DeclarationError(
+                        "regex_token rule needs 'tag' and 'pattern'"
+                    )
+                self._token_rules.append((tag, re.compile(pattern)))
+
+    # ------------------------------------------------------------------
+
+    def parse_file(self, path: Path | str) -> XmlDocument:
+        """Parse a log file from disk."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ParseError(f"cannot read log: {exc}", path=str(path)) from exc
+        return self.parse_lines(text.splitlines(), source=str(path))
+
+    def parse_lines(self, lines: Iterable[str], source: str) -> XmlDocument:
+        """Parse already-split log lines."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    def new_document(self, source: str) -> XmlDocument:
+        """An empty document labeled with this binding's monitor."""
+        return XmlDocument(monitor=self.binding.monitor, source=source)
+
+    def apply_token_rules(self, line: str, record) -> None:
+        """Extract every declared regex token from ``line`` into ``record``."""
+        for tag, pattern in self._token_rules:
+            match = pattern.search(line)
+            if match:
+                record.set(tag, match.group(1) if match.groups() else match.group(0))

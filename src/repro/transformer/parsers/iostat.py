@@ -1,0 +1,71 @@
+"""The IOstat mScopeParser (blank-line-separated device blocks)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.transformer.parsers.base import MScopeParser, register_parser
+from repro.transformer.timestamps import wall_to_epoch_us
+from repro.transformer.xmlmodel import LogRecord, sanitize_tag
+
+__all__ = ["IostatParser"]
+
+_TIMESTAMP_RE = re.compile(
+    r"^(?P<date>\d{2}/\d{2}/\d{4}) (?P<time>\d{2}:\d{2}:\d{2}(?:\.\d{1,3})?)$"
+)
+
+
+def _column_tag(token: str) -> str:
+    if token.startswith("%"):
+        return sanitize_tag(token[1:] + "_pct")
+    return sanitize_tag(token)
+
+
+@register_parser
+class IostatParser(MScopeParser):
+    """Block-structured parser for ``iostat -dxt`` reports."""
+
+    name = "iostat"
+
+    def parse_lines(self, lines, source):
+        document = self.new_document(source)
+        timestamp_us: int | None = None
+        columns: list[str] | None = None
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                # Blank line: block separator.
+                timestamp_us = None
+                continue
+            match = _TIMESTAMP_RE.match(stripped)
+            if match:
+                timestamp_us = wall_to_epoch_us(
+                    match.group("date"), match.group("time")
+                )
+                continue
+            if stripped.startswith("Device:"):
+                columns = [_column_tag(t) for t in stripped.split()[1:]]
+                continue
+            if timestamp_us is None or columns is None:
+                raise ParseError(
+                    f"device row outside a block: {line!r}",
+                    path=source,
+                    line_number=number,
+                )
+            tokens = stripped.split()
+            if len(tokens) != len(columns) + 1:
+                raise ParseError(
+                    f"device row has {len(tokens) - 1} values for "
+                    f"{len(columns)} columns",
+                    path=source,
+                    line_number=number,
+                )
+            record = LogRecord()
+            record.set("timestamp_us", str(timestamp_us))
+            record.set("device", tokens[0])
+            for column, value in zip(columns, tokens[1:]):
+                record.set(column, value)
+            self.apply_token_rules(line, record)
+            document.append(record)
+        return document

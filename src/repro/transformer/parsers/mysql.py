@@ -1,0 +1,54 @@
+"""The MySQL mScopeParser.
+
+Parses the tab-separated query-log lines of the MySQL mScopeMonitor and
+recovers the propagated request ID from the ``/*ID=...*/`` SQL comment
+via the declaration's regex-token rule (the paper's Appendix A flow in
+reverse).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ParseError
+from repro.transformer.parsers.base import MScopeParser, register_parser
+from repro.transformer.xmlmodel import LogRecord
+
+__all__ = ["MySqlMScopeParser"]
+
+
+@register_parser
+class MySqlMScopeParser(MScopeParser):
+    """Parses instrumented MySQL query-log lines; skips binlog notes."""
+
+    name = "mysql"
+
+    def parse_lines(self, lines, source):
+        document = self.new_document(source)
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) < 2 or parts[1] != "Query":
+                # Stock binlog "Xid = N" notes and other chatter.
+                continue
+            if len(parts) != 5:
+                raise ParseError(
+                    f"malformed query-log line: {line!r}",
+                    path=source,
+                    line_number=number,
+                )
+            _stamp, _kind, arrival, departure, statement = parts
+            if not arrival.isdigit() or not departure.isdigit():
+                raise ParseError(
+                    f"non-numeric boundary timestamps: {line!r}",
+                    path=source,
+                    line_number=number,
+                )
+            record = LogRecord()
+            record.set("tier", "mysql")
+            record.set("upstream_arrival_us", arrival)
+            record.set("upstream_departure_us", departure)
+            record.set("timestamp_us", arrival)
+            record.set("statement", statement.split(" /*")[0])
+            self.apply_token_rules(line, record)
+            document.append(record)
+        return document

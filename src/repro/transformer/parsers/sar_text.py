@@ -1,0 +1,100 @@
+"""The customized SAR mScopeParser (text reports).
+
+The paper built this parser because neither of the generic instruction
+mechanisms could untangle classic SAR output: a banner carrying the
+report *date* (the rows only have times), headers that repeat
+mid-file, blank separator lines, and a trailing ``Average:`` row that
+is a summary, not a sample.  The parser is stateful over the line
+sequence — exactly the ``line_sequence`` enrichment style.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.transformer.parsers.base import MScopeParser, register_parser
+from repro.transformer.timestamps import compact_date_to_iso, wall_to_epoch_us
+from repro.transformer.xmlmodel import LogRecord, sanitize_tag
+
+__all__ = ["SarTextParser"]
+
+_BANNER_RE = re.compile(
+    r"^Linux \S+ \((?P<host>[^)]+)\)\s+(?P<date>\d{2}/\d{2}/\d{4})"
+)
+_TIME_RE = re.compile(r"^\d{2}:\d{2}:\d{2}(?:\.\d{1,3})?$")
+
+
+def _column_tag(token: str) -> str:
+    """SAR header token → tag (``%user`` → ``user_pct``)."""
+    if token.startswith("%"):
+        return sanitize_tag(token[1:] + "_pct")
+    return sanitize_tag(token)
+
+
+@register_parser
+class SarTextParser(MScopeParser):
+    """Stateful parser for classic ``sar -u`` text reports."""
+
+    name = "sar_text"
+
+    def parse_lines(self, lines, source):
+        document = self.new_document(source)
+        report_date: str | None = None
+        hostname: str | None = None
+        columns: list[str] | None = None
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            banner = _BANNER_RE.match(line)
+            if banner:
+                report_date = compact_date_to_iso(banner.group("date"))
+                hostname = banner.group("host")
+                continue
+            if stripped.startswith("Average:"):
+                # Trailing summary row — not a sample.
+                continue
+            tokens = stripped.split()
+            if not _TIME_RE.match(tokens[0]):
+                raise ParseError(
+                    f"unexpected SAR line: {line!r}",
+                    path=source,
+                    line_number=number,
+                )
+            if tokens[1] == "CPU":
+                # (Possibly repeated) header row defines the columns.
+                columns = [_column_tag(t) for t in tokens[2:]]
+                continue
+            if columns is None:
+                raise ParseError(
+                    "SAR data row before any header",
+                    path=source,
+                    line_number=number,
+                )
+            if report_date is None:
+                raise ParseError(
+                    "SAR data row before the banner (no report date)",
+                    path=source,
+                    line_number=number,
+                )
+            values = tokens[2:]
+            if len(values) != len(columns):
+                raise ParseError(
+                    f"SAR row has {len(values)} values for "
+                    f"{len(columns)} columns",
+                    path=source,
+                    line_number=number,
+                )
+            record = LogRecord()
+            record.set(
+                "timestamp_us", str(wall_to_epoch_us(report_date, tokens[0]))
+            )
+            record.set("cpu", tokens[1])
+            if hostname:
+                record.set("hostname", hostname)
+            for column, value in zip(columns, values):
+                record.set(column, value)
+            self.apply_token_rules(line, record)
+            document.append(record)
+        return document

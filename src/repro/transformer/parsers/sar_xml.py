@@ -1,0 +1,59 @@
+"""The SAR XML adapter.
+
+After the authors upgraded SAR, it emitted XML directly and the custom
+text parser became unnecessary (Section III-B-2).  This adapter
+normalizes the ``sadf -x`` document into the pipeline's record model —
+structurally it is the identity step the paper describes, feeding the
+XML-to-CSV converter without bespoke parsing logic.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.common.errors import ParseError
+from repro.transformer.parsers.base import MScopeParser, register_parser
+from repro.transformer.timestamps import wall_to_epoch_us
+from repro.transformer.xmlmodel import LogRecord, sanitize_tag
+
+__all__ = ["SarXmlAdapter"]
+
+
+@register_parser
+class SarXmlAdapter(MScopeParser):
+    """Ingests ``sadf -x`` style XML output."""
+
+    name = "sar_xml"
+
+    def parse_lines(self, lines, source):
+        text = "\n".join(lines)
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ParseError(f"malformed SAR XML: {exc}", path=source) from exc
+        if root.tag != "sysstat":
+            raise ParseError(
+                f"expected <sysstat> root, got <{root.tag}>", path=source
+            )
+        document = self.new_document(source)
+        for host in root.iter("host"):
+            hostname = host.attrib.get("nodename", "")
+            for stamp in host.iter("timestamp"):
+                date = stamp.attrib.get("date")
+                time = stamp.attrib.get("time")
+                if not date or not time:
+                    raise ParseError(
+                        "timestamp element missing date/time", path=source
+                    )
+                for cpu in stamp.iter("cpu"):
+                    record = LogRecord()
+                    record.set("timestamp_us", str(wall_to_epoch_us(date, time)))
+                    if hostname:
+                        record.set("hostname", hostname)
+                    for attr, value in cpu.attrib.items():
+                        if attr == "number":
+                            record.set("cpu", value)
+                        else:
+                            record.set(sanitize_tag(attr + "_pct"), value)
+                    document.append(record)
+        return document

@@ -1,0 +1,54 @@
+"""The Tomcat mScopeParser (self-describing key=value lines)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.transformer.parsers.base import MScopeParser, register_parser
+from repro.transformer.xmlmodel import LogRecord
+
+__all__ = ["TomcatMScopeParser"]
+
+_KV_RE = re.compile(r"(\w+)=(\S+)")
+
+#: key → normalized tag for the instrumented fields.
+_FIELD_TAGS = {
+    "servlet": "interaction",
+    "ID": "request_id",
+    "UA": "upstream_arrival_us",
+    "DS": "downstream_sending_us",
+    "DR": "downstream_receiving_us",
+    "UD": "upstream_departure_us",
+    "queries": "query_count",
+}
+
+
+@register_parser
+class TomcatMScopeParser(MScopeParser):
+    """Parses the bracketed key=value lines of the Tomcat mScopeMonitor.
+
+    Lines that carry no instrumented fields (stock Tomcat INFO lines)
+    are skipped — the unmodified server's chatter is not measurement
+    data.
+    """
+
+    name = "tomcat"
+
+    def parse_lines(self, lines, source):
+        document = self.new_document(source)
+        for line in lines:
+            if not line.strip():
+                continue
+            fields = dict(_KV_RE.findall(line))
+            if "ID" not in fields or "UA" not in fields:
+                continue
+            record = LogRecord()
+            record.set("tier", "tomcat")
+            for key, tag in _FIELD_TAGS.items():
+                value = fields.get(key)
+                if value is not None and value != "-":
+                    record.set(tag, value)
+            record.set("timestamp_us", fields["UA"])
+            self.apply_token_rules(line, record)
+            document.append(record)
+        return document

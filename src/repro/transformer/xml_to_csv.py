@@ -1,0 +1,191 @@
+"""The mScope XMLtoCSV Converter.
+
+The pipeline's third stage (Section III-B-3): turn a semi-structured
+:class:`~repro.transformer.xmlmodel.XmlDocument` into a relational
+table using the paper's bottom-up schema materialization —
+
+* the column set is the **union** of all tags in the document;
+* each column's type is chosen by the **best-match principle**: the
+  *narrowest* type (INTEGER ⊂ REAL ⊂ TEXT) that can store every value
+  observed for that tag.
+
+The converter also writes/reads the CSV + schema artifacts the
+downstream mScope Data Importer consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import SchemaInferenceError
+from repro.transformer.xmlmodel import XmlDocument
+
+__all__ = ["CsvTable", "XmlToCsvConverter", "infer_sql_type"]
+
+_TYPE_ORDER = ("INTEGER", "REAL", "TEXT")
+
+
+def _is_int(value: str) -> bool:
+    if not value:
+        return False
+    body = value[1:] if value[0] in "+-" else value
+    return body.isdigit()
+
+
+def _is_real(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def infer_sql_type(values: list[str]) -> str:
+    """The narrowest SQL type storing every value (best-match principle)."""
+    non_null = [v for v in values if v != ""]
+    if not non_null:
+        return "TEXT"
+    if all(_is_int(v) for v in non_null):
+        return "INTEGER"
+    if all(_is_real(v) for v in non_null):
+        return "REAL"
+    return "TEXT"
+
+
+def _coerce(value: str | None, sql_type: str) -> Any:
+    if value is None or value == "":
+        return None
+    if sql_type == "INTEGER":
+        return int(value)
+    if sql_type == "REAL":
+        return float(value)
+    return value
+
+
+@dataclasses.dataclass(slots=True)
+class CsvTable:
+    """A converted table: inferred schema plus typed rows."""
+
+    name: str
+    columns: list[tuple[str, str]]
+    rows: list[tuple]
+    monitor: str
+    source: str
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c for c, _ in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class XmlToCsvConverter:
+    """Converts enriched XML documents into typed relational tables."""
+
+    def convert(
+        self,
+        document: XmlDocument,
+        table_name: str,
+        extra_columns: dict[str, str] | None = None,
+    ) -> CsvTable:
+        """Infer the schema from ``document`` and materialize the rows.
+
+        ``extra_columns`` adds constant-valued TEXT columns (e.g. the
+        hostname the pipeline knows from the log's location).
+        """
+        tags = document.all_tags()
+        if not tags and not extra_columns:
+            raise SchemaInferenceError(
+                f"document {document.source!r} has no tags to infer from"
+            )
+        type_by_tag: dict[str, str] = {}
+        for tag in tags:
+            observed = [
+                record.get(tag) for record in document if tag in record
+            ]
+            type_by_tag[tag] = infer_sql_type([v for v in observed if v is not None])
+
+        columns: list[tuple[str, str]] = [(t, type_by_tag[t]) for t in tags]
+        constants: list[tuple[str, str]] = []
+        if extra_columns:
+            for column, value in extra_columns.items():
+                if column in type_by_tag:
+                    # The parser already extracted this field from the
+                    # log itself (e.g. SAR's banner hostname); the
+                    # log's own value wins.
+                    continue
+                columns.append((column, "TEXT"))
+                constants.append((column, value))
+
+        rows: list[tuple] = []
+        for record in document:
+            row = [
+                _coerce(record.get(tag), type_by_tag[tag]) for tag in tags
+            ]
+            row.extend(value for _, value in constants)
+            rows.append(tuple(row))
+        return CsvTable(
+            name=table_name,
+            columns=columns,
+            rows=rows,
+            monitor=document.monitor,
+            source=document.source,
+        )
+
+    # ------------------------------------------------------------------
+    # artifact files
+
+    def write_csv(self, table: CsvTable, path: Path | str) -> Path:
+        """Write the CSV artifact plus its ``.schema`` sidecar."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.column_names)
+            for row in table.rows:
+                writer.writerow(["" if v is None else v for v in row])
+        schema_path = path.with_suffix(".schema")
+        schema_path.write_text(
+            "".join(f"{c} {t}\n" for c, t in table.columns), encoding="utf-8"
+        )
+        return path
+
+    def read_csv(
+        self, path: Path | str, monitor: str = "unknown"
+    ) -> CsvTable:
+        """Read a CSV + schema artifact pair back into a table."""
+        path = Path(path)
+        schema_path = path.with_suffix(".schema")
+        if not schema_path.exists():
+            raise SchemaInferenceError(f"missing schema sidecar for {path}")
+        columns: list[tuple[str, str]] = []
+        for line in schema_path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            column, sql_type = line.rsplit(" ", 1)
+            columns.append((column, sql_type))
+        with path.open("r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            if header != [c for c, _ in columns]:
+                raise SchemaInferenceError(
+                    f"CSV header does not match schema sidecar for {path}"
+                )
+            rows = [
+                tuple(
+                    _coerce(value, sql_type)
+                    for value, (_, sql_type) in zip(row, columns)
+                )
+                for row in reader
+            ]
+        return CsvTable(
+            name=path.stem,
+            columns=columns,
+            rows=rows,
+            monitor=monitor,
+            source=str(path),
+        )

@@ -1,0 +1,155 @@
+"""The semi-structured intermediate representation.
+
+The mScopeParsers "enrich" raw monitor logs by wrapping each logical
+record in XML tags (Section III-B).  A parsed file becomes an
+:class:`XmlDocument` — an ordered list of :class:`LogRecord` entries,
+each a mapping of tag name to string value — which can be written to a
+real ``.xml`` file and read back, keeping the pipeline's stages honest
+(the converter sees only the XML, never the parser's internals).
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.common.errors import ParseError
+
+__all__ = ["LogRecord", "XmlDocument", "sanitize_tag"]
+
+_TAG_CLEAN_RE = re.compile(r"[^A-Za-z0-9_]")
+_TAG_OK_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def sanitize_tag(raw: str) -> str:
+    """Turn an arbitrary column label into a valid XML tag / SQL column.
+
+    ``[CPU]User%`` → ``cpu_user_pct``; ``%util`` → ``util_pct``.
+    """
+    name = raw.strip()
+    name = name.replace("%", "_pct").replace("/", "_per_")
+    name = _TAG_CLEAN_RE.sub("_", name)
+    name = re.sub(r"_+", "_", name).strip("_").lower()
+    if not name:
+        raise ParseError(f"cannot derive a tag name from {raw!r}")
+    if not _TAG_OK_RE.match(name):
+        name = "f_" + name
+    return name
+
+
+class LogRecord:
+    """One enriched log record: an ordered tag → value mapping."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Mapping[str, str] | None = None) -> None:
+        self._fields: dict[str, str] = {}
+        if fields:
+            for tag, value in fields.items():
+                self.set(tag, value)
+
+    def set(self, tag: str, value) -> None:
+        """Set one field (tag must already be sanitized)."""
+        if not _TAG_OK_RE.match(tag):
+            raise ParseError(f"invalid tag name {tag!r}")
+        self._fields[tag] = str(value)
+
+    def get(self, tag: str, default: str | None = None) -> str | None:
+        """Read one field."""
+        return self._fields.get(tag, default)
+
+    def tags(self) -> list[str]:
+        """Tags in insertion order."""
+        return list(self._fields)
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        return iter(self._fields.items())
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._fields
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LogRecord):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        return f"LogRecord({self._fields!r})"
+
+
+class XmlDocument:
+    """An ordered collection of enriched records from one source log."""
+
+    def __init__(self, monitor: str, source: str) -> None:
+        self.monitor = monitor
+        self.source = source
+        self.records: list[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)
+
+    def all_tags(self) -> list[str]:
+        """Union of tags across records, ordered by first appearance."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            for tag in record.tags():
+                seen.setdefault(tag, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # file round trip
+
+    def write(self, path: Path | str) -> Path:
+        """Write the document as a real XML file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        root = ET.Element(
+            "mscope", attrib={"monitor": self.monitor, "source": self.source}
+        )
+        for record in self.records:
+            element = ET.SubElement(root, "log")
+            for tag, value in record.items():
+                child = ET.SubElement(element, tag)
+                child.text = value
+        ET.ElementTree(root).write(path, encoding="utf-8", xml_declaration=True)
+        return path
+
+    @classmethod
+    def read(cls, path: Path | str) -> "XmlDocument":
+        """Read a document previously written with :meth:`write`."""
+        path = Path(path)
+        try:
+            tree = ET.parse(path)
+        except ET.ParseError as exc:
+            raise ParseError(f"malformed XML: {exc}", path=str(path)) from exc
+        root = tree.getroot()
+        if root.tag != "mscope":
+            raise ParseError(
+                f"expected <mscope> root, got <{root.tag}>", path=str(path)
+            )
+        doc = cls(
+            monitor=root.attrib.get("monitor", "unknown"),
+            source=root.attrib.get("source", str(path)),
+        )
+        for element in root:
+            if element.tag != "log":
+                raise ParseError(
+                    f"unexpected element <{element.tag}>", path=str(path)
+                )
+            record = LogRecord()
+            for child in element:
+                record.set(child.tag, child.text if child.text is not None else "")
+            doc.append(record)
+        return doc

@@ -1,0 +1,17 @@
+"""mScopeDB: the dynamic data warehouse and its exploration API."""
+
+from repro.warehouse.db import MScopeDB, STATIC_TABLES, quote_identifier
+from repro.warehouse.explorer import (
+    InteractionStats,
+    SlowRequest,
+    WarehouseExplorer,
+)
+
+__all__ = [
+    "InteractionStats",
+    "MScopeDB",
+    "STATIC_TABLES",
+    "SlowRequest",
+    "WarehouseExplorer",
+    "quote_identifier",
+]

@@ -1,0 +1,321 @@
+"""mScopeDB — the dynamic data warehouse.
+
+A sqlite-backed store with the paper's structure (Section III-C): four
+*static* tables hold load-time metadata (experiment configuration, host
+configuration, the monitor registry, and the load catalog), while the
+measurement tables are created *dynamically* by the mScope Data
+Importer as logs arrive — their schemas inferred bottom-up from the
+data, never declared in advance.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import QueryError, WarehouseError
+
+__all__ = ["MScopeDB", "STATIC_TABLES", "quote_identifier"]
+
+#: The four static metadata tables (Section III-C).
+STATIC_TABLES = (
+    "experiment_meta",
+    "host_config",
+    "monitor_registry",
+    "load_catalog",
+)
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_ALLOWED_TYPES = {"INTEGER", "REAL", "TEXT"}
+
+
+def quote_identifier(name: str) -> str:
+    """Validate and quote a SQL identifier derived from log data."""
+    if not _IDENTIFIER_RE.match(name):
+        raise WarehouseError(f"invalid SQL identifier {name!r}")
+    return f'"{name}"'
+
+
+class MScopeDB:
+    """The milliScope dynamic data warehouse.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` (the default) for an
+        in-memory warehouse.
+
+    Examples
+    --------
+    >>> db = MScopeDB()
+    >>> db.create_table("collectl_web1", [("timestamp_us", "INTEGER"),
+    ...                                   ("cpu_user_pct", "REAL")])
+    >>> db.insert_rows("collectl_web1", ["timestamp_us", "cpu_user_pct"],
+    ...                [(1000, 12.5)])
+    1
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA journal_mode = MEMORY")
+        self._create_static_tables()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "MScopeDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise WarehouseError("warehouse is closed")
+        return self._conn
+
+    # ------------------------------------------------------------------
+    # static tables
+
+    def _create_static_tables(self) -> None:
+        conn = self._require_conn()
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS experiment_meta (
+                key TEXT PRIMARY KEY,
+                value TEXT NOT NULL
+            );
+            CREATE TABLE IF NOT EXISTS host_config (
+                hostname TEXT PRIMARY KEY,
+                tier TEXT,
+                cores INTEGER,
+                disk_bandwidth_bytes_per_sec INTEGER
+            );
+            CREATE TABLE IF NOT EXISTS monitor_registry (
+                monitor TEXT NOT NULL,
+                hostname TEXT NOT NULL,
+                source_path TEXT NOT NULL,
+                parser TEXT NOT NULL,
+                table_name TEXT NOT NULL,
+                PRIMARY KEY (monitor, hostname, source_path)
+            );
+            CREATE TABLE IF NOT EXISTS load_catalog (
+                table_name TEXT NOT NULL,
+                source_path TEXT NOT NULL,
+                rows_loaded INTEGER NOT NULL,
+                columns INTEGER NOT NULL,
+                PRIMARY KEY (table_name, source_path)
+            );
+            """
+        )
+        conn.commit()
+
+    def set_experiment_meta(self, key: str, value: str) -> None:
+        """Record one experiment metadata entry."""
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO experiment_meta (key, value) VALUES (?, ?)",
+            (key, str(value)),
+        )
+        conn.commit()
+
+    def get_experiment_meta(self, key: str) -> str | None:
+        """Read one experiment metadata entry."""
+        row = self._require_conn().execute(
+            "SELECT value FROM experiment_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def register_host(
+        self,
+        hostname: str,
+        tier: str,
+        cores: int,
+        disk_bandwidth: int,
+    ) -> None:
+        """Record one host's configuration."""
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO host_config VALUES (?, ?, ?, ?)",
+            (hostname, tier, cores, disk_bandwidth),
+        )
+        conn.commit()
+
+    def register_monitor(
+        self,
+        monitor: str,
+        hostname: str,
+        source_path: str,
+        parser: str,
+        table_name: str,
+    ) -> None:
+        """Record the provenance of one loaded monitor log."""
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO monitor_registry VALUES (?, ?, ?, ?, ?)",
+            (monitor, hostname, source_path, parser, table_name),
+        )
+        conn.commit()
+
+    def record_load(
+        self, table_name: str, source_path: str, rows: int, columns: int
+    ) -> None:
+        """Record one load into the catalog."""
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO load_catalog VALUES (?, ?, ?, ?)",
+            (table_name, source_path, rows, columns),
+        )
+        conn.commit()
+
+    # ------------------------------------------------------------------
+    # dynamic tables
+
+    def create_table(
+        self, name: str, columns: Sequence[tuple[str, str]]
+    ) -> None:
+        """Create a dynamic table with the given ``(name, type)`` columns."""
+        if not columns:
+            raise WarehouseError(f"table {name!r} needs at least one column")
+        if name in STATIC_TABLES:
+            raise WarehouseError(f"{name!r} is a reserved static table")
+        rendered = []
+        for column, sql_type in columns:
+            if sql_type not in _ALLOWED_TYPES:
+                raise WarehouseError(
+                    f"column {column!r} has unsupported type {sql_type!r}"
+                )
+            rendered.append(f"{quote_identifier(column)} {sql_type}")
+        conn = self._require_conn()
+        conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(name)} "
+            f"({', '.join(rendered)})"
+        )
+        conn.commit()
+
+    def create_index(self, table: str, column: str) -> None:
+        """Create (if absent) a single-column index on a dynamic table.
+
+        The importer indexes ``request_id`` and ``timestamp_us`` so the
+        cross-tier ID joins (Figure 5) and windowed metric scans stay
+        fast as the warehouse grows.
+        """
+        index_name = f"idx_{table}_{column}"
+        conn = self._require_conn()
+        conn.execute(
+            f"CREATE INDEX IF NOT EXISTS {quote_identifier(index_name)} "
+            f"ON {quote_identifier(table)} ({quote_identifier(column)})"
+        )
+        conn.commit()
+
+    def indexes(self, table: str) -> list[str]:
+        """Names of the indexes on ``table``."""
+        rows = self._require_conn().execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index' "
+            "AND tbl_name = ? ORDER BY name",
+            (table,),
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def add_column(self, table: str, column: str, sql_type: str) -> None:
+        """Add a column to an existing dynamic table (NULL backfill)."""
+        if sql_type not in _ALLOWED_TYPES:
+            raise WarehouseError(f"unsupported type {sql_type!r}")
+        conn = self._require_conn()
+        conn.execute(
+            f"ALTER TABLE {quote_identifier(table)} "
+            f"ADD COLUMN {quote_identifier(column)} {sql_type}"
+        )
+        conn.commit()
+
+    def insert_rows(
+        self,
+        table: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> int:
+        """Bulk-insert rows; returns the number inserted."""
+        column_sql = ", ".join(quote_identifier(c) for c in columns)
+        placeholders = ", ".join("?" for _ in columns)
+        conn = self._require_conn()
+        cursor = conn.executemany(
+            f"INSERT INTO {quote_identifier(table)} ({column_sql}) "
+            f"VALUES ({placeholders})",
+            rows,
+        )
+        conn.commit()
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # introspection & querying
+
+    def tables(self) -> list[str]:
+        """All table names, static and dynamic."""
+        rows = self._require_conn().execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def dynamic_tables(self) -> list[str]:
+        """Only the dynamically created measurement tables."""
+        return [t for t in self.tables() if t not in STATIC_TABLES]
+
+    def table_schema(self, table: str) -> list[tuple[str, str]]:
+        """``(column, type)`` pairs of one table."""
+        rows = self._require_conn().execute(
+            f"PRAGMA table_info({quote_identifier(table)})"
+        ).fetchall()
+        if not rows:
+            raise QueryError(f"no such table {table!r}")
+        return [(r[1], r[2]) for r in rows]
+
+    def row_count(self, table: str) -> int:
+        """Number of rows in ``table``."""
+        if table not in self.tables():
+            raise QueryError(f"no such table {table!r}")
+        return self._require_conn().execute(
+            f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+        ).fetchone()[0]
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
+        """Run an arbitrary read query."""
+        try:
+            return self._require_conn().execute(sql, params).fetchall()
+        except sqlite3.Error as exc:
+            raise QueryError(f"query failed: {exc}") from exc
+
+    def fetch_series(
+        self,
+        table: str,
+        time_column: str,
+        value_column: str,
+        start: int | None = None,
+        stop: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """A ``(time, value)`` series from one table, optionally windowed."""
+        sql = (
+            f"SELECT {quote_identifier(time_column)}, "
+            f"{quote_identifier(value_column)} FROM {quote_identifier(table)}"
+        )
+        conditions = []
+        params: list[Any] = []
+        if start is not None:
+            conditions.append(f"{quote_identifier(time_column)} >= ?")
+            params.append(start)
+        if stop is not None:
+            conditions.append(f"{quote_identifier(time_column)} < ?")
+            params.append(stop)
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        sql += f" ORDER BY {quote_identifier(time_column)}"
+        return self.query(sql, params)

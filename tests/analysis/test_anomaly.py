@@ -1,0 +1,82 @@
+"""Tests for VLRT detection and anomaly-window clustering."""
+
+import pytest
+
+from repro.analysis.anomaly import cluster_anomaly_windows, detect_vlrt
+from repro.analysis.response_time import CompletionSample
+from repro.common.errors import AnalysisError
+from repro.common.timebase import ms
+
+
+def sample(completed_ms, rt_ms, request_id):
+    return CompletionSample(ms(completed_ms), ms(rt_ms), request_id)
+
+
+def normal_population(n=100, rt_ms=5):
+    return [sample(10 * i, rt_ms, f"R0A{i:09d}") for i in range(n)]
+
+
+def test_no_vlrt_in_healthy_population():
+    assert detect_vlrt(normal_population()) == []
+
+
+def test_vlrt_detected_above_median_factor():
+    samples = normal_population() + [sample(1500, 300, "R0Aslow00001")]
+    vlrts = detect_vlrt(samples, threshold_factor=10)
+    assert [v.request_id for v in vlrts] == ["R0Aslow00001"]
+
+
+def test_median_baseline_robust_to_heavy_anomaly():
+    # 30% of requests are slow: the mean would hide them, the median not.
+    samples = normal_population(70) + [
+        sample(2000 + i, 400, f"R0Aslow{i:05d}") for i in range(30)
+    ]
+    vlrts = detect_vlrt(samples, threshold_factor=10)
+    assert len(vlrts) == 30
+
+
+def test_absolute_floor_prevents_noise():
+    # 10x the median but below the absolute floor: not a VLRT.
+    samples = normal_population(50, rt_ms=2) + [sample(999, 25, "R0Amid000001")]
+    assert detect_vlrt(samples, min_response_ms=50.0) == []
+
+
+def test_threshold_factor_validated():
+    with pytest.raises(AnalysisError):
+        detect_vlrt([], threshold_factor=1.0)
+
+
+def test_empty_population():
+    assert detect_vlrt([]) == []
+
+
+def test_cluster_groups_nearby_vlrts():
+    samples = normal_population() + [
+        sample(1000, 200, "R0Aslow00001"),
+        sample(1050, 250, "R0Aslow00002"),
+        sample(5000, 300, "R0Aslow00003"),
+    ]
+    vlrts = detect_vlrt(samples)
+    windows = cluster_anomaly_windows(vlrts, gap_us=ms(500))
+    assert len(windows) == 2
+    assert windows[0].vlrt_count == 2
+    assert windows[1].vlrt_count == 1
+    assert windows[1].peak_response_ms == 300
+
+
+def test_cluster_window_covers_request_lifetime():
+    vlrts = detect_vlrt(normal_population() + [sample(1000, 400, "R0Aslow00001")])
+    (window,) = cluster_anomaly_windows(vlrts, margin_us=ms(100))
+    # The request started at 600 ms; the window must reach back there.
+    assert window.start <= ms(500)
+    assert window.stop >= ms(1000)
+
+
+def test_cluster_empty():
+    assert cluster_anomaly_windows([]) == []
+
+
+def test_window_start_never_negative():
+    vlrts = detect_vlrt(normal_population() + [sample(60, 55, "R0Aslow00001")])
+    (window,) = cluster_anomaly_windows(vlrts, margin_us=ms(100))
+    assert window.start >= 0

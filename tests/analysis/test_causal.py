@@ -1,0 +1,115 @@
+"""Tests for causal-path reconstruction via warehouse ID joins."""
+
+import pytest
+
+from repro.analysis.causal import CausalHop, CausalPath, reconstruct_path
+from repro.common.errors import AnalysisError
+from repro.warehouse.db import MScopeDB
+
+
+def build_db():
+    """A warehouse with one request across three tiers (two DB visits)."""
+    db = MScopeDB()
+    specs = {
+        "apache_events_web1": [
+            ("R0A000000001", 1000, 9000, 1500, 8500),
+        ],
+        "tomcat_events_app1": [
+            ("R0A000000001", 1700, 8300, 2000, 8000),
+        ],
+        "mysql_events_db1": [
+            ("R0A000000001", 2200, 3200, None, None),
+            ("R0A000000001", 5000, 7800, None, None),
+        ],
+    }
+    for table, rows in specs.items():
+        db.create_table(
+            table,
+            [
+                ("request_id", "TEXT"),
+                ("upstream_arrival_us", "INTEGER"),
+                ("upstream_departure_us", "INTEGER"),
+                ("downstream_sending_us", "INTEGER"),
+                ("downstream_receiving_us", "INTEGER"),
+            ],
+        )
+        db.insert_rows(
+            table,
+            [
+                "request_id",
+                "upstream_arrival_us",
+                "upstream_departure_us",
+                "downstream_sending_us",
+                "downstream_receiving_us",
+            ],
+            rows,
+        )
+    return db
+
+
+TIER_TABLES = {
+    "apache": "apache_events_web1",
+    "tomcat": "tomcat_events_app1",
+    "mysql": "mysql_events_db1",
+}
+
+
+def test_path_joins_all_tiers():
+    path = reconstruct_path(build_db(), "R0A000000001", TIER_TABLES)
+    assert [h.tier for h in path.hops] == ["apache", "tomcat", "mysql", "mysql"]
+
+
+def test_hops_sorted_by_arrival():
+    path = reconstruct_path(build_db(), "R0A000000001", TIER_TABLES)
+    arrivals = [h.upstream_arrival_us for h in path.hops]
+    assert arrivals == sorted(arrivals)
+
+
+def test_response_time_is_first_tier_span():
+    path = reconstruct_path(build_db(), "R0A000000001", TIER_TABLES)
+    assert path.response_time_ms() == 8.0
+
+
+def test_tier_breakdown_excludes_downstream():
+    path = reconstruct_path(build_db(), "R0A000000001", TIER_TABLES)
+    breakdown = path.tier_breakdown_ms()
+    # apache: 8000 total - 7000 downstream = 1000 us = 1 ms
+    assert breakdown["apache"] == pytest.approx(1.0)
+    # tomcat: 6600 - 6000 = 600 us
+    assert breakdown["tomcat"] == pytest.approx(0.6)
+    # mysql: two visits, 1000 + 2800 us
+    assert breakdown["mysql"] == pytest.approx(3.8)
+
+
+def test_dominant_tier():
+    path = reconstruct_path(build_db(), "R0A000000001", TIER_TABLES)
+    assert path.dominant_tier() == "mysql"
+
+
+def test_happens_before_valid():
+    path = reconstruct_path(build_db(), "R0A000000001", TIER_TABLES)
+    path.validate_happens_before()
+
+
+def test_happens_before_violation_detected():
+    hops = [
+        CausalHop("apache", 1000, 2000, None, None),
+        CausalHop("tomcat", 500, 1500, None, None),  # arrives before apache
+    ]
+    path = CausalPath("R0A000000001", hops)
+    with pytest.raises(AnalysisError):
+        path.validate_happens_before()
+
+
+def test_unknown_request_raises():
+    with pytest.raises(AnalysisError):
+        reconstruct_path(build_db(), "R0A000000999", TIER_TABLES)
+
+
+def test_tables_without_request_id_skipped():
+    db = build_db()
+    db.create_table("sar_web1", [("timestamp_us", "INTEGER")])
+    tables = dict(TIER_TABLES)
+    tables["sar"] = "sar_web1"
+    path = reconstruct_path(db, "R0A000000001", tables)
+    assert len(path.hops) == 4

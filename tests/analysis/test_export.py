@@ -1,0 +1,101 @@
+"""Tests for Chrome-trace and span-tree export."""
+
+import json
+
+import pytest
+
+from repro.analysis.causal import CausalHop, CausalPath
+from repro.analysis.export import to_chrome_trace, to_span_tree, write_chrome_trace
+from repro.common.errors import AnalysisError
+
+
+def sample_path():
+    hops = [
+        CausalHop("apache", 0, 10_000, 1_000, 9_000),
+        CausalHop("tomcat", 1_200, 8_800, 2_000, 8_000),
+        CausalHop("mysql", 2_200, 7_800, None, None),
+    ]
+    return CausalPath("R0A000000001", hops)
+
+
+def test_chrome_trace_structure():
+    doc = to_chrome_trace([sample_path()])
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert len(events) == 3
+    assert len(metadata) == 3  # one process row per tier
+    apache = next(e for e in events if e["cat"] == "apache")
+    assert apache["ts"] == 0
+    assert apache["dur"] == 10_000
+
+
+def test_chrome_trace_multiple_requests_share_tier_rows():
+    a = sample_path()
+    b = CausalPath(
+        "R0A000000002", [CausalHop("apache", 20_000, 25_000, None, None)]
+    )
+    doc = to_chrome_trace([a, b])
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert len(metadata) == 3  # no duplicate process rows
+
+
+def test_chrome_trace_empty_rejected():
+    with pytest.raises(AnalysisError):
+        to_chrome_trace([])
+
+
+def test_write_chrome_trace_valid_json(tmp_path):
+    path = write_chrome_trace([sample_path()], tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+def test_span_tree_parenting():
+    spans = to_span_tree(sample_path())
+    by_name = {s["name"]: s for s in spans}
+    assert by_name["apache"]["parentSpanId"] is None
+    assert by_name["tomcat"]["parentSpanId"] == by_name["apache"]["spanId"]
+    assert by_name["mysql"]["parentSpanId"] == by_name["tomcat"]["spanId"]
+
+
+def test_span_tree_nanosecond_times():
+    spans = to_span_tree(sample_path())
+    apache = next(s for s in spans if s["name"] == "apache")
+    assert apache["startTimeUnixNano"] == 0
+    assert apache["endTimeUnixNano"] == 10_000_000
+
+
+def test_span_tree_empty_rejected():
+    with pytest.raises(AnalysisError):
+        to_span_tree(CausalPath("R0A000000009", []))
+
+
+def test_export_from_simulated_trace():
+    """End to end: trace -> warehouse join -> both export formats."""
+    from repro.common.timebase import ms, seconds
+    from repro.ntier import NTierSystem, SystemConfig
+    from repro.rubbos import WorkloadSpec
+    from repro.analysis.causal import CausalPath as CP
+
+    config = SystemConfig(
+        workload=WorkloadSpec(users=20, think_time_us=ms(300), ramp_up_us=ms(100)),
+        seed=2,
+    )
+    result = NTierSystem(config).run(seconds(1))
+    trace = max(result.traces, key=lambda t: len(t.visits))
+    hops = [
+        CausalHop(
+            v.tier,
+            v.upstream_arrival,
+            v.upstream_departure,
+            v.downstream_sending,
+            v.downstream_receiving,
+        )
+        for v in sorted(trace.visits, key=lambda v: v.upstream_arrival)
+    ]
+    path = CP(trace.request_id, hops)
+    spans = to_span_tree(path)
+    assert len(spans) == len(trace.visits)
+    roots = [s for s in spans if s["parentSpanId"] is None]
+    assert len(roots) == 1
+    assert roots[0]["name"] == "apache"

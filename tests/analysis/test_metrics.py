@@ -1,0 +1,85 @@
+"""Tests for metric series and root-cause candidate discovery."""
+
+import pytest
+
+from repro.analysis.metrics import discover_candidates, metric_series
+from repro.common.errors import AnalysisError
+from repro.warehouse.db import MScopeDB
+
+
+def build_db():
+    db = MScopeDB()
+    db.create_table(
+        "collectl_db1",
+        [
+            ("timestamp_us", "INTEGER"),
+            ("cpu_user_pct", "REAL"),
+            ("cpu_sys_pct", "REAL"),
+            ("cpu_wait_pct", "REAL"),
+            ("dsk_pctutil", "REAL"),
+            ("mem_dirty", "INTEGER"),
+        ],
+    )
+    db.insert_rows(
+        "collectl_db1",
+        ["timestamp_us", "cpu_user_pct", "cpu_sys_pct", "cpu_wait_pct",
+         "dsk_pctutil", "mem_dirty"],
+        [
+            (1_000_050_000, 10.0, 2.0, 1.0, 5.0, 1024),
+            (1_000_100_000, 20.0, 3.0, 2.0, 95.0, 2048),
+        ],
+    )
+    db.register_monitor("collectl", "db1", "p", "collectl_csv", "collectl_db1")
+    return db
+
+
+def test_metric_series_single_column():
+    series = metric_series(build_db(), "collectl_db1", ("dsk_pctutil",),
+                           epoch_us=1_000_000_000)
+    assert list(series.times) == [50_000, 100_000]
+    assert list(series.values) == [5.0, 95.0]
+
+
+def test_metric_series_sums_columns():
+    series = metric_series(
+        build_db(),
+        "collectl_db1",
+        ("cpu_user_pct", "cpu_sys_pct", "cpu_wait_pct"),
+    )
+    assert list(series.values) == [13.0, 25.0]
+
+
+def test_metric_series_window():
+    series = metric_series(
+        build_db(),
+        "collectl_db1",
+        ("dsk_pctutil",),
+        epoch_us=1_000_000_000,
+        start=60_000,
+        stop=200_000,
+    )
+    assert len(series) == 1
+
+
+def test_metric_series_requires_columns():
+    with pytest.raises(AnalysisError):
+        metric_series(build_db(), "collectl_db1", ())
+
+
+def test_discover_candidates_from_registry():
+    candidates = discover_candidates(build_db())
+    kinds = {c.kind for c in candidates}
+    assert kinds == {"disk_util", "cpu_busy", "dirty_pages"}
+    assert all(c.hostname == "db1" for c in candidates)
+
+
+def test_discover_skips_tables_without_timestamp():
+    db = build_db()
+    db.create_table("odd_table", [("x", "INTEGER")])
+    db.register_monitor("odd", "db1", "p", "odd", "odd_table")
+    candidates = discover_candidates(db)
+    assert all(c.table != "odd_table" for c in candidates)
+
+
+def test_discover_empty_registry():
+    assert discover_candidates(MScopeDB()) == []

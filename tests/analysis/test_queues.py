@@ -1,0 +1,115 @@
+"""Tests for instantaneous queue-length computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.queues import (
+    concurrency_series,
+    spans_from_traces,
+    spans_from_warehouse,
+    tier_queue_lengths,
+)
+from repro.common.errors import AnalysisError
+from repro.common.records import BoundaryRecord, RequestTrace
+from repro.warehouse.db import MScopeDB
+
+
+def test_no_spans_zero_series():
+    series = concurrency_series([], 0, 100, 10)
+    assert list(series.values) == [0.0] * 10
+
+
+def test_overlapping_spans_counted():
+    spans = [(0, 50), (10, 60), (20, 30)]
+    series = concurrency_series(spans, 0, 70, 10)
+    # t=0: 1; t=10: 2; t=20: 3; t=30: 2 (third departed); t=50: 1; t=60: 0
+    assert list(series.values) == [1, 2, 3, 2, 2, 1, 0]
+
+
+def test_span_boundary_semantics():
+    # arrival <= t < departure
+    series = concurrency_series([(10, 20)], 0, 40, 10)
+    assert list(series.values) == [0, 1, 0, 0]
+
+
+def test_invalid_grid_rejected():
+    with pytest.raises(AnalysisError):
+        concurrency_series([], 0, 100, 0)
+    with pytest.raises(AnalysisError):
+        concurrency_series([], 100, 100, 10)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.integers(1, 200)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_concurrency_matches_bruteforce(raw):
+    """Property: vectorized counting equals per-point brute force."""
+    spans = [(a, a + d) for a, d in raw]
+    series = concurrency_series(spans, 0, 800, 37)
+    for t, v in zip(series.times, series.values):
+        brute = sum(1 for a, d in spans if a <= t < d)
+        assert v == brute
+
+
+def test_spans_from_traces_filters_tier_and_completeness():
+    trace = RequestTrace("R0A000000001", "ViewStory", client_send=0)
+    trace.add_visit(
+        BoundaryRecord("R0A000000001", "apache", "web1", 10, upstream_departure=90)
+    )
+    trace.add_visit(
+        BoundaryRecord("R0A000000001", "mysql", "db1", 30, upstream_departure=40)
+    )
+    trace.add_visit(BoundaryRecord("R0A000000001", "mysql", "db1", 50))  # open
+    assert spans_from_traces([trace], "apache") == [(10, 90)]
+    assert spans_from_traces([trace], "mysql") == [(30, 40)]
+
+
+def make_event_table(db, table, rows):
+    db.create_table(
+        table,
+        [("upstream_arrival_us", "INTEGER"), ("upstream_departure_us", "INTEGER")],
+    )
+    db.insert_rows(
+        table, ["upstream_arrival_us", "upstream_departure_us"], rows
+    )
+
+
+def test_spans_from_warehouse_with_epoch():
+    db = MScopeDB()
+    make_event_table(db, "apache_events_web1", [(1_000_100, 1_000_200)])
+    spans = spans_from_warehouse(db, "apache_events_web1", epoch_us=1_000_000)
+    assert spans == [(100, 200)]
+
+
+def test_tier_queue_lengths_multi_table():
+    db = MScopeDB()
+    make_event_table(db, "apache_events_web1", [(0, 100), (50, 150)])
+    make_event_table(db, "mysql_events_db1", [(20, 40)])
+    queues = tier_queue_lengths(
+        db,
+        {"apache": "apache_events_web1", "mysql": "mysql_events_db1"},
+        0,
+        200,
+        10,
+    )
+    assert queues["apache"].max() == 2
+    assert queues["mysql"].max() == 1
+
+
+def test_tier_queue_lengths_aggregates_replica_tables():
+    db = MScopeDB()
+    make_event_table(db, "tomcat_events_app1", [(0, 100)])
+    make_event_table(db, "tomcat_events_app2", [(50, 150)])
+    queues = tier_queue_lengths(
+        db,
+        {"tomcat": ["tomcat_events_app1", "tomcat_events_app2"]},
+        0,
+        200,
+        10,
+    )
+    # Both replicas' spans overlap in [50, 100): aggregate queue is 2.
+    assert queues["tomcat"].max() == 2

@@ -1,0 +1,55 @@
+"""Tests for terminal series rendering."""
+
+import pytest
+
+from repro.analysis.render import ascii_chart, sparkline
+from repro.analysis.series import Series
+from repro.common.errors import AnalysisError
+
+
+def ramp(n=100):
+    return Series.from_pairs([(i * 1_000, float(i)) for i in range(n)])
+
+
+def test_sparkline_width():
+    line = sparkline(ramp(), width=40)
+    assert 1 <= len(line) <= 40
+
+
+def test_sparkline_monotone_ramp():
+    line = sparkline(ramp(), width=20)
+    levels = [" ▁▂▃▄▅▆▇█".index(c) for c in line]
+    assert levels == sorted(levels)
+    assert levels[0] == 0
+    assert levels[-1] == 8
+
+
+def test_sparkline_constant_series():
+    flat = Series.from_pairs([(i, 5.0) for i in range(10)])
+    line = sparkline(flat, width=10)
+    assert set(line) == {" "}
+
+
+def test_sparkline_empty_rejected():
+    with pytest.raises(AnalysisError):
+        sparkline(Series.from_pairs([]))
+
+
+def test_ascii_chart_dimensions():
+    chart = ascii_chart(ramp(), width=30, height=6, label="ramp")
+    lines = chart.split("\n")
+    assert lines[0].strip() == "ramp"
+    assert len(lines) == 1 + 6 + 2  # title + rows + footer + time axis
+
+
+def test_ascii_chart_peak_in_top_row():
+    chart = ascii_chart(ramp(), width=30, height=5)
+    top_row = chart.split("\n")[0]
+    assert "█" in top_row
+
+
+def test_ascii_chart_validation():
+    with pytest.raises(AnalysisError):
+        ascii_chart(ramp(), width=0)
+    with pytest.raises(AnalysisError):
+        ascii_chart(ramp(), height=1)

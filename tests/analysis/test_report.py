@@ -1,0 +1,101 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import build_markdown_report, write_markdown_report
+from repro.common.errors import AnalysisError
+from repro.warehouse.db import MScopeDB
+
+EPOCH = 1_000_000_000
+
+
+def build_db(with_anomaly=True):
+    db = MScopeDB()
+    db.create_table(
+        "apache_events_web1",
+        [
+            ("request_id", "TEXT"),
+            ("interaction", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+    )
+    rows = [
+        (
+            f"R0A{i:09d}",
+            "ViewStory",
+            EPOCH + i * 10_000,
+            EPOCH + i * 10_000 + 5_000,
+        )
+        for i in range(100)
+    ]
+    if with_anomaly:
+        rows.append(
+            ("R0Aslow00001", "Search", EPOCH + 500_000, EPOCH + 900_000)
+        )
+    db.insert_rows(
+        "apache_events_web1",
+        ["request_id", "interaction", "upstream_arrival_us", "upstream_departure_us"],
+        rows,
+    )
+    db.register_host("web1", "apache", 4, 100)
+    return db
+
+
+def test_report_sections_present():
+    report = build_markdown_report(build_db(), epoch_us=EPOCH)
+    for heading in (
+        "# milliScope investigation report",
+        "## Session",
+        "## Point-in-time response time",
+        "## Anomalies",
+        "## Slowest requests",
+        "## Interactions",
+    ):
+        assert heading in report
+
+
+def test_report_lists_the_anomaly():
+    report = build_markdown_report(build_db(), epoch_us=EPOCH)
+    assert "R0Aslow00001" in report
+    assert "Anomaly window" in report
+
+
+def test_healthy_session_reported_healthy():
+    report = build_markdown_report(build_db(with_anomaly=False), epoch_us=EPOCH)
+    assert "looks healthy" in report
+
+
+def test_empty_warehouse_rejected():
+    db = MScopeDB()
+    db.create_table(
+        "apache_events_web1",
+        [
+            ("request_id", "TEXT"),
+            ("interaction", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+    )
+    with pytest.raises(AnalysisError):
+        build_markdown_report(db)
+
+
+def test_write_report_creates_file(tmp_path):
+    path = write_markdown_report(
+        build_db(), tmp_path / "nested" / "report.md", epoch_us=EPOCH
+    )
+    assert path.exists()
+    assert path.read_text().startswith("# milliScope")
+
+
+def test_report_on_real_scenario(tmp_path):
+    from repro.experiments.scenarios import load_warehouse, scenario_a
+    from repro.common.timebase import seconds
+
+    run = scenario_a(users=150, duration=seconds(3), flush_at=seconds(1),
+                     log_dir=tmp_path / "logs")
+    db = load_warehouse(run)
+    report = build_markdown_report(db, epoch_us=run.epoch_us)
+    assert "disk on db1 saturated" in report
+    assert "| ViewStory |" in report

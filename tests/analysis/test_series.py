@@ -1,0 +1,86 @@
+"""Tests for the Series container and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import Series, pearson_correlation
+from repro.common.errors import AnalysisError
+
+
+def test_from_pairs_sorts():
+    s = Series.from_pairs([(30, 3.0), (10, 1.0), (20, 2.0)])
+    assert list(s.times) == [10, 20, 30]
+    assert list(s.values) == [1.0, 2.0, 3.0]
+
+
+def test_empty_series():
+    s = Series.from_pairs([])
+    assert s.is_empty()
+    assert s.max() == 0.0
+    assert s.mean() == 0.0
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(AnalysisError):
+        Series(np.array([1, 2]), np.array([1.0]))
+
+
+def test_unsorted_rejected():
+    with pytest.raises(AnalysisError):
+        Series(np.array([2, 1]), np.array([1.0, 2.0]))
+
+
+def test_window():
+    s = Series.from_pairs([(i * 10, float(i)) for i in range(10)])
+    w = s.window(20, 50)
+    assert list(w.times) == [20, 30, 40]
+
+
+def test_value_at_step_semantics():
+    s = Series.from_pairs([(10, 1.0), (20, 2.0)])
+    assert s.value_at(5) == 1.0  # clamps to first
+    assert s.value_at(15) == 1.0
+    assert s.value_at(20) == 2.0
+    assert s.value_at(99) == 2.0
+
+
+def test_value_at_empty_rejected():
+    with pytest.raises(AnalysisError):
+        Series.from_pairs([]).value_at(0)
+
+
+def test_resample_onto_grid():
+    s = Series.from_pairs([(0, 0.0), (100, 10.0)])
+    r = s.resample([0, 50, 100, 150])
+    assert list(r.values) == [0.0, 0.0, 10.0, 10.0]
+
+
+def test_pearson_perfect_positive():
+    a = Series.from_pairs([(i, float(i)) for i in range(10)])
+    b = Series.from_pairs([(i, 2.0 * i + 1) for i in range(10)])
+    assert pearson_correlation(a, b) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_negative():
+    a = Series.from_pairs([(i, float(i)) for i in range(10)])
+    b = Series.from_pairs([(i, -3.0 * i) for i in range(10)])
+    assert pearson_correlation(a, b) == pytest.approx(-1.0)
+
+
+def test_pearson_handles_different_grids():
+    a = Series.from_pairs([(i * 10, float(i)) for i in range(10)])
+    b = Series.from_pairs([(i * 7, float(i * 7)) for i in range(15)])
+    assert pearson_correlation(a, b) > 0.9
+
+
+def test_pearson_constant_rejected():
+    a = Series.from_pairs([(i, 1.0) for i in range(10)])
+    b = Series.from_pairs([(i, float(i)) for i in range(10)])
+    with pytest.raises(AnalysisError):
+        pearson_correlation(a, b)
+
+
+def test_pearson_too_short_rejected():
+    a = Series.from_pairs([(0, 1.0), (1, 2.0)])
+    with pytest.raises(AnalysisError):
+        pearson_correlation(a, a)

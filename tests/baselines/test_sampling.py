@@ -1,0 +1,84 @@
+"""Tests for the sampling-based monitoring baselines."""
+
+import pytest
+
+from repro.analysis.response_time import CompletionSample
+from repro.baselines.sampling import CoarseAveragingMonitor, SamplingTracer
+from repro.common.errors import AnalysisError
+from repro.common.timebase import ms, seconds
+
+
+def population(n=200, rt_ms=5):
+    return [
+        CompletionSample(ms(10 * i), ms(rt_ms), f"R0A{i:09d}") for i in range(n)
+    ]
+
+
+def test_coarse_monitor_averages_per_interval():
+    monitor = CoarseAveragingMonitor(interval_us=seconds(1))
+    series = monitor.observe(population(), 0, seconds(2))
+    assert len(series) == 2
+    assert series.values[0] == pytest.approx(5.0)
+
+
+def test_coarse_monitor_hides_the_peak():
+    samples = population() + [
+        CompletionSample(ms(500), ms(400), "R0Aslow00001")
+    ]
+    series = CoarseAveragingMonitor(seconds(1)).observe(samples, 0, seconds(2))
+    # One 400 ms outlier among ~100 5 ms requests: the 1 s average
+    # barely moves — the Figure 2 peak is invisible.
+    assert series.max() < 20
+
+
+def test_coarse_monitor_validation():
+    with pytest.raises(AnalysisError):
+        CoarseAveragingMonitor(0)
+
+
+def test_sampling_rate_validation():
+    with pytest.raises(AnalysisError):
+        SamplingTracer(0.0)
+    with pytest.raises(AnalysisError):
+        SamplingTracer(1.5)
+
+
+def test_full_rate_keeps_everything():
+    samples = population()
+    tracer = SamplingTracer(1.0)
+    assert tracer.sample(samples) == samples
+
+
+def test_low_rate_keeps_roughly_rate_fraction():
+    samples = population(n=2000)
+    kept = SamplingTracer(0.1, seed=3).sample(samples)
+    assert 100 < len(kept) < 320
+
+
+def test_sampling_deterministic_per_seed():
+    samples = population()
+    a = SamplingTracer(0.5, seed=9).sample(samples)
+    b = SamplingTracer(0.5, seed=9).sample(samples)
+    assert a == b
+
+
+def test_vlrt_recall_full_rate_is_one():
+    samples = population() + [
+        CompletionSample(ms(500), ms(400), "R0Aslow00001")
+    ]
+    assert SamplingTracer(1.0).vlrt_recall(samples) == 1.0
+
+
+def test_vlrt_recall_drops_with_rate():
+    samples = population(n=1000) + [
+        CompletionSample(ms(5000 + i), ms(400), f"R0Aslow{i:05d}")
+        for i in range(20)
+    ]
+    recall_low = SamplingTracer(0.05, seed=1).vlrt_recall(samples)
+    recall_high = SamplingTracer(0.9, seed=1).vlrt_recall(samples)
+    assert recall_low < recall_high
+
+
+def test_vlrt_recall_requires_ground_truth():
+    with pytest.raises(AnalysisError):
+        SamplingTracer(0.5).vlrt_recall(population())

@@ -1,0 +1,39 @@
+"""Tests for fixed-width request ID generation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.ids import REQUEST_ID_WIDTH, RequestIdGenerator
+
+
+def test_ids_are_fixed_width():
+    gen = RequestIdGenerator("0A")
+    for _ in range(100):
+        assert len(gen.next_id()) == REQUEST_ID_WIDTH
+
+
+def test_ids_are_unique_and_ordered():
+    gen = RequestIdGenerator("0A")
+    ids = [gen.next_id() for _ in range(1000)]
+    assert len(set(ids)) == 1000
+    assert ids == sorted(ids)
+
+
+def test_prefix_embeds_experiment_tag():
+    gen = RequestIdGenerator("7F")
+    assert gen.next_id().startswith("R7F")
+
+
+def test_bad_tag_rejected():
+    with pytest.raises(ConfigError):
+        RequestIdGenerator("toolong")
+    with pytest.raises(ConfigError):
+        RequestIdGenerator("a!")
+
+
+def test_issued_counter():
+    gen = RequestIdGenerator()
+    assert gen.issued == 0
+    gen.next_id()
+    gen.next_id()
+    assert gen.issued == 2

@@ -1,0 +1,85 @@
+"""Tests for boundary records and request traces."""
+
+import pytest
+
+from repro.common.records import BoundaryRecord, DownstreamCall, RequestTrace
+
+
+def make_boundary(**kwargs):
+    defaults = dict(
+        request_id="R0A000000001",
+        tier="apache",
+        node="web1",
+        upstream_arrival=1_000,
+    )
+    defaults.update(kwargs)
+    return BoundaryRecord(**defaults)
+
+
+def test_server_time():
+    b = make_boundary(upstream_departure=5_000)
+    assert b.server_time() == 4_000
+
+
+def test_server_time_requires_departure():
+    b = make_boundary()
+    with pytest.raises(ValueError):
+        b.server_time()
+
+
+def test_record_call_updates_envelope():
+    b = make_boundary(upstream_departure=10_000)
+    b.record_call(DownstreamCall("tomcat", 2_000, 4_000))
+    b.record_call(DownstreamCall("tomcat", 5_000, 9_000))
+    assert b.downstream_sending == 2_000
+    assert b.downstream_receiving == 9_000
+    assert len(b.downstream_calls) == 2
+
+
+def test_local_time_excludes_downstream():
+    b = make_boundary(upstream_departure=10_000)
+    b.record_call(DownstreamCall("tomcat", 2_000, 8_000))
+    # 9000 total on the tier, 6000 waiting downstream -> 3000 local.
+    assert b.local_time() == 3_000
+
+
+def test_downstream_call_latency():
+    call = DownstreamCall("mysql", 100, 350)
+    assert call.latency() == 250
+
+
+def test_trace_response_time():
+    trace = RequestTrace("R0A000000001", "StoriesOfTheDay", client_send=0)
+    trace.client_receive = 12_500
+    assert trace.response_time() == 12_500
+    assert trace.response_time_ms() == 12.5
+
+
+def test_trace_incomplete_raises():
+    trace = RequestTrace("R0A000000002", "ViewStory", client_send=0)
+    assert not trace.is_complete()
+    with pytest.raises(ValueError):
+        trace.response_time()
+
+
+def test_trace_tiers_ordered_by_arrival():
+    trace = RequestTrace("R0A000000003", "ViewStory", client_send=0)
+    trace.add_visit(make_boundary(tier="mysql", upstream_arrival=3_000))
+    trace.add_visit(make_boundary(tier="apache", upstream_arrival=1_000))
+    trace.add_visit(make_boundary(tier="tomcat", upstream_arrival=2_000))
+    assert trace.tiers() == ["apache", "tomcat", "mysql"]
+
+
+def test_multiple_visits_per_tier():
+    trace = RequestTrace("R0A000000004", "ViewStory", client_send=0)
+    trace.add_visit(
+        make_boundary(tier="mysql", upstream_arrival=3_000, upstream_departure=4_000)
+    )
+    trace.add_visit(
+        make_boundary(tier="mysql", upstream_arrival=6_000, upstream_departure=6_500)
+    )
+    visits = trace.visits_for("mysql")
+    assert [v.upstream_arrival for v in visits] == [3_000, 6_000]
+    assert trace.tier_time("mysql") == 1_500
+    # tiers() reports mysql once even with two visits.
+    assert trace.tiers() == ["mysql"]

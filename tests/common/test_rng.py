@@ -1,0 +1,44 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.common.rng import RngStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RngStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_reproducible_across_instances():
+    a = RngStreams(42).stream("client.think")
+    b = RngStreams(42).stream("client.think")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_diverge():
+    streams = RngStreams(42)
+    xs = [streams.stream("x").random() for _ in range(5)]
+    ys = [streams.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_diverge():
+    a = RngStreams(1).stream("s")
+    b = RngStreams(2).stream("s")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_spawn_is_deterministic():
+    a = RngStreams(9).spawn("child").stream("s")
+    b = RngStreams(9).spawn("child").stream("s")
+    assert a.random() == b.random()
+
+
+def test_adding_new_stream_does_not_perturb_existing():
+    streams = RngStreams(5)
+    first = streams.stream("main")
+    before = first.random()
+
+    fresh = RngStreams(5)
+    fresh.stream("unrelated")  # created before "main" this time
+    second = fresh.stream("main")
+    assert second.random() == before

@@ -1,0 +1,73 @@
+"""Tests for the simulation time base and wall-clock mapping."""
+
+import datetime
+
+import pytest
+
+from repro.common.timebase import (
+    DEFAULT_EPOCH,
+    WallClock,
+    minutes,
+    ms,
+    seconds,
+    to_ms,
+    to_seconds,
+)
+
+
+def test_ms_round_trips():
+    assert ms(1) == 1_000
+    assert ms(2.5) == 2_500
+    assert to_ms(2_500) == 2.5
+
+
+def test_seconds_and_minutes():
+    assert seconds(1) == 1_000_000
+    assert seconds(0.001) == 1_000
+    assert minutes(7) == 420_000_000
+    assert to_seconds(1_500_000) == 1.5
+
+
+def test_conversions_are_integers():
+    assert isinstance(ms(0.1234), int)
+    assert isinstance(seconds(1.23456789), int)
+
+
+def test_wallclock_epoch_default():
+    clock = WallClock()
+    assert clock.epoch == DEFAULT_EPOCH
+    assert clock.at(0) == DEFAULT_EPOCH
+
+
+def test_wallclock_requires_timezone():
+    with pytest.raises(ValueError):
+        WallClock(datetime.datetime(2017, 3, 1))
+
+
+def test_wallclock_advances():
+    clock = WallClock()
+    later = clock.at(seconds(90))
+    assert later - clock.epoch == datetime.timedelta(seconds=90)
+
+
+def test_apache_clf_format():
+    clock = WallClock()
+    stamp = clock.apache_clf(0)
+    assert stamp == "01/Mar/2017:10:00:00 +0000"
+
+
+def test_hms_formats():
+    clock = WallClock()
+    assert clock.hms(seconds(62)) == "10:01:02"
+    assert clock.hms_ms(ms(1234.5)) == "10:00:01.234"
+
+
+def test_iso_and_date():
+    clock = WallClock()
+    assert clock.date(0) == "2017-03-01"
+    assert clock.iso(0).startswith("2017-03-01T10:00:00")
+
+
+def test_epoch_micros_monotone():
+    clock = WallClock()
+    assert clock.epoch_micros(10) - clock.epoch_micros(0) == 10

@@ -1,0 +1,83 @@
+"""Tests for the figure harness result objects (reduced scale)."""
+
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.common.timebase import ms, seconds
+from repro.experiments.figures_anomaly import (
+    figure_02,
+    figure_04,
+    figure_05,
+    figure_06,
+    figure_07,
+)
+from repro.experiments.figures_validation import figure_09
+from repro.experiments.scenarios import baseline_run, scenario_a
+
+
+@pytest.fixture(scope="module")
+def short_a():
+    return scenario_a(users=200, duration=seconds(3), flush_at=seconds(1))
+
+
+def test_fig02_result_fields(short_a):
+    result = figure_02(short_a)
+    assert result.peak_ms > result.average_ms
+    assert result.peak_over_average > 1
+    assert len(result.windows) == 60  # 3 s / 50 ms
+    assert "Figure 2" in result.to_text()
+
+
+def test_fig02_custom_window(short_a):
+    result = figure_02(short_a, window_us=ms(100))
+    assert len(result.windows) == 30
+
+
+def test_fig04_series_per_node(short_a):
+    result = figure_04(short_a)
+    assert set(result.series) == {"web1", "app1", "mid1", "db1"}
+    assert "db1" in result.to_text()
+
+
+def test_fig05_reports_slowest(short_a):
+    result = figure_05(short_a)
+    slowest = max(t.response_time_ms() for t in short_a.result.traces)
+    assert result.response_ms == pytest.approx(slowest)
+    assert result.hops
+
+
+def test_fig06_baseline_and_peak(short_a):
+    result = figure_06(short_a)
+    for tier in ("apache", "mysql"):
+        assert result.peak(tier) >= result.baseline(tier)
+
+
+def test_fig07_series_windowed(short_a):
+    result = figure_07(short_a)
+    assert -1.0 <= result.correlation <= 1.0
+    assert not result.disk_series.is_empty()
+    assert not result.queue_series.is_empty()
+
+
+def test_fig09_requires_sysviz():
+    run = baseline_run(50, think_ms=300, duration=seconds(1), with_sysviz=False)
+    with pytest.raises(AnalysisError):
+        figure_09(run=run)
+
+
+def test_fig09_small_run():
+    run = baseline_run(
+        300, think_ms=700, duration=seconds(3), with_sysviz=True
+    )
+    result = figure_09(run=run)
+    assert result.workload == 300
+    for tier in ("apache", "tomcat", "cjdbc", "mysql"):
+        assert result.mean_abs_error(tier) < 1.0
+
+
+def test_figure_on_run_without_resources_raises():
+    run = baseline_run(
+        50, think_ms=300, duration=seconds(1), resource_monitors=False
+    )
+    with pytest.raises(AnalysisError):
+        figure_04(run)

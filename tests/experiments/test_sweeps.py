@@ -1,0 +1,57 @@
+"""Tests for the workload saturation sweep."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.timebase import seconds
+from repro.experiments.sweeps import SaturationSweep, SweepPoint, saturation_sweep
+
+
+def test_empty_workloads_rejected():
+    with pytest.raises(ConfigError):
+        saturation_sweep(workloads=())
+
+
+def test_knee_needs_two_points():
+    sweep = SaturationSweep(points=[SweepPoint(100, 14.0, 5.0, 7.0, 0.1)])
+    with pytest.raises(ConfigError):
+        sweep.knee_workload()
+
+
+def test_knee_detection_on_synthetic_curve():
+    points = [
+        SweepPoint(1000, 143.0, 5.0, 7.0, 0.2),   # 0.143/user
+        SweepPoint(2000, 286.0, 5.2, 7.5, 0.4),   # 0.143/user
+        SweepPoint(4000, 520.0, 9.0, 30.0, 0.8),  # 0.130/user (>80%)
+        SweepPoint(8000, 620.0, 60.0, 300.0, 1.0),  # 0.0775/user -> knee
+    ]
+    sweep = SaturationSweep(points=points)
+    assert sweep.knee_workload() == 8000
+
+
+def test_unsaturated_sweep_reports_last_point():
+    points = [
+        SweepPoint(1000, 143.0, 5.0, 7.0, 0.2),
+        SweepPoint(2000, 286.0, 5.0, 7.0, 0.4),
+    ]
+    assert SaturationSweep(points=points).knee_workload() == 2000
+
+
+def test_small_real_sweep_scales_linearly_below_knee():
+    sweep = saturation_sweep(
+        workloads=(500, 1000), duration=seconds(3), think_ms=3_000
+    )
+    assert len(sweep.points) == 2
+    a, b = sweep.points
+    # Below saturation, doubling users doubles throughput (within 10%).
+    assert b.throughput == pytest.approx(2 * a.throughput, rel=0.1)
+    assert a.mean_response_ms < 50
+    assert "knee" in sweep.to_text()
+
+
+def test_sweep_point_fields_sane():
+    sweep = saturation_sweep(workloads=(500,), duration=seconds(2), think_ms=3_000)
+    point = sweep.points[0]
+    assert point.throughput > 0
+    assert 0 < point.mean_response_ms <= point.p99_response_ms + 1e-9
+    assert 0 <= point.bottleneck_utilization <= 1

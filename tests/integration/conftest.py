@@ -1,0 +1,31 @@
+"""Shared, session-scoped scenario runs for the integration tests.
+
+Scenario simulations cost seconds each; every integration module reads
+from the same runs (they never mutate them).
+"""
+
+import pytest
+
+from repro.experiments.scenarios import load_warehouse, scenario_a, scenario_b
+
+
+@pytest.fixture(scope="session")
+def scenario_a_run(tmp_path_factory):
+    log_dir = tmp_path_factory.mktemp("scenario_a_logs")
+    return scenario_a(log_dir=log_dir)
+
+
+@pytest.fixture(scope="session")
+def scenario_a_db(scenario_a_run):
+    return load_warehouse(scenario_a_run)
+
+
+@pytest.fixture(scope="session")
+def scenario_b_run(tmp_path_factory):
+    log_dir = tmp_path_factory.mktemp("scenario_b_logs")
+    return scenario_b(log_dir=log_dir)
+
+
+@pytest.fixture(scope="session")
+def scenario_b_db(scenario_b_run):
+    return load_warehouse(scenario_b_run)

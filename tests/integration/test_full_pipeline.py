@@ -1,0 +1,151 @@
+"""Integration: native logs → transformer → mScopeDB → analysis."""
+
+from repro.analysis.causal import reconstruct_path
+from repro.analysis.diagnosis import Diagnoser
+from repro.analysis.queues import tier_queue_lengths
+from repro.analysis.response_time import completions_from_warehouse
+from repro.common.timebase import ms
+
+
+EVENT_TABLES = {
+    "apache": "apache_events_web1",
+    "tomcat": "tomcat_events_app1",
+    "cjdbc": "cjdbc_events_mid1",
+    "mysql": "mysql_events_db1",
+}
+
+
+def test_all_monititor_tables_loaded(scenario_a_db):
+    tables = set(scenario_a_db.dynamic_tables())
+    assert set(EVENT_TABLES.values()) <= tables
+    for node in ("web1", "app1", "mid1", "db1"):
+        assert f"collectl_{node}" in tables
+        assert f"iostat_{node}" in tables
+        assert f"sar_{node}" in tables
+
+
+def test_static_metadata_recorded(scenario_a_db):
+    assert scenario_a_db.get_experiment_meta("seed") == "3"
+    hosts = dict(
+        scenario_a_db.query("SELECT hostname, tier FROM host_config")
+    )
+    assert hosts == {
+        "web1": "apache",
+        "app1": "tomcat",
+        "mid1": "cjdbc",
+        "db1": "mysql",
+    }
+
+
+def test_event_counts_match_ground_truth(scenario_a_run, scenario_a_db):
+    # Every completed request logged exactly one Apache access line.
+    loaded = scenario_a_db.row_count("apache_events_web1")
+    assert loaded == len(scenario_a_run.result.traces)
+
+
+def test_warehouse_response_times_match_traces(scenario_a_run, scenario_a_db):
+    samples = completions_from_warehouse(
+        scenario_a_db, epoch_us=scenario_a_run.epoch_us
+    )
+    truth = {
+        t.request_id: t for t in scenario_a_run.result.traces
+    }
+    # Apache's upstream pair excludes only the client<->apache network
+    # legs; warehouse response times are slightly below the client's.
+    for sample in samples[:200]:
+        trace = truth[sample.request_id]
+        delta_us = trace.response_time() - sample.response_time_us
+        assert 0 <= delta_us < ms(5)
+
+
+def test_queue_lengths_from_warehouse_show_pushback(scenario_a_run, scenario_a_db):
+    queues = tier_queue_lengths(
+        scenario_a_db,
+        EVENT_TABLES,
+        0,
+        scenario_a_run.duration,
+        ms(10),
+        epoch_us=scenario_a_run.epoch_us,
+    )
+    for tier, series in queues.items():
+        assert series.max() >= 15, tier
+
+
+def test_causal_path_reconstruction_from_warehouse(scenario_a_run, scenario_a_db):
+    trace = max(scenario_a_run.result.traces, key=lambda t: t.response_time())
+    path = reconstruct_path(scenario_a_db, trace.request_id)
+    path.validate_happens_before()
+    assert abs(path.response_time_ms() - trace.response_time_ms()) < 5.0
+
+
+def test_diagnosis_scenario_a_blames_db_disk(scenario_a_run, scenario_a_db):
+    reports = Diagnoser(
+        scenario_a_db, epoch_us=scenario_a_run.epoch_us
+    ).diagnose()
+    assert reports, "diagnoser found no anomaly window"
+    report = max(reports, key=lambda r: r.window.vlrt_count)
+    assert set(report.pushback_tiers) == {"apache", "tomcat", "cjdbc", "mysql"}
+    primary = report.primary_cause()
+    assert primary is not None
+    assert primary.hostname == "db1"
+    assert primary.kind == "disk_util"
+    text = report.to_text()
+    assert "disk on db1 saturated" in text
+
+
+def test_diagnosis_scenario_b_blames_cpu_and_dirty_pages(
+    scenario_b_run, scenario_b_db
+):
+    reports = Diagnoser(
+        scenario_b_db, epoch_us=scenario_b_run.epoch_us
+    ).diagnose()
+    assert len(reports) == 2
+    first, second = sorted(reports, key=lambda r: r.window.start)
+    assert first.primary_cause().hostname == "web1"
+    assert first.primary_cause().kind == "cpu_busy"
+    assert any(c.kind == "dirty_pages" and c.hostname == "web1" for c in first.causes)
+    assert second.primary_cause().hostname == "app1"
+    assert second.primary_cause().kind == "cpu_busy"
+    assert any(
+        c.kind == "dirty_pages" and c.hostname == "app1" for c in second.causes
+    )
+
+
+def test_diagnosis_distinguishes_the_two_scenarios(
+    scenario_a_run, scenario_a_db, scenario_b_run, scenario_b_db
+):
+    """The paper's core claim: similar-looking anomalies, different causes."""
+    cause_a = (
+        Diagnoser(scenario_a_db, epoch_us=scenario_a_run.epoch_us)
+        .diagnose()[0]
+        .primary_cause()
+    )
+    cause_b = (
+        Diagnoser(scenario_b_db, epoch_us=scenario_b_run.epoch_us)
+        .diagnose()[0]
+        .primary_cause()
+    )
+    assert cause_a.kind != cause_b.kind
+    assert cause_a.hostname != cause_b.hostname
+
+
+def test_scenario_a_vlrts_skew_toward_writes(scenario_a_run, scenario_a_db):
+    """Commits block on the log flush, so write interactions go VLRT at
+    a far higher rate than reads — the commit-blocking signature."""
+    report = Diagnoser(
+        scenario_a_db, epoch_us=scenario_a_run.epoch_us
+    ).diagnose()[0]
+    affected = report.affected_interactions
+    assert affected, "no affected interactions recorded"
+    write_shares = [
+        share for name, (_, share) in affected.items() if name.startswith("Store")
+    ]
+    read_shares = [
+        share
+        for name, (_, share) in affected.items()
+        if not name.startswith("Store")
+    ]
+    assert write_shares, "no write interactions among the VLRTs"
+    if read_shares:
+        assert max(write_shares) > 3 * max(read_shares)
+    assert "Most affected interactions" in report.to_text()

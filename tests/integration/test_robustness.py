@@ -1,0 +1,66 @@
+"""Robustness: the pipeline fails loudly and precisely on bad input."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+
+def test_corrupt_line_reported_with_location(scenario_a_run, tmp_path):
+    # Copy the scenario's logs and corrupt one access-log line.
+    import shutil
+
+    logs = tmp_path / "logs"
+    shutil.copytree(scenario_a_run.log_dir, logs)
+    access = logs / "web1" / "access_log.log"
+    lines = access.read_text().splitlines()
+    lines[4] = "x" * 40  # torn write
+    access.write_text("\n".join(lines) + "\n")
+
+    db = MScopeDB()
+    with pytest.raises(ParseError) as info:
+        MScopeDataTransformer(db).transform_directory(logs)
+    message = str(info.value)
+    assert "access_log.log" in message
+    assert ":5" in message  # 1-based line number of the corruption
+
+
+def test_partial_failure_leaves_warehouse_consistent(scenario_a_run, tmp_path):
+    """Tables loaded before the failing file stay intact and queryable."""
+    import shutil
+
+    logs = tmp_path / "logs"
+    shutil.copytree(scenario_a_run.log_dir, logs)
+    # Corrupt a web1 log; app1/db1/mid1 sort before web1 and load first.
+    access = logs / "web1" / "access_log.log"
+    access.write_text("garbage\n")
+
+    db = MScopeDB()
+    with pytest.raises(ParseError):
+        MScopeDataTransformer(db).transform_directory(logs)
+    assert "tomcat_events_app1" in db.dynamic_tables()
+    assert db.row_count("tomcat_events_app1") > 0
+
+
+def test_unknown_logs_are_ignored_not_fatal(scenario_a_run, tmp_path):
+    import shutil
+
+    logs = tmp_path / "logs"
+    shutil.copytree(scenario_a_run.log_dir, logs)
+    (logs / "web1" / "debug_trace.log").write_text("not a monitor log\n")
+    db = MScopeDB()
+    outcomes = MScopeDataTransformer(db).transform_directory(logs)
+    assert all(o.source.name != "debug_trace.log" for o in outcomes)
+
+
+def test_empty_log_file_is_harmless(scenario_a_run, tmp_path):
+    import shutil
+
+    logs = tmp_path / "logs"
+    shutil.copytree(scenario_a_run.log_dir, logs)
+    (logs / "web1" / "access_log.log").write_text("")
+    db = MScopeDB()
+    # An empty event log still yields a (hostname-only) table load.
+    MScopeDataTransformer(db).transform_directory(logs)
+    assert db.row_count("apache_events_web1") == 0

@@ -1,0 +1,58 @@
+"""Integration: scenario A reproduces Figures 2, 4, 5, 6, 7."""
+
+from repro.experiments.figures_anomaly import (
+    figure_02,
+    figure_04,
+    figure_05,
+    figure_06,
+    figure_07,
+)
+
+
+def test_fig02_peak_exceeds_20x_average(scenario_a_run):
+    result = figure_02(scenario_a_run)
+    assert result.peak_over_average > 20
+    assert result.peak_ms > 200
+
+
+def test_fig02_coarse_sampling_misses_the_peak(scenario_a_run):
+    result = figure_02(scenario_a_run)
+    # The 1 s-averaged series reports a "peak" an order of magnitude
+    # below the true point-in-time peak.
+    assert result.coarse_peak_ms < result.peak_ms / 10
+
+
+def test_fig04_only_db_disk_saturates(scenario_a_run):
+    result = figure_04(scenario_a_run)
+    assert result.peak("db1") > 95
+    for node in ("web1", "app1", "mid1"):
+        assert result.peak(node) < 30
+
+
+def test_fig05_causal_path_spans_all_tiers(scenario_a_run):
+    result = figure_05(scenario_a_run)
+    tiers = {hop.tier for hop in result.hops}
+    assert {"apache", "tomcat"} <= tiers
+    arrivals = [hop.upstream_arrival for hop in result.hops]
+    assert arrivals == sorted(arrivals)
+
+
+def test_fig05_slowest_request_is_a_vlrt(scenario_a_run):
+    result = figure_05(scenario_a_run)
+    assert result.response_ms > 100
+
+
+def test_fig06_pushback_reaches_every_tier(scenario_a_run):
+    result = figure_06(scenario_a_run)
+    assert set(result.pushback_tiers()) == {"apache", "tomcat", "cjdbc", "mysql"}
+
+
+def test_fig06_queues_amplify_an_order_of_magnitude(scenario_a_run):
+    result = figure_06(scenario_a_run)
+    for tier in ("apache", "mysql"):
+        assert result.peak(tier) > 5 * max(result.baseline(tier), 0.5)
+
+
+def test_fig07_disk_queue_correlation_high(scenario_a_run):
+    result = figure_07(scenario_a_run)
+    assert result.correlation > 0.5

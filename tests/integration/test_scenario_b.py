@@ -1,0 +1,58 @@
+"""Integration: scenario B reproduces Figure 8's four panels."""
+
+import pytest
+
+from repro.experiments.figures_anomaly import figure_08
+
+
+@pytest.fixture(scope="module")
+def fig08(scenario_b_run):
+    return figure_08(scenario_b_run)
+
+
+def test_two_peaks_in_the_interval(fig08):
+    assert len(fig08.peaks) == 2
+
+
+def test_peak_rt_an_order_above_average(fig08):
+    assert fig08.peak_rt_ms() > 200
+    # The average over the whole interval stays far below the peaks.
+    assert fig08.peak_rt_ms() > 5 * fig08.average_rt_ms()
+
+
+def test_first_peak_is_apache_only(fig08):
+    first = fig08.peaks[0]
+    apache_mean = fig08.queue_mean_in("apache", first)
+    tomcat_mean = fig08.queue_mean_in("tomcat", first)
+    assert apache_mean > 15
+    assert tomcat_mean < apache_mean / 3
+
+
+def test_second_peak_amplifies_into_tomcat(fig08):
+    second = fig08.peaks[1]
+    assert fig08.queue_mean_in("apache", second) > 15
+    assert fig08.queue_mean_in("tomcat", second) > 15
+
+
+def test_cpu_saturation_matches_peaks(fig08):
+    first, second = fig08.peaks
+    assert fig08.cpu_peak_in("web1", first) > 85
+    assert fig08.cpu_peak_in("app1", second) > 85
+    # And the *other* node is not saturated during each peak.
+    assert fig08.cpu_peak_in("app1", first) < 85
+    assert fig08.cpu_peak_in("web1", second) < 85
+
+
+def test_dirty_pages_drop_during_matching_peak(fig08):
+    first, second = fig08.peaks
+    # Collectl reports Dirty in KB; each burst recycles tens of MB.
+    assert fig08.dirty_drop_in("web1", first) > 10_000
+    assert fig08.dirty_drop_in("app1", second) > 10_000
+
+
+def test_no_disk_involvement(scenario_b_run, fig08):
+    # Scenario B is a CPU phenomenon: disk stays quiet on both nodes.
+    for node in ("web1", "app1"):
+        for window in fig08.peaks:
+            util = scenario_b_run.system.nodes[node].disk.utilization(*window)
+            assert util < 0.3

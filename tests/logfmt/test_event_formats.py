@@ -1,0 +1,128 @@
+"""Tests for the per-tier event log formats (plain and mScope)."""
+
+import pytest
+
+from repro.common.records import BoundaryRecord, DownstreamCall
+from repro.common.timebase import WallClock, ms
+from repro.logfmt.apache import format_mscope_access, format_plain_access
+from repro.logfmt.cjdbc import format_mscope_cjdbc, format_plain_cjdbc
+from repro.logfmt.mysql import (
+    format_mscope_query,
+    format_plain_binlog,
+    statement_with_id,
+)
+from repro.logfmt.tomcat import format_mscope_tomcat, format_plain_tomcat
+
+WALL = WallClock()
+
+
+def make_boundary(with_downstream=True):
+    boundary = BoundaryRecord(
+        request_id="R0A000000042",
+        tier="apache",
+        node="web1",
+        upstream_arrival=ms(100),
+        upstream_departure=ms(112),
+    )
+    if with_downstream:
+        boundary.record_call(DownstreamCall("tomcat", ms(102), ms(110)))
+    return boundary
+
+
+def test_plain_access_has_no_id():
+    line = format_plain_access(WALL, "/rubbos/ViewStory", make_boundary(), 8192)
+    assert "ID=" not in line
+    assert '"GET /rubbos/ViewStory HTTP/1.1" 200 8192' in line
+
+
+def test_mscope_access_has_id_and_four_timestamps():
+    boundary = make_boundary()
+    line = format_mscope_access(
+        WALL, "/rubbos/ViewStory?ID=R0A000000042", boundary, 8192
+    )
+    assert "?ID=R0A000000042" in line
+    tail = line.split(" 200 8192 ")[1].split()
+    assert len(tail) == 4
+    assert [int(x) for x in tail] == [
+        WALL.epoch_micros(ms(100)),
+        WALL.epoch_micros(ms(102)),
+        WALL.epoch_micros(ms(110)),
+        WALL.epoch_micros(ms(112)),
+    ]
+
+
+def test_mscope_access_without_downstream_uses_dashes():
+    boundary = make_boundary(with_downstream=False)
+    line = format_mscope_access(WALL, "/rubbos/Search?ID=R0A000000042", boundary, 4096)
+    tail = line.split(" 200 4096 ")[1].split()
+    assert tail[1] == "-" and tail[2] == "-"
+
+
+def test_mscope_access_requires_departure():
+    boundary = BoundaryRecord("R0A000000042", "apache", "web1", upstream_arrival=0)
+    with pytest.raises(ValueError):
+        format_mscope_access(WALL, "/x?ID=R0A000000042", boundary, 1)
+
+
+def test_mscope_access_longer_than_plain():
+    boundary = make_boundary()
+    plain = format_plain_access(WALL, "/rubbos/ViewStory", boundary, 8192)
+    mscope = format_mscope_access(
+        WALL, "/rubbos/ViewStory?ID=R0A000000042", boundary, 8192
+    )
+    # The instrumented line roughly doubles the volume (Figure 10).
+    assert len(mscope) > 1.5 * len(plain)
+
+
+def test_tomcat_mscope_key_values():
+    line = format_mscope_tomcat(WALL, "ViewStory", make_boundary())
+    assert "servlet=ViewStory" in line
+    assert "ID=R0A000000042" in line
+    assert f"UA={WALL.epoch_micros(ms(100))}" in line
+    assert f"UD={WALL.epoch_micros(ms(112))}" in line
+    assert "queries=1" in line
+
+
+def test_tomcat_plain_is_second_granularity():
+    line = format_plain_tomcat(WALL, "ViewStory", make_boundary())
+    assert "ID=" not in line
+    assert "10:00:00" in line
+
+
+def test_cjdbc_mscope_line():
+    line = format_mscope_cjdbc(WALL, make_boundary(), "SELECT 1")
+    assert "req=R0A000000042" in line
+    assert f"ua={WALL.epoch_micros(ms(100))}" in line
+    assert line.startswith("2017-03-01")
+
+
+def test_cjdbc_plain_has_no_request_id():
+    line = format_plain_cjdbc(WALL, make_boundary(), "SELECT id FROM stories")
+    assert "req=" not in line
+    assert "routed SELECT" in line
+
+
+def test_statement_with_id_appends_comment():
+    out = statement_with_id("SELECT 1", "R0A000000042")
+    assert out == "SELECT 1 /*ID=R0A000000042*/"
+
+
+def test_mysql_mscope_line_tab_separated():
+    line = format_mscope_query(WALL, make_boundary(), "SELECT 1")
+    parts = line.split("\t")
+    assert len(parts) == 5
+    assert parts[1] == "Query"
+    assert parts[4].endswith("/*ID=R0A000000042*/")
+
+
+def test_mysql_plain_line_has_statement_but_no_id():
+    line = format_plain_binlog(WALL, make_boundary(), "SELECT 1")
+    assert "ID=" not in line
+    assert "Query" in line
+    assert "SELECT 1" in line
+
+
+def test_mysql_plain_deterministic():
+    a = format_plain_binlog(WALL, make_boundary(), "SELECT 1")
+    b = format_plain_binlog(WALL, make_boundary(), "SELECT 1")
+    assert a == b

@@ -1,0 +1,167 @@
+"""Tests for the SAR / IOstat / Collectl output formats."""
+
+from repro.common.timebase import WallClock, ms
+from repro.logfmt.collectl import (
+    COLLECTL_CSV_COLUMNS,
+    CollectlSample,
+    collectl_csv_header,
+    collectl_text_header,
+    format_collectl_csv_row,
+    format_collectl_text_row,
+)
+from repro.logfmt.iostat import IostatDeviceRow, format_iostat_block
+from repro.logfmt.sar import (
+    SarCpuRow,
+    format_sar_text_average,
+    format_sar_text_row,
+    format_sar_xml_row,
+    sar_text_banner,
+    sar_text_header,
+    sar_xml_close,
+    sar_xml_open,
+)
+
+WALL = WallClock()
+
+
+def test_sar_banner_contains_host_and_cores():
+    banner = sar_text_banner(WALL, "web1", 4)
+    assert "(web1)" in banner
+    assert "(4 CPU)" in banner
+    assert "03/01/2017" in banner
+
+
+def test_sar_row_idle_complements():
+    row = SarCpuRow(ms(50), user=20.0, system=5.0, iowait=3.0)
+    assert row.idle == 72.0
+
+
+def test_sar_row_idle_never_negative():
+    row = SarCpuRow(ms(50), user=80.0, system=30.0, iowait=10.0)
+    assert row.idle == 0.0
+
+
+def test_sar_text_row_alignment():
+    row = SarCpuRow(ms(50), 12.0, 3.0, 1.0)
+    line = format_sar_text_row(WALL, row)
+    assert line.startswith("10:00:00.050     all")
+    assert "12.00" in line and "84.00" in line
+
+
+def test_sar_header_matches_column_count():
+    header = sar_text_header(WALL, ms(50))
+    row = format_sar_text_row(WALL, SarCpuRow(ms(50), 1, 2, 3))
+    assert len(header.split()) == len(row.split())
+
+
+def test_sar_average_row():
+    rows = [SarCpuRow(ms(50), 10, 2, 0), SarCpuRow(ms(100), 20, 4, 0)]
+    line = format_sar_text_average(rows)
+    assert line.startswith("Average:")
+    assert "15.00" in line  # mean user
+    assert "3.00" in line  # mean system
+
+
+def test_sar_average_of_empty_report():
+    line = format_sar_text_average([])
+    assert "100.00" in line
+
+
+def test_sar_xml_document_well_formed():
+    import xml.etree.ElementTree as ET
+
+    doc = (
+        sar_xml_open(WALL, "web1", 4)
+        + "\n"
+        + format_sar_xml_row(WALL, SarCpuRow(ms(50), 12.5, 3.25, 0.5))
+        + "\n"
+        + sar_xml_close()
+    )
+    root = ET.fromstring(doc)
+    cpu = root.find(".//cpu")
+    assert cpu.attrib["user"] == "12.50"
+    assert cpu.attrib["iowait"] == "0.50"
+
+
+def test_iostat_block_structure():
+    rows = [IostatDeviceRow("sda", 1, 2, 16, 32, 0.5, 42.0)]
+    lines = format_iostat_block(WALL, ms(50), rows)
+    assert lines[0] == "03/01/2017 10:00:00.050"
+    assert lines[1].startswith("Device:")
+    assert lines[2].startswith("sda")
+    assert lines[-1] == ""  # block separator
+
+
+def test_iostat_multiple_devices():
+    rows = [
+        IostatDeviceRow("sda", 1, 2, 16, 32, 0.5, 42.0),
+        IostatDeviceRow("sdb", 0, 0, 0, 0, 0, 0),
+    ]
+    lines = format_iostat_block(WALL, ms(50), rows)
+    assert len(lines) == 5
+
+
+def make_collectl_sample():
+    return CollectlSample(
+        timestamp=ms(50),
+        cpu_user=10.0,
+        cpu_sys=2.0,
+        cpu_wait=1.0,
+        disk_read_kb=16.0,
+        disk_write_kb=64.0,
+        disk_util=5.5,
+        mem_dirty_kb=1024.0,
+    )
+
+
+def test_collectl_csv_header_and_row_align():
+    header = collectl_csv_header()
+    row = format_collectl_csv_row(WALL, make_collectl_sample())
+    assert header.startswith("#Date,Time,")
+    assert len(header.split(",")) == len(row.split(","))
+    assert len(COLLECTL_CSV_COLUMNS) + 2 == len(row.split(","))
+
+
+def test_collectl_csv_values():
+    row = format_collectl_csv_row(WALL, make_collectl_sample())
+    fields = row.split(",")
+    assert fields[0] == "20170301"
+    assert fields[1] == "10:00:00.050"
+    assert fields[2] == "10.0"  # user
+    assert fields[-1] == "1024"  # dirty KB
+
+
+def test_collectl_idle_complements():
+    sample = make_collectl_sample()
+    assert sample.cpu_idle == 87.0
+
+
+def test_collectl_text_row():
+    header = collectl_text_header()
+    row = format_collectl_text_row(WALL, make_collectl_sample())
+    assert header.startswith("#Time")
+    assert row.startswith("10:00:00.050")
+    assert len(header.split()) == len(row.split())  # '#Time' covers the time column
+
+
+def test_sar_row_with_steal():
+    row = SarCpuRow(ms(50), user=10.0, system=5.0, iowait=2.0, steal=40.0)
+    assert row.idle == 43.0
+    line = format_sar_text_row(WALL, row)
+    # steal occupies the sixth numeric column.
+    assert line.split()[6] == "40.00"
+
+
+def test_sar_xml_row_with_steal():
+    import xml.etree.ElementTree as ET
+
+    xml = format_sar_xml_row(WALL, SarCpuRow(ms(50), 1, 1, 0, steal=25.0))
+    cpu = ET.fromstring(xml).find(".//cpu")
+    assert cpu.attrib["steal"] == "25.00"
+
+
+def test_sar_average_includes_steal():
+    rows = [SarCpuRow(ms(50), 0, 0, 0, steal=10.0),
+            SarCpuRow(ms(100), 0, 0, 0, steal=30.0)]
+    line = format_sar_text_average(rows)
+    assert "20.00" in line

@@ -1,0 +1,80 @@
+"""Tests for the RUBBoS interaction catalog."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.rubbos.interactions import (
+    InteractionProfile,
+    QuerySpec,
+    default_interactions,
+    interaction_by_name,
+)
+
+
+def test_catalog_has_24_interactions():
+    assert len(default_interactions()) == 24
+
+
+def test_names_unique():
+    names = [p.name for p in default_interactions()]
+    assert len(set(names)) == 24
+
+
+def test_lookup_by_name():
+    profile = interaction_by_name("ViewStory")
+    assert profile.name == "ViewStory"
+    with pytest.raises(ConfigError):
+        interaction_by_name("BuyItemNow")  # that's RUBiS, not RUBBoS
+
+
+def test_mix_is_read_heavy():
+    profiles = default_interactions()
+    total = sum(p.weight for p in profiles)
+    writes = sum(p.weight for p in profiles if p.is_write)
+    assert 0.01 < writes / total < 0.15
+
+
+def test_write_interactions_have_write_queries():
+    for profile in default_interactions():
+        if profile.name.startswith("Store") or profile.name in (
+            "RegisterUser",
+            "AcceptStory",
+            "RejectStory",
+        ):
+            assert profile.is_write, profile.name
+
+
+def test_browse_interactions_are_reads():
+    for name in ("ViewStory", "BrowseCategories", "Search", "StoriesOfTheDay"):
+        assert not interaction_by_name(name).is_write
+
+
+def test_every_interaction_demands_cpu():
+    for profile in default_interactions():
+        assert profile.apache_cpu_us > 0
+        assert profile.tomcat_cpu_us > 0
+
+
+def test_search_queries_are_heavier():
+    search = interaction_by_name("SearchInStories")
+    home = interaction_by_name("Home")
+    assert search.queries[0].mysql_cpu_us > home.queries[0].mysql_cpu_us
+
+
+def test_query_spec_validation():
+    with pytest.raises(ConfigError):
+        QuerySpec("SELECT 1", miss_ratio=1.5)
+    with pytest.raises(ConfigError):
+        QuerySpec("SELECT 1", mysql_cpu_us=-1)
+
+
+def test_interaction_validation():
+    with pytest.raises(ConfigError):
+        InteractionProfile("Bad", -1, 100, (), weight=1.0)
+    with pytest.raises(ConfigError):
+        InteractionProfile("Bad", 100, 100, (), weight=-1.0)
+
+
+def test_total_queries():
+    assert interaction_by_name("ViewStory").total_queries() == 2
+    assert interaction_by_name("Register").total_queries() == 0

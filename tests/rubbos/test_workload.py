@@ -1,0 +1,57 @@
+"""Tests for workload specs and interaction mixes."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.rubbos.interactions import BROWSE_ONLY_MIX, READ_WRITE_MIX
+from repro.rubbos.workload import InteractionMix, WorkloadSpec
+
+
+def test_named_mixes():
+    rw = InteractionMix.named(READ_WRITE_MIX)
+    browse = InteractionMix.named(BROWSE_ONLY_MIX)
+    assert rw.write_share > 0
+    assert browse.write_share == 0
+    assert len(browse.profiles) < len(rw.profiles)
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(ConfigError):
+        InteractionMix.named("chaos")
+
+
+def test_sampling_follows_weights():
+    mix = InteractionMix.named(READ_WRITE_MIX)
+    rng = random.Random(1)
+    counts = Counter(mix.sample(rng).name for _ in range(20_000))
+    # ViewStory (weight 18) must dominate RejectStory (weight 0.3).
+    assert counts["ViewStory"] > 20 * counts.get("RejectStory", 1)
+
+
+def test_sampling_deterministic_per_seed():
+    mix = InteractionMix.named(READ_WRITE_MIX)
+    a = [mix.sample(random.Random(7)).name for _ in range(10)]
+    b = [mix.sample(random.Random(7)).name for _ in range(10)]
+    assert a == b
+
+
+def test_workload_validation():
+    with pytest.raises(ConfigError):
+        WorkloadSpec(users=0).validate()
+    with pytest.raises(ConfigError):
+        WorkloadSpec(users=10, think_time_us=-1).validate()
+    WorkloadSpec(users=10).validate()
+
+
+def test_workload_builds_its_mix():
+    spec = WorkloadSpec(users=5, mix_name=BROWSE_ONLY_MIX)
+    assert spec.build_mix().write_share == 0
+
+
+def test_workload_defaults_match_rubbos():
+    spec = WorkloadSpec(users=1000)
+    assert spec.think_time_us == 7_000_000  # 7 s think time
+    assert spec.mix_name == READ_WRITE_MIX

@@ -1,0 +1,147 @@
+"""Tests for StepSeries time-weighted tracking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.tracking import StepSeries
+
+
+def test_initial_value_holds_before_first_record():
+    s = StepSeries(initial=7)
+    assert s.value_at(0) == 7
+    assert s.value_at(1_000_000) == 7
+
+
+def test_value_at_steps():
+    s = StepSeries()
+    s.record(10, 2)
+    s.record(20, 5)
+    assert s.value_at(0) == 0
+    assert s.value_at(10) == 2
+    assert s.value_at(19) == 2
+    assert s.value_at(20) == 5
+
+
+def test_record_same_time_overwrites():
+    s = StepSeries()
+    s.record(10, 1)
+    s.record(10, 9)
+    assert s.value_at(10) == 9
+    assert len(s) == 2  # initial + one change point
+
+
+def test_record_out_of_order_rejected():
+    s = StepSeries()
+    s.record(10, 1)
+    with pytest.raises(SimulationError):
+        s.record(5, 2)
+
+
+def test_adjust_returns_new_value():
+    s = StepSeries()
+    assert s.adjust(5, +3) == 3
+    assert s.adjust(8, -1) == 2
+    assert s.current == 2
+
+
+def test_integral_piecewise():
+    s = StepSeries()
+    s.record(10, 2)
+    s.record(20, 5)
+    # [0,10): 0, [10,20): 2*10=20, [20,30): 5*10=50
+    assert s.integral(0, 30) == 70
+    assert s.integral(15, 25) == 2 * 5 + 5 * 5
+
+
+def test_integral_empty_window():
+    s = StepSeries()
+    assert s.integral(5, 5) == 0.0
+
+
+def test_integral_reversed_window_rejected():
+    s = StepSeries()
+    with pytest.raises(SimulationError):
+        s.integral(10, 5)
+
+
+def test_mean():
+    s = StepSeries()
+    s.record(0, 4)
+    s.record(50, 0)
+    assert s.mean(0, 100) == pytest.approx(2.0)
+
+
+def test_max_between():
+    s = StepSeries()
+    s.record(10, 2)
+    s.record(20, 9)
+    s.record(30, 1)
+    assert s.max_between(0, 40) == 9
+    assert s.max_between(0, 15) == 2
+    assert s.max_between(21, 29) == 9
+    assert s.max_between(30, 40) == 1
+
+
+def test_resample_grid():
+    s = StepSeries()
+    s.record(10, 1)
+    s.record(30, 3)
+    times, values = s.resample(0, 50, 10)
+    assert times == [0, 10, 20, 30, 40]
+    assert values == [0, 1, 1, 3, 3]
+
+
+def test_window_means():
+    s = StepSeries()
+    s.record(0, 2)
+    s.record(10, 4)
+    times, values = s.window_means(0, 20, 10)
+    assert times == [0, 10]
+    assert values == [2, 4]
+
+
+def test_interleaved_record_and_query():
+    # Queries between records must not corrupt the lazy integral cache.
+    s = StepSeries()
+    s.record(10, 1)
+    assert s.integral(0, 20) == 10
+    s.record(30, 2)
+    assert s.integral(0, 40) == 10 + 10 + 20
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 1_000), st.integers(0, 100)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_integral_matches_bruteforce(deltas):
+    """Property: the integral equals a brute-force per-µs accumulation."""
+    s = StepSeries()
+    t = 0
+    points = [(0, 0)]
+    for delta, value in deltas:
+        t += delta
+        s.record(t, value)
+        points.append((t, value))
+    horizon = t + 10
+
+    brute = 0
+    for (t0, v0), (t1, _) in zip(points, points[1:]):
+        brute += (t1 - t0) * v0
+    brute += (horizon - points[-1][0]) * points[-1][1]
+
+    assert s.integral(0, horizon) == brute
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+def test_value_at_returns_last_recorded(values):
+    """Property: value_at(t) is the most recent record at or before t."""
+    s = StepSeries()
+    for i, v in enumerate(values):
+        s.record((i + 1) * 10, v)
+    for i, v in enumerate(values):
+        assert s.value_at((i + 1) * 10) == v
+        assert s.value_at((i + 1) * 10 + 5) == v

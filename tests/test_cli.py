@@ -1,0 +1,81 @@
+"""Tests for the ``mscope`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.warehouse.db import MScopeDB
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_writes_logs_and_meta(tmp_path, capsys):
+    out = tmp_path / "out"
+    code = main(
+        ["run", "--scenario", "a", "--out", str(out), "--duration", "2"]
+    )
+    assert code == 0
+    meta = json.loads((out / "run_meta.json").read_text())
+    assert meta["scenario"] == "a"
+    assert meta["duration_us"] == 2_000_000
+    assert (out / "logs" / "web1" / "access_log.log").exists()
+    assert "req/s" in capsys.readouterr().out
+
+
+def test_transform_and_diagnose_round_trip(tmp_path, capsys):
+    out = tmp_path / "out"
+    main(["run", "--scenario", "a", "--out", str(out)])
+    db_path = out / "m.db"
+    code = main(
+        ["transform", "--logs", str(out / "logs"), "--db", str(db_path)]
+    )
+    assert code == 0
+    with MScopeDB(db_path) as db:
+        assert "apache_events_web1" in db.dynamic_tables()
+        # The run's epoch was carried over from run_meta.json.
+        assert db.get_experiment_meta("epoch_us") is not None
+    capsys.readouterr()
+
+    code = main(["diagnose", "--db", str(db_path)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Anomaly window" in output
+    assert "disk on db1 saturated" in output
+
+
+def test_diagnose_healthy_run_exits_nonzero(tmp_path, capsys):
+    out = tmp_path / "out"
+    main(
+        [
+            "run",
+            "--scenario",
+            "baseline",
+            "--workload",
+            "300",
+            "--duration",
+            "2",
+            "--out",
+            str(out),
+        ]
+    )
+    db_path = out / "m.db"
+    main(["transform", "--logs", str(out / "logs"), "--db", str(db_path)])
+    capsys.readouterr()
+    code = main(["diagnose", "--db", str(db_path)])
+    assert code == 1
+    assert "no anomaly" in capsys.readouterr().out
+
+
+def test_figures_unknown_number_rejected(capsys):
+    code = main(["figures", "--which", "99"])
+    assert code == 2
+
+
+def test_figures_prints_selected(capsys):
+    code = main(["figures", "--which", "2"])
+    assert code == 0
+    assert "Figure 2" in capsys.readouterr().out

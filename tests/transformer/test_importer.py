@@ -1,0 +1,78 @@
+"""Tests for the mScope Data Importer."""
+
+import pytest
+
+from repro.common.errors import DataImportError
+from repro.transformer.importer import MScopeDataImporter
+from repro.transformer.xml_to_csv import CsvTable
+from repro.warehouse.db import MScopeDB
+
+
+def make_table(name="collectl_web1", columns=None, rows=None):
+    if columns is None:
+        columns = [("timestamp_us", "INTEGER"), ("cpu_user_pct", "REAL")]
+    if rows is None:
+        rows = [(1000, 1.5), (2000, 2.5)]
+    return CsvTable(
+        name=name,
+        columns=columns,
+        rows=rows,
+        monitor="collectl",
+        source="/logs/web1/collectl_csv.log",
+    )
+
+
+def test_import_creates_table_and_loads_rows():
+    db = MScopeDB()
+    importer = MScopeDataImporter(db)
+    inserted = importer.import_table(make_table(), "web1", "collectl_csv")
+    assert inserted == 2
+    assert db.row_count("collectl_web1") == 2
+
+
+def test_import_records_provenance():
+    db = MScopeDB()
+    MScopeDataImporter(db).import_table(make_table(), "web1", "collectl_csv")
+    registry = db.query("SELECT monitor, hostname, parser FROM monitor_registry")
+    assert registry == [("collectl", "web1", "collectl_csv")]
+    catalog = db.query("SELECT rows_loaded, columns FROM load_catalog")
+    assert catalog == [(2, 2)]
+
+
+def test_reimport_appends():
+    db = MScopeDB()
+    importer = MScopeDataImporter(db)
+    importer.import_table(make_table(), "web1", "collectl_csv")
+    importer.import_table(
+        make_table(rows=[(3000, 3.5)]), "web1", "collectl_csv"
+    )
+    assert db.row_count("collectl_web1") == 3
+
+
+def test_reimport_with_new_column_extends_schema():
+    db = MScopeDB()
+    importer = MScopeDataImporter(db)
+    importer.import_table(make_table(), "web1", "collectl_csv")
+    wider = make_table(
+        columns=[
+            ("timestamp_us", "INTEGER"),
+            ("cpu_user_pct", "REAL"),
+            ("mem_dirty", "INTEGER"),
+        ],
+        rows=[(3000, 3.5, 4096)],
+    )
+    importer.import_table(wider, "web1", "collectl_csv")
+    schema = dict(db.table_schema("collectl_web1"))
+    assert "mem_dirty" in schema
+    # Old rows have NULL in the new column.
+    rows = db.query(
+        "SELECT mem_dirty FROM collectl_web1 ORDER BY timestamp_us"
+    )
+    assert rows == [(None,), (None,), (4096,)]
+
+
+def test_empty_columns_rejected():
+    db = MScopeDB()
+    empty = make_table(columns=[], rows=[])
+    with pytest.raises(DataImportError):
+        MScopeDataImporter(db).import_table(empty, "web1", "collectl_csv")

@@ -1,0 +1,134 @@
+"""Tests for the incremental (live) transformer."""
+
+import pytest
+
+from repro.common.errors import DeclarationError
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock, ms
+from repro.logfmt.mysql import format_mscope_query
+from repro.transformer.live import LiveTransformer
+from repro.warehouse.db import MScopeDB
+
+WALL = WallClock()
+
+
+def mysql_line(i):
+    boundary = BoundaryRecord(
+        request_id=f"R0A00000000{i}",
+        tier="mysql",
+        node="db1",
+        upstream_arrival=ms(10 * (i + 1)),
+        upstream_departure=ms(10 * (i + 1) + 2),
+    )
+    return format_mscope_query(WALL, boundary, f"SELECT {i}")
+
+
+@pytest.fixture()
+def log_dir(tmp_path):
+    host = tmp_path / "logs" / "db1"
+    host.mkdir(parents=True)
+    return tmp_path / "logs"
+
+
+def append(path, lines):
+    with path.open("a") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def test_first_refresh_imports_everything(log_dir):
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(i) for i in range(3)])
+    live = LiveTransformer(MScopeDB())
+    assert live.refresh_file(path, "db1") == 3
+    assert live.db.row_count("mysql_events_db1") == 3
+
+
+def test_second_refresh_imports_only_delta(log_dir):
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(i) for i in range(3)])
+    live = LiveTransformer(MScopeDB())
+    live.refresh_file(path, "db1")
+    append(path, [mysql_line(i) for i in range(3, 5)])
+    assert live.refresh_file(path, "db1") == 2
+    assert live.db.row_count("mysql_events_db1") == 5
+    assert live.high_water(path) == 5
+
+
+def test_no_growth_no_rows(log_dir):
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(0)])
+    live = LiveTransformer(MScopeDB())
+    live.refresh_file(path, "db1")
+    assert live.refresh_file(path, "db1") == 0
+
+
+def test_rows_never_duplicated(log_dir):
+    path = log_dir / "db1" / "mysql_log.log"
+    live = LiveTransformer(MScopeDB())
+    for round_number in range(4):
+        append(path, [mysql_line(round_number)])
+        live.refresh_directory(log_dir)
+    ids = live.db.query("SELECT request_id FROM mysql_events_db1")
+    assert len(ids) == len(set(ids)) == 4
+
+
+def test_refresh_directory_outcome(log_dir):
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(i) for i in range(2)])
+    live = LiveTransformer(MScopeDB())
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.new_rows == 2
+    assert outcome.refreshed_files == 1
+    assert outcome.skipped_files == 0
+
+
+def test_mid_write_file_skipped_then_recovered(log_dir):
+    # A SAR XML file is malformed until its closing tags are written.
+    xml_path = log_dir / "db1" / "sar_xml.log"
+    xml_path.write_text('<?xml version="1.0"?>\n<sysstat>\n<host nodename="db1">')
+    live = LiveTransformer(MScopeDB())
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.skipped_files == 1
+    # Once the writer finishes the document, the next refresh loads it.
+    xml_path.write_text(
+        '<?xml version="1.0"?>\n<sysstat>\n<host nodename="db1" cpus="4">\n'
+        "<statistics>"
+        '<timestamp date="2017-03-01" time="10:00:00.050">'
+        '<cpu-load><cpu number="all" user="1.00" system="0.50" '
+        'iowait="0.00" steal="0.00" idle="98.50"/></cpu-load></timestamp>'
+        "</statistics>\n</host>\n</sysstat>"
+    )
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.skipped_files == 0
+    assert outcome.new_rows == 1
+
+
+def test_missing_directory_raises(tmp_path):
+    live = LiveTransformer(MScopeDB())
+    with pytest.raises(DeclarationError):
+        live.refresh_directory(tmp_path / "ghost")
+
+
+def test_live_matches_batch_load(log_dir):
+    """Incremental loading converges to the same table as a batch load."""
+    from repro.transformer.pipeline import MScopeDataTransformer
+
+    path = log_dir / "db1" / "mysql_log.log"
+    live = LiveTransformer(MScopeDB())
+    for i in range(6):
+        append(path, [mysql_line(i)])
+        live.refresh_directory(log_dir)
+
+    batch_db = MScopeDB()
+    MScopeDataTransformer(batch_db).transform_directory(log_dir)
+
+    live_rows = live.db.query(
+        "SELECT request_id, upstream_arrival_us FROM mysql_events_db1 "
+        "ORDER BY upstream_arrival_us"
+    )
+    batch_rows = batch_db.query(
+        "SELECT request_id, upstream_arrival_us FROM mysql_events_db1 "
+        "ORDER BY upstream_arrival_us"
+    )
+    assert live_rows == batch_rows

@@ -1,0 +1,181 @@
+"""Tests for the event-log mScopeParsers (Apache, Tomcat, C-JDBC, MySQL)."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.common.records import BoundaryRecord, DownstreamCall
+from repro.common.timebase import WallClock, ms
+from repro.logfmt.apache import format_mscope_access, format_plain_access
+from repro.logfmt.cjdbc import format_mscope_cjdbc, format_plain_cjdbc
+from repro.logfmt.mysql import format_mscope_query, format_plain_binlog
+from repro.logfmt.tomcat import format_mscope_tomcat, format_plain_tomcat
+from repro.transformer.declaration import default_declaration
+from repro.transformer.parsers import create_parser
+
+WALL = WallClock()
+DECLARATION = default_declaration()
+
+
+def parser_for(filename):
+    return create_parser(DECLARATION.resolve(filename))
+
+
+def make_boundary(request_id="R0A000000042", with_downstream=True):
+    boundary = BoundaryRecord(
+        request_id=request_id,
+        tier="x",
+        node="n",
+        upstream_arrival=ms(100),
+        upstream_departure=ms(115),
+    )
+    if with_downstream:
+        boundary.record_call(DownstreamCall("next", ms(102), ms(113)))
+    return boundary
+
+
+# ----------------------------------------------------------------------
+# Apache
+
+
+def test_apache_parses_instrumented_line():
+    boundary = make_boundary()
+    line = format_mscope_access(
+        WALL, "/rubbos/ViewStory?ID=R0A000000042", boundary, 8192
+    )
+    doc = parser_for("access_log.log").parse_lines([line], "access_log.log")
+    record = doc.records[0]
+    assert record.get("request_id") == "R0A000000042"
+    assert record.get("interaction") == "ViewStory"
+    assert record.get("upstream_arrival_us") == str(WALL.epoch_micros(ms(100)))
+    assert record.get("upstream_departure_us") == str(WALL.epoch_micros(ms(115)))
+    assert record.get("downstream_sending_us") == str(WALL.epoch_micros(ms(102)))
+
+
+def test_apache_parses_plain_line_without_boundaries():
+    line = format_plain_access(WALL, "/rubbos/Search", make_boundary(), 4096)
+    doc = parser_for("access_log.log").parse_lines([line], "access_log.log")
+    record = doc.records[0]
+    assert "request_id" not in record
+    assert "upstream_arrival_us" not in record
+    assert record.get("timestamp_us") is not None
+
+
+def test_apache_no_downstream_dashes_omitted():
+    boundary = make_boundary(with_downstream=False)
+    line = format_mscope_access(WALL, "/rubbos/Search?ID=R0A000000042", boundary, 1)
+    doc = parser_for("access_log.log").parse_lines([line], "s")
+    record = doc.records[0]
+    assert "downstream_sending_us" not in record
+    assert "downstream_receiving_us" not in record
+
+
+def test_apache_garbage_line_raises_with_location():
+    with pytest.raises(ParseError) as info:
+        parser_for("access_log.log").parse_lines(
+            ["ok", "not a log line"], "access_log.log"
+        )
+    assert "line" not in str(info.value) or "access_log" in str(info.value)
+
+
+def test_apache_blank_lines_skipped():
+    boundary = make_boundary()
+    line = format_mscope_access(WALL, "/rubbos/V?ID=R0A000000042", boundary, 1)
+    doc = parser_for("access_log.log").parse_lines(["", line, ""], "s")
+    assert len(doc) == 1
+
+
+# ----------------------------------------------------------------------
+# Tomcat
+
+
+def test_tomcat_parses_instrumented_line():
+    line = format_mscope_tomcat(WALL, "ViewStory", make_boundary())
+    doc = parser_for("catalina_log.log").parse_lines([line], "s")
+    record = doc.records[0]
+    assert record.get("request_id") == "R0A000000042"
+    assert record.get("interaction") == "ViewStory"
+    assert record.get("query_count") == "1"
+    assert record.get("tier") == "tomcat"
+
+
+def test_tomcat_skips_plain_lines():
+    plain = format_plain_tomcat(WALL, "ViewStory", make_boundary())
+    instrumented = format_mscope_tomcat(WALL, "ViewStory", make_boundary())
+    doc = parser_for("catalina_log.log").parse_lines([plain, instrumented], "s")
+    assert len(doc) == 1
+
+
+def test_tomcat_dash_fields_omitted():
+    line = format_mscope_tomcat(WALL, "Search", make_boundary(with_downstream=False))
+    doc = parser_for("catalina_log.log").parse_lines([line], "s")
+    assert "downstream_sending_us" not in doc.records[0]
+
+
+# ----------------------------------------------------------------------
+# C-JDBC
+
+
+def test_cjdbc_parses_instrumented_line():
+    line = format_mscope_cjdbc(WALL, make_boundary(), "SELECT 1")
+    doc = parser_for("controller_log.log").parse_lines([line], "s")
+    record = doc.records[0]
+    assert record.get("request_id") == "R0A000000042"
+    assert record.get("tier") == "cjdbc"
+    assert record.get("downstream_receiving_us") == str(WALL.epoch_micros(ms(113)))
+
+
+def test_cjdbc_skips_stock_lines():
+    plain = format_plain_cjdbc(WALL, make_boundary(), "SELECT 1")
+    doc = parser_for("controller_log.log").parse_lines([plain], "s")
+    assert len(doc) == 0
+
+
+# ----------------------------------------------------------------------
+# MySQL
+
+
+def test_mysql_parses_instrumented_line():
+    line = format_mscope_query(WALL, make_boundary(), "SELECT id FROM stories")
+    doc = parser_for("mysql_log.log").parse_lines([line], "s")
+    record = doc.records[0]
+    assert record.get("request_id") == "R0A000000042"
+    assert record.get("statement") == "SELECT id FROM stories"
+    assert record.get("upstream_arrival_us") == str(WALL.epoch_micros(ms(100)))
+
+
+def test_mysql_skips_plain_general_log():
+    plain = format_plain_binlog(WALL, make_boundary(), "SELECT 1")
+    doc = parser_for("mysql_log.log").parse_lines([plain], "s")
+    assert len(doc) == 0
+
+
+def test_mysql_malformed_query_line_raises():
+    with pytest.raises(ParseError):
+        parser_for("mysql_log.log").parse_lines(
+            ["170301 10:00:00\tQuery\tnotanumber\t2\tSELECT 1"], "s"
+        )
+
+
+def test_mysql_wrong_field_count_raises():
+    with pytest.raises(ParseError):
+        parser_for("mysql_log.log").parse_lines(
+            ["170301 10:00:00\tQuery\t123"], "s"
+        )
+
+
+# ----------------------------------------------------------------------
+# shared behaviour
+
+
+def test_parse_file_reads_from_disk(tmp_path):
+    line = format_mscope_query(WALL, make_boundary(), "SELECT 1")
+    path = tmp_path / "mysql_log.log"
+    path.write_text(line + "\n")
+    doc = parser_for("mysql_log.log").parse_file(path)
+    assert len(doc) == 1
+    assert doc.source == str(path)
+
+
+def test_parse_file_missing_raises(tmp_path):
+    with pytest.raises(ParseError):
+        parser_for("mysql_log.log").parse_file(tmp_path / "ghost.log")

@@ -1,0 +1,115 @@
+"""Tests for the multi-stage transformer pipeline."""
+
+import pytest
+
+from repro.common.errors import DeclarationError
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock, ms
+from repro.logfmt.mysql import format_mscope_query
+from repro.logfmt.sar import (
+    SarCpuRow,
+    format_sar_text_row,
+    sar_text_banner,
+    sar_text_header,
+)
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+WALL = WallClock()
+
+
+def write_mysql_log(directory, n=3):
+    host_dir = directory / "db1"
+    host_dir.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for i in range(n):
+        boundary = BoundaryRecord(
+            request_id=f"R0A00000000{i}",
+            tier="mysql",
+            node="db1",
+            upstream_arrival=ms(10 * (i + 1)),
+            upstream_departure=ms(10 * (i + 1) + 2),
+        )
+        lines.append(format_mscope_query(WALL, boundary, f"SELECT {i}"))
+    (host_dir / "mysql_log.log").write_text("\n".join(lines) + "\n")
+
+
+def write_sar_log(directory):
+    host_dir = directory / "db1"
+    host_dir.mkdir(parents=True, exist_ok=True)
+    rows = [SarCpuRow(ms(50 * (i + 1)), 10.0, 1.0, 0.0) for i in range(3)]
+    lines = [sar_text_banner(WALL, "db1", 4), sar_text_header(WALL, ms(50))]
+    lines += [format_sar_text_row(WALL, r) for r in rows]
+    (host_dir / "sar.log").write_text("\n".join(lines) + "\n")
+
+
+def test_transform_file_full_path(tmp_path):
+    write_mysql_log(tmp_path / "logs")
+    db = MScopeDB()
+    transformer = MScopeDataTransformer(db, workdir=tmp_path / "work")
+    outcome = transformer.transform_file(
+        tmp_path / "logs" / "db1" / "mysql_log.log", "db1"
+    )
+    assert outcome.table_name == "mysql_events_db1"
+    assert outcome.rows_loaded == 3
+    assert outcome.parser_name == "mysql"
+    assert outcome.xml_artifact.exists()
+    assert outcome.csv_artifact.exists()
+    assert db.row_count("mysql_events_db1") == 3
+
+
+def test_transform_without_workdir_skips_artifacts(tmp_path):
+    write_mysql_log(tmp_path / "logs")
+    db = MScopeDB()
+    transformer = MScopeDataTransformer(db)
+    outcome = transformer.transform_file(
+        tmp_path / "logs" / "db1" / "mysql_log.log", "db1"
+    )
+    assert outcome.xml_artifact is None
+    assert outcome.csv_artifact is None
+    assert db.row_count("mysql_events_db1") == 3
+
+
+def test_transform_directory_walks_hosts(tmp_path):
+    write_mysql_log(tmp_path / "logs")
+    write_sar_log(tmp_path / "logs")
+    db = MScopeDB()
+    outcomes = MScopeDataTransformer(db).transform_directory(tmp_path / "logs")
+    assert {o.table_name for o in outcomes} == {"mysql_events_db1", "sar_db1"}
+
+
+def test_transform_directory_skips_undeclared_files(tmp_path):
+    write_mysql_log(tmp_path / "logs")
+    (tmp_path / "logs" / "db1" / "random_debug.log").write_text("junk\n")
+    db = MScopeDB()
+    outcomes = MScopeDataTransformer(db).transform_directory(tmp_path / "logs")
+    assert len(outcomes) == 1
+
+
+def test_transform_missing_directory_raises(tmp_path):
+    db = MScopeDB()
+    with pytest.raises(DeclarationError):
+        MScopeDataTransformer(db).transform_directory(tmp_path / "nope")
+
+
+def test_hostname_column_added(tmp_path):
+    write_mysql_log(tmp_path / "logs")
+    db = MScopeDB()
+    MScopeDataTransformer(db).transform_directory(tmp_path / "logs")
+    rows = db.query("SELECT DISTINCT hostname FROM mysql_events_db1")
+    assert rows == [("db1",)]
+
+
+def test_xml_artifact_is_stage_boundary(tmp_path):
+    """The converter consumes the XML file, so the artifact alone must
+    be enough to rebuild the table."""
+    write_mysql_log(tmp_path / "logs")
+    db = MScopeDB()
+    transformer = MScopeDataTransformer(db, workdir=tmp_path / "work")
+    outcome = transformer.transform_file(
+        tmp_path / "logs" / "db1" / "mysql_log.log", "db1"
+    )
+    from repro.transformer.xmlmodel import XmlDocument
+
+    doc = XmlDocument.read(outcome.xml_artifact)
+    assert len(doc) == outcome.rows_loaded

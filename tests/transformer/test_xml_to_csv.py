@@ -1,0 +1,168 @@
+"""Tests for bottom-up schema inference and CSV artifacts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SchemaInferenceError
+from repro.transformer.xml_to_csv import XmlToCsvConverter, infer_sql_type
+from repro.transformer.xmlmodel import LogRecord, XmlDocument
+
+
+def make_doc(records):
+    doc = XmlDocument("m", "src")
+    for fields in records:
+        doc.append(LogRecord(fields))
+    return doc
+
+
+# ----------------------------------------------------------------------
+# type inference (the best-match principle)
+
+
+def test_all_ints_narrowest_integer():
+    assert infer_sql_type(["1", "-5", "+42"]) == "INTEGER"
+
+
+def test_mixed_int_float_widens_to_real():
+    assert infer_sql_type(["1", "2.5"]) == "REAL"
+
+
+def test_any_text_widens_to_text():
+    assert infer_sql_type(["1", "2.5", "sda"]) == "TEXT"
+
+
+def test_empty_values_default_text():
+    assert infer_sql_type([]) == "TEXT"
+    assert infer_sql_type(["", ""]) == "TEXT"
+
+
+def test_scientific_notation_is_real():
+    assert infer_sql_type(["1e3"]) == "REAL"
+
+
+@given(st.lists(st.integers(-10**12, 10**12), min_size=1, max_size=30))
+def test_integers_always_integer(values):
+    assert infer_sql_type([str(v) for v in values]) == "INTEGER"
+
+
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_floats_never_text(values):
+    assert infer_sql_type([repr(v) for v in values]) in ("INTEGER", "REAL")
+
+
+# ----------------------------------------------------------------------
+# conversion
+
+
+def test_columns_are_union_in_first_appearance_order():
+    doc = make_doc([{"a": "1", "b": "x"}, {"b": "y", "c": "2.5"}])
+    table = XmlToCsvConverter().convert(doc, "t")
+    assert table.column_names == ["a", "b", "c"]
+    assert dict(table.columns) == {"a": "INTEGER", "b": "TEXT", "c": "REAL"}
+
+
+def test_missing_fields_become_none():
+    doc = make_doc([{"a": "1"}, {"b": "2"}])
+    table = XmlToCsvConverter().convert(doc, "t")
+    assert table.rows == [(1, None), (None, 2)]
+
+
+def test_values_coerced_to_inferred_types():
+    doc = make_doc([{"n": "42", "x": "3.5", "s": "abc"}])
+    table = XmlToCsvConverter().convert(doc, "t")
+    row = table.rows[0]
+    assert row == (42, 3.5, "abc")
+    assert isinstance(row[0], int)
+    assert isinstance(row[1], float)
+
+
+def test_extra_columns_appended_as_text():
+    doc = make_doc([{"a": "1"}])
+    table = XmlToCsvConverter().convert(doc, "t", extra_columns={"hostname": "web1"})
+    assert table.column_names == ["a", "hostname"]
+    assert table.rows == [(1, "web1")]
+
+
+def test_extra_column_does_not_override_parsed_field():
+    doc = make_doc([{"hostname": "fromlog"}])
+    table = XmlToCsvConverter().convert(
+        doc, "t", extra_columns={"hostname": "fromdir"}
+    )
+    assert table.rows == [("fromlog",)]
+
+
+def test_empty_document_rejected():
+    doc = make_doc([])
+    with pytest.raises(SchemaInferenceError):
+        XmlToCsvConverter().convert(doc, "t")
+
+
+# ----------------------------------------------------------------------
+# CSV artifacts
+
+
+def test_csv_write_read_round_trip(tmp_path):
+    converter = XmlToCsvConverter()
+    doc = make_doc([{"a": "1", "b": "2.5"}, {"a": "3", "b": "x"}])
+    table = converter.convert(doc, "t")
+    path = converter.write_csv(table, tmp_path / "t.csv")
+    assert path.with_suffix(".schema").exists()
+    loaded = converter.read_csv(path, monitor="m")
+    assert loaded.columns == table.columns
+    assert loaded.rows == table.rows
+
+
+def test_csv_round_trip_preserves_nulls(tmp_path):
+    converter = XmlToCsvConverter()
+    doc = make_doc([{"a": "1"}, {"b": "2"}])
+    table = converter.convert(doc, "t")
+    path = converter.write_csv(table, tmp_path / "t.csv")
+    loaded = converter.read_csv(path)
+    assert loaded.rows == [(1, None), (None, 2)]
+
+
+def test_read_csv_missing_schema_raises(tmp_path):
+    path = tmp_path / "orphan.csv"
+    path.write_text("a\n1\n")
+    with pytest.raises(SchemaInferenceError):
+        XmlToCsvConverter().read_csv(path)
+
+
+def test_read_csv_header_mismatch_raises(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a\n1\n")
+    path.with_suffix(".schema").write_text("b INTEGER\n")
+    with pytest.raises(SchemaInferenceError):
+        XmlToCsvConverter().read_csv(path)
+
+
+@given(
+    st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.one_of(
+                st.integers(-1000, 1000).map(str),
+                st.floats(0, 100, allow_nan=False).map(lambda f: f"{f:.3f}"),
+                st.sampled_from(["alpha", "beta"]),
+            ),
+            min_size=1,
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_schema_always_narrowest(record_dicts):
+    """Property: no column is wider than its values require."""
+    doc = make_doc(record_dicts)
+    table = XmlToCsvConverter().convert(doc, "t")
+    for (column, sql_type) in table.columns:
+        index = table.column_names.index(column)
+        values = [r[index] for r in table.rows if r[index] is not None]
+        raw = [str(v) for v in values]
+        assert sql_type == infer_sql_type(raw)

@@ -1,0 +1,111 @@
+"""Tests for mScopeDB: static tables, dynamic tables, queries."""
+
+import pytest
+
+from repro.common.errors import QueryError, WarehouseError
+from repro.warehouse.db import MScopeDB, STATIC_TABLES, quote_identifier
+
+
+def test_static_tables_exist_on_creation():
+    db = MScopeDB()
+    for table in STATIC_TABLES:
+        assert table in db.tables()
+    assert db.dynamic_tables() == []
+
+
+def test_experiment_meta_round_trip():
+    db = MScopeDB()
+    db.set_experiment_meta("seed", "42")
+    assert db.get_experiment_meta("seed") == "42"
+    assert db.get_experiment_meta("missing") is None
+    db.set_experiment_meta("seed", "43")  # upsert
+    assert db.get_experiment_meta("seed") == "43"
+
+
+def test_host_registration():
+    db = MScopeDB()
+    db.register_host("web1", "apache", 4, 100_000_000)
+    rows = db.query("SELECT * FROM host_config")
+    assert rows == [("web1", "apache", 4, 100_000_000)]
+
+
+def test_monitor_registry_and_load_catalog():
+    db = MScopeDB()
+    db.register_monitor("collectl", "web1", "/logs/web1/c.log", "collectl_csv", "t1")
+    db.record_load("t1", "/logs/web1/c.log", 100, 8)
+    assert db.query("SELECT table_name FROM monitor_registry") == [("t1",)]
+    assert db.query("SELECT rows_loaded FROM load_catalog") == [(100,)]
+
+
+def test_create_table_and_insert():
+    db = MScopeDB()
+    db.create_table("m1", [("timestamp_us", "INTEGER"), ("value", "REAL")])
+    inserted = db.insert_rows("m1", ["timestamp_us", "value"], [(1, 0.5), (2, 1.5)])
+    assert inserted == 2
+    assert db.row_count("m1") == 2
+    assert db.table_schema("m1") == [("timestamp_us", "INTEGER"), ("value", "REAL")]
+
+
+def test_create_table_validation():
+    db = MScopeDB()
+    with pytest.raises(WarehouseError):
+        db.create_table("empty", [])
+    with pytest.raises(WarehouseError):
+        db.create_table("bad", [("col", "BLOB")])
+    with pytest.raises(WarehouseError):
+        db.create_table("experiment_meta", [("x", "TEXT")])
+
+
+def test_identifier_validation_blocks_injection():
+    with pytest.raises(WarehouseError):
+        quote_identifier("x; DROP TABLE users")
+    with pytest.raises(WarehouseError):
+        quote_identifier('a"b')
+    assert quote_identifier("cpu_user_pct") == '"cpu_user_pct"'
+
+
+def test_add_column_backfills_null():
+    db = MScopeDB()
+    db.create_table("m1", [("a", "INTEGER")])
+    db.insert_rows("m1", ["a"], [(1,)])
+    db.add_column("m1", "b", "TEXT")
+    assert db.query("SELECT a, b FROM m1") == [(1, None)]
+
+
+def test_row_count_missing_table():
+    db = MScopeDB()
+    with pytest.raises(QueryError):
+        db.row_count("ghost")
+    with pytest.raises(QueryError):
+        db.table_schema("ghost")
+
+
+def test_query_error_wrapped():
+    db = MScopeDB()
+    with pytest.raises(QueryError):
+        db.query("SELECT nope FROM nothing")
+
+
+def test_fetch_series_windowed():
+    db = MScopeDB()
+    db.create_table("m1", [("t", "INTEGER"), ("v", "REAL")])
+    db.insert_rows("m1", ["t", "v"], [(30, 3.0), (10, 1.0), (20, 2.0)])
+    assert db.fetch_series("m1", "t", "v") == [(10, 1.0), (20, 2.0), (30, 3.0)]
+    assert db.fetch_series("m1", "t", "v", start=15, stop=30) == [(20, 2.0)]
+
+
+def test_close_and_context_manager(tmp_path):
+    with MScopeDB(tmp_path / "w.db") as db:
+        db.create_table("m1", [("a", "INTEGER")])
+    with pytest.raises(WarehouseError):
+        db.tables()
+
+
+def test_persistence_on_disk(tmp_path):
+    path = tmp_path / "w.db"
+    db = MScopeDB(path)
+    db.create_table("m1", [("a", "INTEGER")])
+    db.insert_rows("m1", ["a"], [(7,)])
+    db.close()
+    reopened = MScopeDB(path)
+    assert reopened.query("SELECT a FROM m1") == [(7,)]

@@ -1,0 +1,125 @@
+"""Tests for the WarehouseExplorer high-level query API."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.warehouse.db import MScopeDB
+from repro.warehouse.explorer import WarehouseExplorer
+
+EPOCH = 1_000_000_000
+
+
+def build_db():
+    db = MScopeDB()
+    db.create_table(
+        "apache_events_web1",
+        [
+            ("request_id", "TEXT"),
+            ("interaction", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+    )
+    rows = [
+        ("R0A000000001", "ViewStory", EPOCH + 0, EPOCH + 5_000),
+        ("R0A000000002", "ViewStory", EPOCH + 10_000, EPOCH + 25_000),
+        ("R0A000000003", "Search", EPOCH + 20_000, EPOCH + 320_000),
+        ("R0A000000004", "Home", EPOCH + 30_000, EPOCH + 33_000),
+    ]
+    db.insert_rows(
+        "apache_events_web1",
+        ["request_id", "interaction", "upstream_arrival_us", "upstream_departure_us"],
+        rows,
+    )
+    db.create_table(
+        "mysql_events_db1",
+        [
+            ("request_id", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+    )
+    db.insert_rows(
+        "mysql_events_db1",
+        ["request_id", "upstream_arrival_us", "upstream_departure_us"],
+        [("R0A000000003", EPOCH + 22_000, EPOCH + 310_000)],
+    )
+    db.create_table(
+        "collectl_db1",
+        [("timestamp_us", "INTEGER"), ("dsk_pctutil", "REAL")],
+    )
+    db.insert_rows(
+        "collectl_db1",
+        ["timestamp_us", "dsk_pctutil"],
+        [(EPOCH + 50_000 * i, 5.0 if i != 3 else 99.0) for i in range(6)],
+    )
+    db.register_host("web1", "apache", 4, 100)
+    db.register_host("db1", "mysql", 4, 100)
+    return db
+
+
+def make_explorer():
+    return WarehouseExplorer(build_db(), epoch_us=EPOCH)
+
+
+def test_missing_front_table_rejected():
+    with pytest.raises(QueryError):
+        WarehouseExplorer(MScopeDB(), front_table="nope")
+
+
+def test_slowest_requests_ordered():
+    slow = make_explorer().slowest_requests(2)
+    assert [s.request_id for s in slow] == ["R0A000000003", "R0A000000002"]
+    assert slow[0].response_ms == pytest.approx(300.0)
+    assert slow[0].completed_at_us == 320_000  # rebased
+
+
+def test_interaction_stats():
+    stats = make_explorer().interaction_stats()
+    by_name = {s.interaction: s for s in stats}
+    assert by_name["ViewStory"].count == 2
+    assert by_name["ViewStory"].mean_ms == pytest.approx(10.0)
+    assert stats[0].interaction == "Search"  # slowest mean first
+
+
+def test_request_flow_joins_tables():
+    flow = make_explorer().request_flow("R0A000000003")
+    assert [entry[0] for entry in flow] == [
+        "apache_events_web1",
+        "mysql_events_db1",
+    ]
+    assert flow[0][1] == 20_000
+
+
+def test_table_catalogs():
+    explorer = make_explorer()
+    assert set(explorer.event_tables()) == {
+        "apache_events_web1",
+        "mysql_events_db1",
+    }
+    assert explorer.resource_tables() == ["collectl_db1"]
+    assert explorer.hosts() == ["db1", "web1"]
+
+
+def test_metric_timeline_rebased_and_windowed():
+    explorer = make_explorer()
+    timeline = explorer.metric_timeline("collectl_db1", "dsk_pctutil")
+    assert timeline[0] == (0, 5.0)
+    windowed = explorer.metric_timeline(
+        "collectl_db1", "dsk_pctutil", start=100_000, stop=200_000
+    )
+    assert [t for t, _ in windowed] == [100_000, 150_000]
+
+
+def test_busiest_window_finds_spike():
+    explorer = make_explorer()
+    start, mean = explorer.busiest_window("collectl_db1", "dsk_pctutil", 50_000)
+    assert start == 150_000
+    assert mean == pytest.approx(99.0)
+
+
+def test_busiest_window_empty_rejected():
+    explorer = make_explorer()
+    explorer.db.create_table("empty_t", [("timestamp_us", "INTEGER"), ("v", "REAL")])
+    with pytest.raises(QueryError):
+        explorer.busiest_window("empty_t", "v", 100)
