@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument(
         "--workdir", type=Path, default=None, help="keep XML/CSV artifacts here"
     )
+    transform.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parse/convert worker processes (default: all cores; "
+        "1 = fully in-process)",
+    )
 
     diagnose = subparsers.add_parser(
         "diagnose", help="find and explain very short bottlenecks"
@@ -201,7 +208,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_transform(args) -> int:
     db = MScopeDB(args.db)
-    transformer = MScopeDataTransformer(db, workdir=args.workdir)
+    transformer = MScopeDataTransformer(db, workdir=args.workdir, jobs=args.jobs)
     outcomes = transformer.transform_directory(args.logs)
     meta_path = args.logs.parent / _META_FILE
     if meta_path.exists():

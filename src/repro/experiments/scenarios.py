@@ -251,17 +251,20 @@ def load_warehouse(
     run: ScenarioRun,
     db: MScopeDB | None = None,
     workdir: Path | None = None,
+    jobs: int | None = None,
 ) -> MScopeDB:
     """Run mScopeDataTransformer over a scenario's native logs.
 
     Also records the experiment and host metadata in the static
     tables.  Requires the scenario to have been run with ``log_dir``.
+    ``jobs`` sets the parse/convert worker-process count (``None``
+    uses every core; the warehouse contents are identical either way).
     """
     if run.log_dir is None:
         raise ValueError("scenario was run without a log directory")
     if db is None:
         db = MScopeDB()
-    transformer = MScopeDataTransformer(db, workdir=workdir)
+    transformer = MScopeDataTransformer(db, workdir=workdir, jobs=jobs)
     transformer.transform_directory(run.log_dir)
     db.set_experiment_meta("seed", str(run.system.config.seed))
     db.set_experiment_meta("workload_users", str(run.system.config.workload.users))

@@ -16,7 +16,12 @@ from repro.transformer.timestamps import (
     compact_date_to_iso,
     wall_to_epoch_us,
 )
-from repro.transformer.xml_to_csv import CsvTable, XmlToCsvConverter, infer_sql_type
+from repro.transformer.xml_to_csv import (
+    CsvTable,
+    TypeLattice,
+    XmlToCsvConverter,
+    infer_sql_type,
+)
 from repro.transformer.xmlmodel import LogRecord, XmlDocument, sanitize_tag
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "RULE_LINE_SEQUENCE",
     "RULE_REGEX_TOKEN",
     "TransformOutcome",
+    "TypeLattice",
     "XmlDocument",
     "XmlToCsvConverter",
     "clf_to_epoch_us",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import fnmatch
+import functools
 import re
 from pathlib import Path
 from typing import Any
@@ -24,8 +25,20 @@ __all__ = [
     "ParserRule",
     "ParserBinding",
     "ParsingDeclaration",
+    "compile_pattern",
     "default_declaration",
 ]
+
+
+@functools.lru_cache(maxsize=None)
+def compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Compile (and cache) a declaration regex.
+
+    Declarations name the same handful of patterns for every file and
+    every parser instance; caching the compiled objects means rule
+    validation and parser construction never recompile them.
+    """
+    return re.compile(pattern)
 
 RULE_LINE_SEQUENCE = "line_sequence"
 RULE_REGEX_TOKEN = "regex_token"
@@ -51,7 +64,7 @@ class ParserRule:
             raise DeclarationError(f"unknown rule kind {self.kind!r}")
         if self.kind == RULE_REGEX_TOKEN and "pattern" in self.params:
             try:
-                re.compile(self.params["pattern"])
+                compile_pattern(self.params["pattern"])
             except re.error as exc:
                 raise DeclarationError(
                     f"invalid regex {self.params['pattern']!r}: {exc}"
@@ -81,10 +94,15 @@ class ParsingDeclaration:
 
     def __init__(self) -> None:
         self._bindings: list[ParserBinding] = []
+        # Bindings match on the file *name*, so resolution is cached
+        # per name — a deployment repeats the same dozen log names
+        # across every host.
+        self._resolve_cache: dict[str, ParserBinding | None] = {}
 
     def register(self, binding: ParserBinding) -> None:
         """Add one binding."""
         self._bindings.append(binding)
+        self._resolve_cache.clear()
 
     @property
     def bindings(self) -> list[ParserBinding]:
@@ -93,17 +111,27 @@ class ParsingDeclaration:
 
     def resolve(self, path: Path | str) -> ParserBinding:
         """The binding covering ``path``; raises if none matches."""
-        for binding in self._bindings:
-            if binding.matches(path):
-                return binding
-        raise DeclarationError(f"no parser declared for {Path(path).name!r}")
+        binding = self.try_resolve(path)
+        if binding is None:
+            raise DeclarationError(
+                f"no parser declared for {Path(path).name!r}"
+            )
+        return binding
 
     def try_resolve(self, path: Path | str) -> ParserBinding | None:
         """Like :meth:`resolve` but returns ``None`` on no match."""
+        name = Path(path).name
+        try:
+            return self._resolve_cache[name]
+        except KeyError:
+            pass
+        found = None
         for binding in self._bindings:
-            if binding.matches(path):
-                return binding
-        return None
+            if binding.matches(name):
+                found = binding
+                break
+        self._resolve_cache[name] = found
+        return found
 
 
 def default_declaration() -> ParsingDeclaration:

@@ -5,6 +5,12 @@ converter's inferred schemas and load the typed rows.  Re-imports into
 an existing table reconcile schemas column-by-column — new columns are
 added with NULL backfill, matching the dynamic-warehouse behaviour the
 paper describes (tables materialize and grow as logs arrive).
+
+Each file's load runs as one warehouse transaction (via
+:meth:`~repro.warehouse.db.MScopeDB.bulk_load`), indexes are created
+*after* the first bulk insert so the insert never pays index
+maintenance, and table existence is cached across files instead of
+re-querying the warehouse per import.
 """
 
 from __future__ import annotations
@@ -23,6 +29,12 @@ class MScopeDataImporter:
 
     def __init__(self, db: MScopeDB) -> None:
         self.db = db
+        self._known_tables: set[str] | None = None
+
+    def _table_exists(self, name: str) -> bool:
+        if self._known_tables is None:
+            self._known_tables = set(self.db.dynamic_tables())
+        return name in self._known_tables
 
     def import_table(
         self,
@@ -32,31 +44,37 @@ class MScopeDataImporter:
     ) -> int:
         """Create/extend the target table and load the rows.
 
-        Returns the number of rows inserted.
+        The whole load — DDL, bulk insert, indexes, provenance — is
+        one transaction.  Returns the number of rows inserted.
         """
         if not table.columns:
             raise DataImportError(f"table {table.name!r} has no columns")
-        existing = set(self.db.dynamic_tables())
-        if table.name not in existing:
-            self.db.create_table(table.name, table.columns)
-            for column in ("request_id", "timestamp_us"):
-                if column in table.column_names:
-                    self.db.create_index(table.name, column)
-        else:
-            self._reconcile_schema(table)
-        inserted = self.db.insert_rows(
-            table.name, table.column_names, table.rows
-        )
-        self.db.record_load(
-            table.name, table.source, inserted, len(table.columns)
-        )
-        self.db.register_monitor(
-            monitor=table.monitor,
-            hostname=hostname,
-            source_path=table.source,
-            parser=parser_name,
-            table_name=table.name,
-        )
+        with self.db.bulk_load():
+            created = not self._table_exists(table.name)
+            if created:
+                self.db.create_table(table.name, table.columns)
+                self._known_tables.add(table.name)  # type: ignore[union-attr]
+            else:
+                self._reconcile_schema(table)
+            inserted = self.db.insert_rows(
+                table.name, table.column_names, table.rows
+            )
+            if created:
+                # Index after the bulk insert: building each index in
+                # one pass is cheaper than maintaining it row-by-row.
+                for column in ("request_id", "timestamp_us"):
+                    if column in table.column_names:
+                        self.db.create_index(table.name, column)
+            self.db.record_load(
+                table.name, table.source, inserted, len(table.columns)
+            )
+            self.db.register_monitor(
+                monitor=table.monitor,
+                hostname=hostname,
+                source_path=table.source,
+                parser=parser_name,
+                table_name=table.name,
+            )
         return inserted
 
     def _reconcile_schema(self, table: CsvTable) -> None:
@@ -66,6 +84,6 @@ class MScopeDataImporter:
                 self.db.add_column(table.name, column, sql_type)
             elif _WIDER[sql_type] > _WIDER.get(current[column], 2):
                 # sqlite's type affinity tolerates wider values in a
-                # narrower column; record the widening in the catalog
-                # rather than rewriting the table.
-                pass
+                # narrower column; record the widening in the schema
+                # catalog so table_schema() reflects reality.
+                self.db.record_column_type(table.name, column, sql_type)

@@ -24,7 +24,7 @@ from pathlib import Path
 from repro.common.errors import DeclarationError, ParseError
 from repro.transformer.declaration import ParsingDeclaration, default_declaration
 from repro.transformer.importer import MScopeDataImporter
-from repro.transformer.parsers import create_parser
+from repro.transformer.parsers import MScopeParser, create_parser
 from repro.transformer.xml_to_csv import XmlToCsvConverter
 from repro.transformer.xmlmodel import XmlDocument
 from repro.warehouse.db import MScopeDB
@@ -54,6 +54,16 @@ class LiveTransformer:
         self.converter = XmlToCsvConverter()
         self.importer = MScopeDataImporter(db)
         self._high_water: dict[Path, int] = {}
+        # Parser instances are stateless between files, so one per
+        # binding serves every refresh (keyed by identity — bindings
+        # live as long as the declaration that owns them).
+        self._parsers: dict[int, MScopeParser] = {}
+
+    def _parser_for(self, binding) -> MScopeParser:
+        parser = self._parsers.get(id(binding))
+        if parser is None:
+            parser = self._parsers[id(binding)] = create_parser(binding)
+        return parser
 
     def refresh_file(self, path: Path | str, hostname: str) -> int:
         """Import records appended to ``path`` since the last refresh.
@@ -64,7 +74,7 @@ class LiveTransformer:
         """
         path = Path(path)
         binding = self.declaration.resolve(path)
-        parser = create_parser(binding)
+        parser = self._parser_for(binding)
         document = parser.parse_file(path)
         already = self._high_water.get(path, 0)
         fresh = document.records[already:]

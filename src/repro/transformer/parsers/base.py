@@ -18,6 +18,7 @@ from repro.common.errors import DeclarationError, ParseError
 from repro.transformer.declaration import (
     RULE_REGEX_TOKEN,
     ParserBinding,
+    compile_pattern,
 )
 from repro.transformer.xmlmodel import XmlDocument
 
@@ -69,18 +70,26 @@ class MScopeParser:
                     raise DeclarationError(
                         "regex_token rule needs 'tag' and 'pattern'"
                     )
-                self._token_rules.append((tag, re.compile(pattern)))
+                self._token_rules.append((tag, compile_pattern(pattern)))
 
     # ------------------------------------------------------------------
 
     def parse_file(self, path: Path | str) -> XmlDocument:
-        """Parse a log file from disk."""
+        """Parse a log file from disk, streaming it line by line.
+
+        The file is never materialized whole: the parser consumes a
+        lazy line iterator, so memory stays bounded by the output
+        records rather than the input file size.
+        """
         path = Path(path)
         try:
-            text = path.read_text(encoding="utf-8")
+            with path.open("r", encoding="utf-8") as handle:
+                return self.parse_lines(
+                    (line.rstrip("\r\n") for line in handle),
+                    source=str(path),
+                )
         except OSError as exc:
             raise ParseError(f"cannot read log: {exc}", path=str(path)) from exc
-        return self.parse_lines(text.splitlines(), source=str(path))
 
     def parse_lines(self, lines: Iterable[str], source: str) -> XmlDocument:
         """Parse already-split log lines."""

@@ -6,18 +6,33 @@ the raw lines into tagged XML, round-trip the XML artifact through
 disk (when a work directory is given, keeping the stage boundary
 honest), convert it to a typed CSV table with the bottom-up schema
 inference, and load it into mScopeDB.
+
+Scaling: the parse → convert stages are CPU-bound and embarrassingly
+parallel across log files, so :meth:`transform_directory` fans them
+out over a ``ProcessPoolExecutor`` (``jobs`` workers, defaulting to
+the machine's core count).  The warehouse stays a **single-writer**
+stage: the parent process drains completed tables in deterministic
+``(host, file)`` order, so the warehouse contents are identical to a
+serial (``jobs=1``) run — byte-for-byte under
+:meth:`~repro.warehouse.db.MScopeDB.iterdump`.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import os
 from pathlib import Path
 
 from repro.common.errors import DeclarationError
-from repro.transformer.declaration import ParsingDeclaration, default_declaration
+from repro.transformer.declaration import (
+    ParserBinding,
+    ParsingDeclaration,
+    default_declaration,
+)
 from repro.transformer.importer import MScopeDataImporter
 from repro.transformer.parsers import create_parser
-from repro.transformer.xml_to_csv import XmlToCsvConverter
+from repro.transformer.xml_to_csv import CsvTable, XmlToCsvConverter
 from repro.transformer.xmlmodel import XmlDocument
 from repro.warehouse.db import MScopeDB
 
@@ -37,6 +52,52 @@ class TransformOutcome:
     csv_artifact: Path | None
 
 
+def _parse_convert(
+    path: Path,
+    hostname: str,
+    binding: ParserBinding,
+    workdir: Path | None,
+) -> tuple[CsvTable, Path | None, Path | None]:
+    """The CPU-bound stages for one file: parse → XML → convert → CSV.
+
+    Runs either in-process (serial path) or inside a worker process
+    (parallel fan-out); it touches only the file system, never the
+    warehouse.
+    """
+    parser = create_parser(binding)
+    document = parser.parse_file(path)
+
+    xml_artifact: Path | None = None
+    csv_artifact: Path | None = None
+    converter = XmlToCsvConverter()
+    if workdir is not None:
+        xml_artifact = workdir / hostname / f"{path.stem}.xml"
+        document.write(xml_artifact)
+        # Honest stage boundary: the converter reads what the
+        # parser wrote, not the parser's in-memory objects.
+        document = XmlDocument.read(xml_artifact)
+
+    table_name = f"{binding.monitor}_{hostname}"
+    table = converter.convert(
+        document, table_name, extra_columns={"hostname": hostname}
+    )
+    if workdir is not None:
+        csv_artifact = workdir / hostname / f"{path.stem}.csv"
+        converter.write_csv(table, csv_artifact)
+    return table, xml_artifact, csv_artifact
+
+
+def _parse_convert_task(
+    path_str: str,
+    hostname: str,
+    binding: ParserBinding,
+    workdir_str: str | None,
+) -> tuple[CsvTable, Path | None, Path | None]:
+    """Picklable worker entry point for the process pool."""
+    workdir = Path(workdir_str) if workdir_str is not None else None
+    return _parse_convert(Path(path_str), hostname, binding, workdir)
+
+
 class MScopeDataTransformer:
     """Transforms native monitor logs into warehouse tables.
 
@@ -50,6 +111,12 @@ class MScopeDataTransformer:
     workdir:
         Directory for intermediate XML/CSV artifacts.  ``None`` skips
         writing them (the stages still run in the same order).
+    jobs:
+        Worker processes for the parse → convert fan-out.  ``None``
+        (the default) uses ``os.cpu_count()``; ``1`` keeps everything
+        in-process (the deterministic serial path — though parallel
+        runs produce identical warehouses, see
+        :meth:`transform_directory`).
     """
 
     def __init__(
@@ -57,43 +124,31 @@ class MScopeDataTransformer:
         db: MScopeDB,
         declaration: ParsingDeclaration | None = None,
         workdir: Path | str | None = None,
+        jobs: int | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
         self.workdir = Path(workdir) if workdir is not None else None
         self.converter = XmlToCsvConverter()
         self.importer = MScopeDataImporter(db)
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
 
-    def transform_file(self, path: Path | str, hostname: str) -> TransformOutcome:
-        """Run the full pipeline on one log file."""
-        path = Path(path)
-        binding = self.declaration.resolve(path)
-        parser = create_parser(binding)
-        document = parser.parse_file(path)
-
-        xml_artifact: Path | None = None
-        if self.workdir is not None:
-            xml_artifact = self.workdir / hostname / f"{path.stem}.xml"
-            document.write(xml_artifact)
-            # Honest stage boundary: the converter reads what the
-            # parser wrote, not the parser's in-memory objects.
-            document = XmlDocument.read(xml_artifact)
-
-        table_name = f"{binding.monitor}_{hostname}"
-        table = self.converter.convert(
-            document, table_name, extra_columns={"hostname": hostname}
-        )
-        csv_artifact: Path | None = None
-        if self.workdir is not None:
-            csv_artifact = self.workdir / hostname / f"{path.stem}.csv"
-            self.converter.write_csv(table, csv_artifact)
-
+    def _import_result(
+        self,
+        path: Path,
+        binding: ParserBinding,
+        table: CsvTable,
+        hostname: str,
+        xml_artifact: Path | None,
+        csv_artifact: Path | None,
+    ) -> TransformOutcome:
+        """The single-writer stage: load one converted table."""
         rows = self.importer.import_table(table, hostname, binding.parser_name)
         return TransformOutcome(
             source=path,
-            table_name=table_name,
+            table_name=table.name,
             rows_loaded=rows,
             columns=len(table.columns),
             parser_name=binding.parser_name,
@@ -101,20 +156,88 @@ class MScopeDataTransformer:
             csv_artifact=csv_artifact,
         )
 
-    def transform_directory(self, root: Path | str) -> list[TransformOutcome]:
+    def transform_file(self, path: Path | str, hostname: str) -> TransformOutcome:
+        """Run the full pipeline on one log file (in-process)."""
+        path = Path(path)
+        binding = self.declaration.resolve(path)
+        table, xml_artifact, csv_artifact = _parse_convert(
+            path, hostname, binding, self.workdir
+        )
+        return self._import_result(
+            path, binding, table, hostname, xml_artifact, csv_artifact
+        )
+
+    def _resolve_jobs(self, jobs: int | None, tasks: int) -> int:
+        if jobs is None:
+            jobs = self.jobs
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        return max(1, min(jobs, tasks))
+
+    def transform_directory(
+        self, root: Path | str, jobs: int | None = None
+    ) -> list[TransformOutcome]:
         """Transform every declared log under ``root``.
 
         Expects the layout the simulator writes:
         ``<root>/<hostname>/<stream>.log``.  Files no binding covers
         are skipped (a deployment always has unrelated logs around).
+
+        With ``jobs > 1`` the parse → convert stages run across a
+        process pool while imports stay in this process, draining
+        completed tables in ``(host, file)`` order — so the resulting
+        warehouse is identical to a ``jobs=1`` run, including on
+        partial failure (files ordered before the first failing file
+        are fully loaded, later ones are not).
         """
         root = Path(root)
         if not root.is_dir():
             raise DeclarationError(f"log directory {root} does not exist")
-        outcomes: list[TransformOutcome] = []
+        work: list[tuple[Path, str, ParserBinding]] = []
         for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
             for log_file in sorted(host_dir.glob("*.log")):
-                if self.declaration.try_resolve(log_file) is None:
+                binding = self.declaration.try_resolve(log_file)
+                if binding is None:
                     continue
-                outcomes.append(self.transform_file(log_file, host_dir.name))
+                work.append((log_file, host_dir.name, binding))
+
+        jobs = self._resolve_jobs(jobs, len(work))
+        if jobs <= 1:
+            outcomes: list[TransformOutcome] = []
+            for path, host, binding in work:
+                table, xml_artifact, csv_artifact = _parse_convert(
+                    path, host, binding, self.workdir
+                )
+                outcomes.append(
+                    self._import_result(
+                        path, binding, table, host, xml_artifact, csv_artifact
+                    )
+                )
+            return outcomes
+        return self._transform_parallel(work, jobs)
+
+    def _transform_parallel(
+        self, work: list[tuple[Path, str, ParserBinding]], jobs: int
+    ) -> list[TransformOutcome]:
+        outcomes: list[TransformOutcome] = []
+        workdir_str = str(self.workdir) if self.workdir is not None else None
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _parse_convert_task, str(path), host, binding, workdir_str
+                )
+                for path, host, binding in work
+            ]
+            try:
+                for (path, host, binding), future in zip(work, futures):
+                    table, xml_artifact, csv_artifact = future.result()
+                    outcomes.append(
+                        self._import_result(
+                            path, binding, table, host, xml_artifact, csv_artifact
+                        )
+                    )
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
         return outcomes

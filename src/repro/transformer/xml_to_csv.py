@@ -23,7 +23,7 @@ from typing import Any
 from repro.common.errors import SchemaInferenceError
 from repro.transformer.xmlmodel import XmlDocument
 
-__all__ = ["CsvTable", "XmlToCsvConverter", "infer_sql_type"]
+__all__ = ["CsvTable", "TypeLattice", "XmlToCsvConverter", "infer_sql_type"]
 
 _TYPE_ORDER = ("INTEGER", "REAL", "TEXT")
 
@@ -43,16 +43,47 @@ def _is_real(value: str) -> bool:
     return True
 
 
+class TypeLattice:
+    """Single-pass narrowing over the INTEGER ⊂ REAL ⊂ TEXT lattice.
+
+    Feed values one at a time with :meth:`observe`; the state only
+    ever widens, so the final :meth:`result` equals the narrowest type
+    that stores every observed value (the best-match principle)
+    without re-scanning the column.
+    """
+
+    __slots__ = ("_state", "_saw_value")
+
+    def __init__(self) -> None:
+        self._state = "INTEGER"
+        self._saw_value = False
+
+    def observe(self, value: str | None) -> None:
+        """Narrow the lattice by one value (empty/None are no-ops)."""
+        if value is None or value == "":
+            return
+        self._saw_value = True
+        state = self._state
+        if state == "TEXT":
+            return
+        if state == "INTEGER":
+            if _is_int(value):
+                return
+            self._state = "REAL" if _is_real(value) else "TEXT"
+        elif not _is_real(value):
+            self._state = "TEXT"
+
+    def result(self) -> str:
+        """The inferred type (TEXT when no non-empty value was seen)."""
+        return self._state if self._saw_value else "TEXT"
+
+
 def infer_sql_type(values: list[str]) -> str:
     """The narrowest SQL type storing every value (best-match principle)."""
-    non_null = [v for v in values if v != ""]
-    if not non_null:
-        return "TEXT"
-    if all(_is_int(v) for v in non_null):
-        return "INTEGER"
-    if all(_is_real(v) for v in non_null):
-        return "REAL"
-    return "TEXT"
+    lattice = TypeLattice()
+    for value in values:
+        lattice.observe(value)
+    return lattice.result()
 
 
 def _coerce(value: str | None, sql_type: str) -> Any:
@@ -97,17 +128,22 @@ class XmlToCsvConverter:
         ``extra_columns`` adds constant-valued TEXT columns (e.g. the
         hostname the pipeline knows from the log's location).
         """
-        tags = document.all_tags()
+        # One pass over the records both collects the tag union (in
+        # first-appearance order) and narrows each tag's type lattice,
+        # replacing the per-tag full scans of the old inference.
+        lattices: dict[str, TypeLattice] = {}
+        for record in document:
+            for tag, value in record.items():
+                lattice = lattices.get(tag)
+                if lattice is None:
+                    lattice = lattices[tag] = TypeLattice()
+                lattice.observe(value)
+        tags = list(lattices)
         if not tags and not extra_columns:
             raise SchemaInferenceError(
                 f"document {document.source!r} has no tags to infer from"
             )
-        type_by_tag: dict[str, str] = {}
-        for tag in tags:
-            observed = [
-                record.get(tag) for record in document if tag in record
-            ]
-            type_by_tag[tag] = infer_sql_type([v for v in observed if v is not None])
+        type_by_tag = {tag: lattice.result() for tag, lattice in lattices.items()}
 
         columns: list[tuple[str, str]] = [(t, type_by_tag[t]) for t in tags]
         constants: list[tuple[str, str]] = []

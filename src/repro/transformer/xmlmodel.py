@@ -14,6 +14,7 @@ import re
 import xml.etree.ElementTree as ET
 from pathlib import Path
 from typing import Iterator, Mapping
+from xml.sax.saxutils import escape, quoteattr
 
 from repro.common.errors import ParseError
 
@@ -112,44 +113,73 @@ class XmlDocument:
     # file round trip
 
     def write(self, path: Path | str) -> Path:
-        """Write the document as a real XML file."""
+        """Write the document as a real XML file, one record at a time.
+
+        The writer streams records straight to disk instead of
+        building a full element tree first, so the artifact's memory
+        cost is one record, not one file.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        root = ET.Element(
-            "mscope", attrib={"monitor": self.monitor, "source": self.source}
-        )
-        for record in self.records:
-            element = ET.SubElement(root, "log")
-            for tag, value in record.items():
-                child = ET.SubElement(element, tag)
-                child.text = value
-        ET.ElementTree(root).write(path, encoding="utf-8", xml_declaration=True)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write("<?xml version='1.0' encoding='utf-8'?>\n")
+            handle.write(
+                f"<mscope monitor={quoteattr(self.monitor)} "
+                f"source={quoteattr(self.source)}>"
+            )
+            for record in self.records:
+                parts = ["<log>"]
+                for tag, value in record.items():
+                    parts.append(f"<{tag}>{escape(value)}</{tag}>")
+                parts.append("</log>")
+                handle.write("".join(parts))
+            handle.write("</mscope>")
         return path
 
     @classmethod
     def read(cls, path: Path | str) -> "XmlDocument":
-        """Read a document previously written with :meth:`write`."""
+        """Read a document previously written with :meth:`write`.
+
+        Uses ``iterparse`` so only the record being assembled is held
+        as element objects; processed elements are cleared as the
+        parse advances.
+        """
         path = Path(path)
+        doc: XmlDocument | None = None
+        root: ET.Element | None = None
+        depth = 0
         try:
-            tree = ET.parse(path)
+            for event, element in ET.iterparse(path, events=("start", "end")):
+                if event == "start":
+                    if depth == 0:
+                        if element.tag != "mscope":
+                            raise ParseError(
+                                f"expected <mscope> root, got <{element.tag}>",
+                                path=str(path),
+                            )
+                        doc = cls(
+                            monitor=element.attrib.get("monitor", "unknown"),
+                            source=element.attrib.get("source", str(path)),
+                        )
+                        root = element
+                    elif depth == 1 and element.tag != "log":
+                        raise ParseError(
+                            f"unexpected element <{element.tag}>", path=str(path)
+                        )
+                    depth += 1
+                    continue
+                depth -= 1
+                if depth == 1:  # closed one <log> record
+                    record = LogRecord()
+                    for child in element:
+                        record.set(
+                            child.tag,
+                            child.text if child.text is not None else "",
+                        )
+                    doc.append(record)  # type: ignore[union-attr]
+                    root.clear()  # type: ignore[union-attr]
         except ET.ParseError as exc:
             raise ParseError(f"malformed XML: {exc}", path=str(path)) from exc
-        root = tree.getroot()
-        if root.tag != "mscope":
-            raise ParseError(
-                f"expected <mscope> root, got <{root.tag}>", path=str(path)
-            )
-        doc = cls(
-            monitor=root.attrib.get("monitor", "unknown"),
-            source=root.attrib.get("source", str(path)),
-        )
-        for element in root:
-            if element.tag != "log":
-                raise ParseError(
-                    f"unexpected element <{element.tag}>", path=str(path)
-                )
-            record = LogRecord()
-            for child in element:
-                record.set(child.tag, child.text if child.text is not None else "")
-            doc.append(record)
+        if doc is None:
+            raise ParseError("empty XML document", path=str(path))
         return doc

@@ -5,27 +5,41 @@ A sqlite-backed store with the paper's structure (Section III-C): four
 configuration, the monitor registry, and the load catalog), while the
 measurement tables are created *dynamically* by the mScope Data
 Importer as logs arrive — their schemas inferred bottom-up from the
-data, never declared in advance.
+data, never declared in advance.  A fifth internal static table, the
+schema catalog, records each dynamic column's declared type so later
+type widenings (a REAL value landing in an INTEGER column) stay
+visible through :meth:`MScopeDB.table_schema`.
+
+Bulk loading: :meth:`MScopeDB.bulk_load` defers commits across any
+number of loads (one transaction per context), and file-backed
+databases run in WAL journal mode so readers never block the loader.
 """
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import re
 import sqlite3
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import QueryError, WarehouseError
 
 __all__ = ["MScopeDB", "STATIC_TABLES", "quote_identifier"]
 
-#: The four static metadata tables (Section III-C).
+#: The four static metadata tables (Section III-C), plus the internal
+#: schema catalog backing dynamic-column type widening.
 STATIC_TABLES = (
     "experiment_meta",
     "host_config",
     "monitor_registry",
     "load_catalog",
+    "schema_catalog",
 )
+
+#: Rows per ``executemany`` batch during bulk inserts.
+_INSERT_BATCH_SIZE = 5000
 
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
@@ -61,7 +75,14 @@ class MScopeDB:
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
         self._conn = sqlite3.connect(self.path)
-        self._conn.execute("PRAGMA journal_mode = MEMORY")
+        self._bulk_depth = 0
+        if self.path == ":memory:":
+            self._conn.execute("PRAGMA journal_mode = MEMORY")
+        else:
+            # WAL lets concurrent readers proceed while a bulk load
+            # holds the write lock, and NORMAL sync is safe under WAL.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._create_static_tables()
 
     # ------------------------------------------------------------------
@@ -83,6 +104,44 @@ class MScopeDB:
         if self._conn is None:
             raise WarehouseError("warehouse is closed")
         return self._conn
+
+    def _commit(self) -> None:
+        """Commit now, unless a :meth:`bulk_load` context defers it."""
+        if self._bulk_depth == 0:
+            self._require_conn().commit()
+
+    @contextlib.contextmanager
+    def bulk_load(self) -> Iterator["MScopeDB"]:
+        """Defer commits for the duration of the context.
+
+        Every write inside the context joins one transaction that
+        commits when the outermost context exits cleanly (contexts
+        nest; inner exits are no-ops).  On an exception the
+        transaction rolls back, so a load is all-or-nothing at the
+        granularity of the outermost context.
+        """
+        conn = self._require_conn()
+        self._bulk_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                conn.rollback()
+            raise
+        else:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._commit()
+
+    def iterdump(self) -> list[str]:
+        """The SQL dump of the whole warehouse (schema + rows).
+
+        Deterministic for a given sequence of DDL/DML statements, so
+        two warehouses loaded identically dump identically — the
+        parallel/serial equivalence tests compare exactly this.
+        """
+        return list(self._require_conn().iterdump())
 
     # ------------------------------------------------------------------
     # static tables
@@ -116,9 +175,15 @@ class MScopeDB:
                 columns INTEGER NOT NULL,
                 PRIMARY KEY (table_name, source_path)
             );
+            CREATE TABLE IF NOT EXISTS schema_catalog (
+                table_name TEXT NOT NULL,
+                column_name TEXT NOT NULL,
+                sql_type TEXT NOT NULL,
+                PRIMARY KEY (table_name, column_name)
+            );
             """
         )
-        conn.commit()
+        self._commit()
 
     def set_experiment_meta(self, key: str, value: str) -> None:
         """Record one experiment metadata entry."""
@@ -127,7 +192,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO experiment_meta (key, value) VALUES (?, ?)",
             (key, str(value)),
         )
-        conn.commit()
+        self._commit()
 
     def get_experiment_meta(self, key: str) -> str | None:
         """Read one experiment metadata entry."""
@@ -149,7 +214,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO host_config VALUES (?, ?, ?, ?)",
             (hostname, tier, cores, disk_bandwidth),
         )
-        conn.commit()
+        self._commit()
 
     def register_monitor(
         self,
@@ -165,7 +230,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO monitor_registry VALUES (?, ?, ?, ?, ?)",
             (monitor, hostname, source_path, parser, table_name),
         )
-        conn.commit()
+        self._commit()
 
     def record_load(
         self, table_name: str, source_path: str, rows: int, columns: int
@@ -176,7 +241,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO load_catalog VALUES (?, ?, ?, ?)",
             (table_name, source_path, rows, columns),
         )
-        conn.commit()
+        self._commit()
 
     # ------------------------------------------------------------------
     # dynamic tables
@@ -201,7 +266,28 @@ class MScopeDB:
             f"CREATE TABLE IF NOT EXISTS {quote_identifier(name)} "
             f"({', '.join(rendered)})"
         )
-        conn.commit()
+        conn.executemany(
+            "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
+            [(name, column, sql_type) for column, sql_type in columns],
+        )
+        self._commit()
+
+    def record_column_type(self, table: str, column: str, sql_type: str) -> None:
+        """Record (or widen) a dynamic column's type in the catalog.
+
+        sqlite's type affinity stores wider values in a narrower
+        column without rewriting the table, so a widening is purely a
+        catalog update — :meth:`table_schema` then reports the
+        recorded type instead of the column's original declaration.
+        """
+        if sql_type not in _ALLOWED_TYPES:
+            raise WarehouseError(f"unsupported type {sql_type!r}")
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
+            (table, column, sql_type),
+        )
+        self._commit()
 
     def create_index(self, table: str, column: str) -> None:
         """Create (if absent) a single-column index on a dynamic table.
@@ -216,7 +302,7 @@ class MScopeDB:
             f"CREATE INDEX IF NOT EXISTS {quote_identifier(index_name)} "
             f"ON {quote_identifier(table)} ({quote_identifier(column)})"
         )
-        conn.commit()
+        self._commit()
 
     def indexes(self, table: str) -> list[str]:
         """Names of the indexes on ``table``."""
@@ -236,7 +322,11 @@ class MScopeDB:
             f"ALTER TABLE {quote_identifier(table)} "
             f"ADD COLUMN {quote_identifier(column)} {sql_type}"
         )
-        conn.commit()
+        conn.execute(
+            "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
+            (table, column, sql_type),
+        )
+        self._commit()
 
     def insert_rows(
         self,
@@ -244,17 +334,29 @@ class MScopeDB:
         columns: Sequence[str],
         rows: Iterable[Sequence[Any]],
     ) -> int:
-        """Bulk-insert rows; returns the number inserted."""
+        """Bulk-insert rows in ``executemany`` batches; returns the count.
+
+        ``rows`` may be any iterable (a generator streams through in
+        bounded memory); batching keeps each ``executemany`` call's
+        argument list at :data:`_INSERT_BATCH_SIZE` rows.
+        """
         column_sql = ", ".join(quote_identifier(c) for c in columns)
         placeholders = ", ".join("?" for _ in columns)
-        conn = self._require_conn()
-        cursor = conn.executemany(
+        sql = (
             f"INSERT INTO {quote_identifier(table)} ({column_sql}) "
-            f"VALUES ({placeholders})",
-            rows,
+            f"VALUES ({placeholders})"
         )
-        conn.commit()
-        return cursor.rowcount
+        conn = self._require_conn()
+        inserted = 0
+        iterator = iter(rows)
+        while True:
+            batch = list(itertools.islice(iterator, _INSERT_BATCH_SIZE))
+            if not batch:
+                break
+            cursor = conn.executemany(sql, batch)
+            inserted += cursor.rowcount
+        self._commit()
+        return inserted
 
     # ------------------------------------------------------------------
     # introspection & querying
@@ -271,13 +373,26 @@ class MScopeDB:
         return [t for t in self.tables() if t not in STATIC_TABLES]
 
     def table_schema(self, table: str) -> list[tuple[str, str]]:
-        """``(column, type)`` pairs of one table."""
-        rows = self._require_conn().execute(
+        """``(column, type)`` pairs of one table.
+
+        Types recorded in the schema catalog (including widenings
+        applied after load) override the column's original DDL
+        declaration.
+        """
+        conn = self._require_conn()
+        rows = conn.execute(
             f"PRAGMA table_info({quote_identifier(table)})"
         ).fetchall()
         if not rows:
             raise QueryError(f"no such table {table!r}")
-        return [(r[1], r[2]) for r in rows]
+        overrides = dict(
+            conn.execute(
+                "SELECT column_name, sql_type FROM schema_catalog "
+                "WHERE table_name = ?",
+                (table,),
+            ).fetchall()
+        )
+        return [(r[1], overrides.get(r[1], r[2])) for r in rows]
 
     def row_count(self, table: str) -> int:
         """Number of rows in ``table``."""

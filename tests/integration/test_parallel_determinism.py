@@ -1,0 +1,52 @@
+"""Parallel/serial equivalence of the transformer pipeline.
+
+The parallel fan-out keeps the warehouse a single-writer stage that
+drains completed tables in (host, file) order, so a ``jobs=4`` run
+must produce a warehouse byte-identical to ``jobs=1`` — same tables,
+same schemas, same rows, same catalog entries.  ``iterdump`` compares
+all of it at once.
+"""
+
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+
+def _transform(log_dir, jobs, workdir=None):
+    db = MScopeDB()
+    outcomes = MScopeDataTransformer(db, workdir=workdir).transform_directory(
+        log_dir, jobs=jobs
+    )
+    return db, outcomes
+
+
+def test_parallel_matches_serial(scenario_a_run):
+    serial_db, serial = _transform(scenario_a_run.log_dir, jobs=1)
+    parallel_db, parallel = _transform(scenario_a_run.log_dir, jobs=4)
+
+    assert [o.table_name for o in serial] == [o.table_name for o in parallel]
+    assert [o.rows_loaded for o in serial] == [o.rows_loaded for o in parallel]
+
+    assert serial_db.dynamic_tables() == parallel_db.dynamic_tables()
+    for table in serial_db.dynamic_tables():
+        assert serial_db.table_schema(table) == parallel_db.table_schema(table)
+
+    assert serial_db.iterdump() == parallel_db.iterdump()
+
+
+def test_parallel_with_workdir_matches_serial(scenario_a_run, tmp_path):
+    serial_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=1, workdir=tmp_path / "serial"
+    )
+    parallel_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=4, workdir=tmp_path / "parallel"
+    )
+    assert serial_db.iterdump() == parallel_db.iterdump()
+
+
+def test_artifact_free_run_matches_artifact_run(scenario_a_run, tmp_path):
+    """The XML round-trip through disk must not change the warehouse."""
+    bare_db, _ = _transform(scenario_a_run.log_dir, jobs=1)
+    artifact_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=4, workdir=tmp_path / "work"
+    )
+    assert bare_db.iterdump() == artifact_db.iterdump()

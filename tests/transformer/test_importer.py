@@ -76,3 +76,78 @@ def test_empty_columns_rejected():
     empty = make_table(columns=[], rows=[])
     with pytest.raises(DataImportError):
         MScopeDataImporter(db).import_table(empty, "web1", "collectl_csv")
+
+
+def test_indexes_created_after_first_load():
+    db = MScopeDB()
+    table = make_table(
+        columns=[("timestamp_us", "INTEGER"), ("request_id", "TEXT")],
+        rows=[(1000, "R1"), (2000, "R2")],
+    )
+    MScopeDataImporter(db).import_table(table, "web1", "collectl_csv")
+    names = db.indexes("collectl_web1")
+    assert "idx_collectl_web1_request_id" in names
+    assert "idx_collectl_web1_timestamp_us" in names
+
+
+def test_reimport_does_not_duplicate_indexes():
+    db = MScopeDB()
+    importer = MScopeDataImporter(db)
+    table = make_table(
+        columns=[("timestamp_us", "INTEGER")], rows=[(1000,)]
+    )
+    importer.import_table(table, "web1", "collectl_csv")
+    before = db.indexes("collectl_web1")
+    importer.import_table(
+        make_table(columns=[("timestamp_us", "INTEGER")], rows=[(2000,)]),
+        "web1",
+        "collectl_csv",
+    )
+    assert db.indexes("collectl_web1") == before
+
+
+def test_type_widening_recorded_in_schema():
+    """A REAL value landing in an INTEGER column must show up in
+    table_schema(), not vanish into sqlite's affinity tolerance."""
+    db = MScopeDB()
+    importer = MScopeDataImporter(db)
+    importer.import_table(
+        make_table(columns=[("timestamp_us", "INTEGER"), ("val", "INTEGER")],
+                   rows=[(1000, 1)]),
+        "web1",
+        "collectl_csv",
+    )
+    assert dict(db.table_schema("collectl_web1"))["val"] == "INTEGER"
+    importer.import_table(
+        make_table(columns=[("timestamp_us", "INTEGER"), ("val", "REAL")],
+                   rows=[(2000, 2.5)]),
+        "web1",
+        "collectl_csv",
+    )
+    assert dict(db.table_schema("collectl_web1"))["val"] == "REAL"
+    # Narrower re-imports never narrow the recorded type back.
+    importer.import_table(
+        make_table(columns=[("timestamp_us", "INTEGER"), ("val", "INTEGER")],
+                   rows=[(3000, 3)]),
+        "web1",
+        "collectl_csv",
+    )
+    assert dict(db.table_schema("collectl_web1"))["val"] == "REAL"
+
+
+def test_table_existence_cached_per_importer():
+    db = MScopeDB()
+    importer = MScopeDataImporter(db)
+    importer.import_table(make_table(), "web1", "collectl_csv")
+    calls = []
+    original = db.dynamic_tables
+
+    def counting():
+        calls.append(1)
+        return original()
+
+    db.dynamic_tables = counting
+    importer.import_table(
+        make_table(rows=[(3000, 3.5)]), "web1", "collectl_csv"
+    )
+    assert calls == []  # second import served from the cache
