@@ -6,6 +6,8 @@ Four subcommands mirror the framework's workflow:
   native monitor logs plus a ``run_meta.json`` describing the run;
 * ``mscope transform``  — run mScopeDataTransformer over a log
   directory into an mScopeDB file;
+* ``mscope errors``     — report the ingest errors a lenient
+  transform recorded;
 * ``mscope diagnose``   — run the VSB diagnosis engine over a
   warehouse and print the reports;
 * ``mscope figures``    — regenerate the paper's figures.
@@ -13,7 +15,8 @@ Four subcommands mirror the framework's workflow:
 Example session::
 
     mscope run --scenario a --out out/
-    mscope transform --logs out/logs --db out/mscope.db
+    mscope transform --logs out/logs --db out/mscope.db --on-error=quarantine
+    mscope errors --db out/mscope.db
     mscope diagnose --db out/mscope.db
 """
 
@@ -27,6 +30,7 @@ from pathlib import Path
 from repro.analysis.diagnosis import Diagnoser
 from repro.common.timebase import seconds
 from repro.experiments.scenarios import baseline_run, scenario_a, scenario_b
+from repro.transformer.errorpolicy import ERROR_MODES, QUARANTINE, ErrorPolicy
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
 
@@ -80,6 +84,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="parse/convert worker processes (default: all cores; "
         "1 = fully in-process)",
     )
+    transform.add_argument(
+        "--on-error",
+        choices=ERROR_MODES,
+        default="fail-fast",
+        help="damaged-line handling: fail-fast aborts (default), skip "
+        "records and continues, quarantine also diverts the raw lines",
+    )
+    transform.add_argument(
+        "--quarantine-dir",
+        type=Path,
+        default=None,
+        help="where quarantined lines/files go "
+        "(default: <db>.quarantine next to the warehouse)",
+    )
+    transform.add_argument(
+        "--error-budget",
+        type=int,
+        default=1000,
+        help="damaged records tolerated per file before the file "
+        "fails; 0 = unlimited (lenient modes only)",
+    )
+
+    errors = subparsers.add_parser(
+        "errors", help="report recorded ingest errors"
+    )
+    errors.add_argument("--db", type=Path, required=True)
+    errors.add_argument(
+        "--limit", type=int, default=50, help="rows to print (0 = all)"
+    )
 
     diagnose = subparsers.add_parser(
         "diagnose", help="find and explain very short bottlenecks"
@@ -116,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "run": _cmd_run,
         "transform": _cmd_transform,
+        "errors": _cmd_errors,
         "diagnose": _cmd_diagnose,
         "figures": _cmd_figures,
         "report": _cmd_report,
@@ -207,8 +241,18 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_transform(args) -> int:
+    quarantine_dir = args.quarantine_dir
+    if args.on_error == QUARANTINE and quarantine_dir is None:
+        quarantine_dir = Path(f"{args.db}.quarantine")
+    policy = ErrorPolicy(
+        mode=args.on_error,
+        budget=args.error_budget if args.error_budget > 0 else None,
+        quarantine_dir=quarantine_dir if args.on_error == QUARANTINE else None,
+    )
     db = MScopeDB(args.db)
-    transformer = MScopeDataTransformer(db, workdir=args.workdir, jobs=args.jobs)
+    transformer = MScopeDataTransformer(
+        db, workdir=args.workdir, jobs=args.jobs, policy=policy
+    )
     outcomes = transformer.transform_directory(args.logs)
     meta_path = args.logs.parent / _META_FILE
     if meta_path.exists():
@@ -218,13 +262,53 @@ def _cmd_transform(args) -> int:
                 db.set_experiment_meta(key, str(meta[key]))
     rows = sum(o.rows_loaded for o in outcomes)
     for outcome in outcomes:
-        print(
-            f"  {outcome.source.parent.name}/{outcome.source.name}"
-            f" -> {outcome.table_name} ({outcome.rows_loaded} rows)"
-        )
+        where = f"{outcome.source.parent.name}/{outcome.source.name}"
+        if outcome.failed:
+            print(f"  {where} -> FAILED ({outcome.error_count} errors)")
+        elif outcome.error_count:
+            print(
+                f"  {where} -> {outcome.table_name} "
+                f"({outcome.rows_loaded} rows, {outcome.error_count} errors)"
+            )
+        else:
+            print(
+                f"  {where} -> {outcome.table_name}"
+                f" ({outcome.rows_loaded} rows)"
+            )
     print(f"{len(outcomes)} logs, {rows} rows -> {args.db}")
+    errors = sum(o.error_count for o in outcomes)
+    if errors:
+        failed = sum(1 for o in outcomes if o.failed)
+        print(
+            f"{errors} ingest errors ({failed} files failed); "
+            f"inspect with: mscope errors --db {args.db}"
+        )
+        if policy.mode == QUARANTINE:
+            print(f"quarantined lines -> {policy.quarantine_dir}")
     db.close()
     return 0
+
+
+def _cmd_errors(args) -> int:
+    with MScopeDB(args.db) as db:
+        rows = db.ingest_errors()
+        if not rows:
+            print("no ingest errors recorded")
+            return 0
+        shown = rows if args.limit <= 0 else rows[: args.limit]
+        current = None
+        for source_path, line_number, parser, reason, excerpt in shown:
+            if source_path != current:
+                current = source_path
+                print(f"{source_path} [{parser}]")
+            where = "whole file" if line_number == 0 else f"line {line_number}"
+            print(f"  {where}: {reason}")
+            if excerpt:
+                print(f"    | {excerpt}")
+        if len(shown) < len(rows):
+            print(f"... {len(rows) - len(shown)} more (use --limit 0)")
+        print(f"{len(rows)} ingest errors in {args.db}")
+    return 1
 
 
 def _cmd_diagnose(args) -> int:

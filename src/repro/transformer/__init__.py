@@ -8,6 +8,16 @@ from repro.transformer.declaration import (
     RULE_REGEX_TOKEN,
     default_declaration,
 )
+from repro.transformer.errorpolicy import (
+    ERROR_MODES,
+    FAIL_FAST,
+    QUARANTINE,
+    SKIP,
+    ErrorBudgetExceeded,
+    ErrorPolicy,
+    ErrorSink,
+    IngestError,
+)
 from repro.transformer.importer import MScopeDataImporter
 from repro.transformer.live import LiveTransformer, RefreshOutcome
 from repro.transformer.pipeline import MScopeDataTransformer, TransformOutcome
@@ -26,7 +36,15 @@ from repro.transformer.xmlmodel import LogRecord, XmlDocument, sanitize_tag
 
 __all__ = [
     "CsvTable",
+    "ERROR_MODES",
+    "ErrorBudgetExceeded",
+    "ErrorPolicy",
+    "ErrorSink",
+    "FAIL_FAST",
+    "IngestError",
     "LiveTransformer",
+    "QUARANTINE",
+    "SKIP",
     "LogRecord",
     "MScopeDataImporter",
     "RefreshOutcome",

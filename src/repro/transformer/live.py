@@ -12,17 +12,28 @@ Notes
 * Parsers re-read whole files (stateful formats like SAR text need
   their banner/header context); only the *import* is incremental.
 * A file that is momentarily unparsable mid-write (e.g. SAR's XML
-  output, which is well-formed only once closed) is skipped for that
-  refresh and retried on the next.
+  output, which is well-formed only once closed) is retried within the
+  refresh — ``max_retries`` bounded attempts with exponential backoff,
+  giving a concurrent writer time to finish the record — and only then
+  skipped until the next refresh.  The retry count is reported in the
+  :class:`RefreshOutcome` so operators see contention instead of
+  silent per-refresh skips.
+* An :class:`~repro.transformer.errorpolicy.ErrorPolicy` can make the
+  refresh lenient: damaged lines are recorded in ``ingest_errors``
+  (idempotently — each refresh re-reads the file, so errors re-record
+  onto the same keyed rows) while the undamaged records import.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from pathlib import Path
+from typing import Callable
 
 from repro.common.errors import DeclarationError, ParseError
 from repro.transformer.declaration import ParsingDeclaration, default_declaration
+from repro.transformer.errorpolicy import FAIL_FAST_POLICY, ErrorPolicy, ErrorSink
 from repro.transformer.importer import MScopeDataImporter
 from repro.transformer.parsers import MScopeParser, create_parser
 from repro.transformer.xml_to_csv import XmlToCsvConverter
@@ -39,20 +50,49 @@ class RefreshOutcome:
     new_rows: int
     refreshed_files: int
     skipped_files: int
+    #: Mid-write retry attempts spent this refresh (0 when every file
+    #: parsed on its first attempt).
+    retries: int = 0
 
 
 class LiveTransformer:
-    """Keeps an mScopeDB incrementally in sync with growing logs."""
+    """Keeps an mScopeDB incrementally in sync with growing logs.
+
+    Parameters
+    ----------
+    db, declaration:
+        As for :class:`~repro.transformer.pipeline.MScopeDataTransformer`.
+    policy:
+        Ingestion error policy; defaults to ``fail-fast``.  Lenient
+        policies record damaged lines in ``ingest_errors``; quarantine
+        *artifacts* are a batch-transform feature (a live file is
+        re-read every refresh, so artifact copies would churn).
+    max_retries:
+        Extra parse attempts per file and refresh when the file is
+        momentarily unparsable mid-write.
+    backoff_s:
+        First retry delay in seconds; doubles per attempt.
+    sleep:
+        Injectable clock for tests (defaults to :func:`time.sleep`).
+    """
 
     def __init__(
         self,
         db: MScopeDB,
         declaration: ParsingDeclaration | None = None,
+        policy: ErrorPolicy | None = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
+        self.policy = policy or FAIL_FAST_POLICY
         self.converter = XmlToCsvConverter()
         self.importer = MScopeDataImporter(db)
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep
         self._high_water: dict[Path, int] = {}
         # Parser instances are stateless between files, so one per
         # binding serves every refresh (keyed by identity — bindings
@@ -70,12 +110,21 @@ class LiveTransformer:
 
         Returns the number of newly imported rows; raises
         :class:`DeclarationError` when no parser is declared for the
-        file.
+        file, and :class:`ParseError` when the file is unparsable
+        (budget exhaustion included).  Under a lenient policy damaged
+        lines are recorded in ``ingest_errors`` instead of raising.
         """
         path = Path(path)
         binding = self.declaration.resolve(path)
         parser = self._parser_for(binding)
-        document = parser.parse_file(path)
+        sink = ErrorSink(self.policy, str(path), binding.parser_name)
+        try:
+            document = parser.parse_file(path, sink=sink)
+        finally:
+            # Damage seen before the parse aborted still gets recorded
+            # (idempotently — the keyed INSERT OR REPLACE makes every
+            # refresh converge on the same ledger rows).
+            self._record_errors(sink)
         already = self._high_water.get(path, 0)
         fresh = document.records[already:]
         if not fresh:
@@ -91,10 +140,24 @@ class LiveTransformer:
         self._high_water[path] = len(document.records)
         return rows
 
+    def _record_errors(self, sink: ErrorSink) -> None:
+        for error in sink.errors:
+            self.db.record_ingest_error(
+                error.path,
+                error.line_number,
+                error.parser,
+                error.reason,
+                error.excerpt,
+            )
+
     def refresh_directory(self, root: Path | str) -> RefreshOutcome:
         """Refresh every declared log under ``root``.
 
-        Files that fail to parse mid-write are skipped this round.
+        A file that fails to parse is retried up to ``max_retries``
+        times with exponential backoff (a mid-write record is usually
+        completed within milliseconds); a file still unparsable after
+        the retries is skipped this round and picked up again on the
+        next refresh.
         """
         root = Path(root)
         if not root.is_dir():
@@ -102,20 +165,32 @@ class LiveTransformer:
         new_rows = 0
         refreshed = 0
         skipped = 0
+        retries = 0
         for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
             for log_file in sorted(host_dir.glob("*.log")):
                 if self.declaration.try_resolve(log_file) is None:
                     continue
-                try:
-                    imported = self.refresh_file(log_file, host_dir.name)
-                except ParseError:
+                imported = None
+                for attempt in range(self.max_retries + 1):
+                    try:
+                        imported = self.refresh_file(log_file, host_dir.name)
+                        break
+                    except ParseError:
+                        if attempt == self.max_retries:
+                            break
+                        self._sleep(self.backoff_s * (2**attempt))
+                        retries += 1
+                if imported is None:
                     skipped += 1
                     continue
                 if imported:
                     refreshed += 1
                     new_rows += imported
         return RefreshOutcome(
-            new_rows=new_rows, refreshed_files=refreshed, skipped_files=skipped
+            new_rows=new_rows,
+            refreshed_files=refreshed,
+            skipped_files=skipped,
+            retries=retries,
         )
 
     def high_water(self, path: Path | str) -> int:

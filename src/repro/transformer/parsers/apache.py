@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import re
 
-from repro.common.errors import ParseError
 from repro.transformer.parsers.base import MScopeParser, register_parser
 from repro.transformer.timestamps import clf_to_epoch_us
 from repro.transformer.xmlmodel import LogRecord
@@ -40,11 +39,13 @@ class ApacheMScopeParser(MScopeParser):
                 continue
             match = _LINE_RE.match(line)
             if match is None:
-                raise ParseError(
+                self.bad_line(
                     f"unrecognized access-log line: {line!r}",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             record = LogRecord()
             record.set("tier", "apache")
             url = match.group("url")

@@ -20,6 +20,7 @@ from repro.transformer.declaration import (
     ParserBinding,
     compile_pattern,
 )
+from repro.transformer.errorpolicy import ErrorSink
 from repro.transformer.xmlmodel import XmlDocument
 
 __all__ = ["MScopeParser", "register_parser", "create_parser", "registered_parsers"]
@@ -61,6 +62,7 @@ class MScopeParser:
 
     def __init__(self, binding: ParserBinding) -> None:
         self.binding = binding
+        self._sink: ErrorSink | None = None
         self._token_rules: list[tuple[str, re.Pattern[str]]] = []
         for rule in binding.rules:
             if rule.kind == RULE_REGEX_TOKEN:
@@ -74,28 +76,72 @@ class MScopeParser:
 
     # ------------------------------------------------------------------
 
-    def parse_file(self, path: Path | str) -> XmlDocument:
+    def parse_file(
+        self, path: Path | str, sink: ErrorSink | None = None
+    ) -> XmlDocument:
         """Parse a log file from disk, streaming it line by line.
 
         The file is never materialized whole: the parser consumes a
         lazy line iterator, so memory stays bounded by the output
         records rather than the input file size.
+
+        ``sink`` threads an ingestion error policy through the parse:
+        damaged lines reported via :meth:`bad_line` are recorded there
+        instead of raising when the policy is lenient.  Without a sink
+        the parser behaves fail-fast, exactly as before.  Lenient
+        parses also decode with ``errors="replace"`` so encoding
+        garbage surfaces as unparsable text (one recorded error per
+        damaged line) rather than a ``UnicodeDecodeError``.
         """
         path = Path(path)
+        self._sink = sink
+        lenient = sink is not None and sink.policy.lenient
         try:
-            with path.open("r", encoding="utf-8") as handle:
+            with path.open(
+                "r",
+                encoding="utf-8",
+                errors="replace" if lenient else "strict",
+            ) as handle:
                 return self.parse_lines(
                     (line.rstrip("\r\n") for line in handle),
                     source=str(path),
                 )
         except OSError as exc:
             raise ParseError(f"cannot read log: {exc}", path=str(path)) from exc
+        finally:
+            self._sink = None
 
     def parse_lines(self, lines: Iterable[str], source: str) -> XmlDocument:
         """Parse already-split log lines."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+
+    def bad_line(
+        self,
+        message: str,
+        *,
+        source: str,
+        line_number: int | None = None,
+        raw: str = "",
+    ) -> None:
+        """Report one damaged line and return so the caller can skip it.
+
+        Under a fail-fast policy (or when parsing outside the pipeline,
+        with no sink attached) this raises :class:`ParseError` exactly
+        as the parsers historically did; under a lenient policy the
+        damage is recorded in the active :class:`ErrorSink` (which
+        raises :class:`~repro.transformer.errorpolicy.ErrorBudgetExceeded`
+        once the file's budget runs out).
+        """
+        if self._sink is None:
+            raise ParseError(message, path=source, line_number=line_number)
+        self._sink.line_error(message, line_number, raw)
+
+    @property
+    def lenient(self) -> bool:
+        """Whether the active parse records damage instead of raising."""
+        return self._sink is not None and self._sink.policy.lenient
 
     def new_document(self, source: str) -> XmlDocument:
         """An empty document labeled with this binding's monitor."""

@@ -23,9 +23,19 @@ class CjdbcMScopeParser(MScopeParser):
 
     def parse_lines(self, lines, source):
         document = self.new_document(source)
-        for line in lines:
+        for number, line in enumerate(lines, start=1):
             match = _LINE_RE.match(line)
             if match is None:
+                if " req=" in line:
+                    # The mScope marker is present but the boundary
+                    # fields do not parse: a torn instrumented line,
+                    # not stock C-JDBC chatter.
+                    self.bad_line(
+                        f"damaged instrumented line: {line!r}",
+                        source=source,
+                        line_number=number,
+                        raw=line,
+                    )
                 continue
             record = LogRecord()
             record.set("tier", "cjdbc")

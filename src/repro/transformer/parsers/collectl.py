@@ -31,31 +31,54 @@ class CollectlCsvParser(MScopeParser):
             if stripped.startswith("#"):
                 header = stripped.lstrip("#").split(",")
                 if len(header) < 3 or header[0] != "Date" or header[1] != "Time":
-                    raise ParseError(
+                    self.bad_line(
                         f"unexpected collectl header: {line!r}",
-                        path=source,
+                        source=source,
                         line_number=number,
+                        raw=line,
                     )
-                columns = [sanitize_tag(h) for h in header[2:]]
+                    continue
+                try:
+                    columns = [sanitize_tag(h) for h in header[2:]]
+                except ParseError as exc:
+                    # Strict parses keep the original exception; a
+                    # lenient parse records the damaged header and
+                    # waits for the next (possibly repeated) one.
+                    if not self.lenient:
+                        raise
+                    self.bad_line(
+                        str(exc), source=source, line_number=number, raw=line
+                    )
                 continue
             if columns is None:
-                raise ParseError(
+                self.bad_line(
                     "collectl data before header",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             values = stripped.split(",")
             if len(values) != len(columns) + 2:
-                raise ParseError(
+                self.bad_line(
                     f"collectl row has {len(values) - 2} values for "
                     f"{len(columns)} columns",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
+            try:
+                timestamp_us = wall_to_epoch_us(values[0], values[1])
+            except ParseError as exc:
+                if not self.lenient:
+                    raise
+                self.bad_line(
+                    str(exc), source=source, line_number=number, raw=line
+                )
+                continue
             record = LogRecord()
-            record.set(
-                "timestamp_us", str(wall_to_epoch_us(values[0], values[1]))
-            )
+            record.set("timestamp_us", str(timestamp_us))
             for column, value in zip(columns, values[2:]):
                 record.set(column, value)
             self.apply_token_rules(line, record)
@@ -94,29 +117,51 @@ class CollectlTextParser(MScopeParser):
             if stripped.startswith("#"):
                 header = stripped.lstrip("#").split()
                 if not header or header[0] != "Time":
-                    raise ParseError(
+                    self.bad_line(
                         f"unexpected collectl text header: {line!r}",
-                        path=source,
+                        source=source,
                         line_number=number,
+                        raw=line,
                     )
-                columns = [sanitize_tag(h) for h in header[1:]]
+                    continue
+                try:
+                    columns = [sanitize_tag(h) for h in header[1:]]
+                except ParseError as exc:
+                    if not self.lenient:
+                        raise
+                    self.bad_line(
+                        str(exc), source=source, line_number=number, raw=line
+                    )
                 continue
             if columns is None:
-                raise ParseError(
+                self.bad_line(
                     "collectl text data before header",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             tokens = stripped.split()
             if len(tokens) != len(columns) + 1:
-                raise ParseError(
+                self.bad_line(
                     f"collectl text row has {len(tokens) - 1} values for "
                     f"{len(columns)} columns",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
+            try:
+                timestamp_us = wall_to_epoch_us(base_date, tokens[0])
+            except ParseError as exc:
+                if not self.lenient:
+                    raise
+                self.bad_line(
+                    str(exc), source=source, line_number=number, raw=line
+                )
+                continue
             record = LogRecord()
-            record.set("timestamp_us", str(wall_to_epoch_us(base_date, tokens[0])))
+            record.set("timestamp_us", str(timestamp_us))
             for column, value in zip(columns, tokens[1:]):
                 record.set(column, value)
             document.append(record)

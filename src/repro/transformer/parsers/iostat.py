@@ -40,27 +40,48 @@ class IostatParser(MScopeParser):
                 continue
             match = _TIMESTAMP_RE.match(stripped)
             if match:
-                timestamp_us = wall_to_epoch_us(
-                    match.group("date"), match.group("time")
-                )
+                try:
+                    timestamp_us = wall_to_epoch_us(
+                        match.group("date"), match.group("time")
+                    )
+                except ParseError as exc:
+                    # Strict parses keep the original exception; under
+                    # a lenient policy the damaged block header costs
+                    # its block, not the file.
+                    if not self.lenient:
+                        raise
+                    self.bad_line(
+                        str(exc), source=source, line_number=number, raw=line
+                    )
                 continue
             if stripped.startswith("Device:"):
-                columns = [_column_tag(t) for t in stripped.split()[1:]]
+                try:
+                    columns = [_column_tag(t) for t in stripped.split()[1:]]
+                except ParseError as exc:
+                    if not self.lenient:
+                        raise
+                    self.bad_line(
+                        str(exc), source=source, line_number=number, raw=line
+                    )
                 continue
             if timestamp_us is None or columns is None:
-                raise ParseError(
+                self.bad_line(
                     f"device row outside a block: {line!r}",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             tokens = stripped.split()
             if len(tokens) != len(columns) + 1:
-                raise ParseError(
+                self.bad_line(
                     f"device row has {len(tokens) - 1} values for "
                     f"{len(columns)} columns",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             record = LogRecord()
             record.set("timestamp_us", str(timestamp_us))
             record.set("device", tokens[0])

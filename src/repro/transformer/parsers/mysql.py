@@ -8,7 +8,6 @@ reverse).
 
 from __future__ import annotations
 
-from repro.common.errors import ParseError
 from repro.transformer.parsers.base import MScopeParser, register_parser
 from repro.transformer.xmlmodel import LogRecord
 
@@ -31,18 +30,22 @@ class MySqlMScopeParser(MScopeParser):
                 # Stock binlog "Xid = N" notes and other chatter.
                 continue
             if len(parts) != 5:
-                raise ParseError(
+                self.bad_line(
                     f"malformed query-log line: {line!r}",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             _stamp, _kind, arrival, departure, statement = parts
             if not arrival.isdigit() or not departure.isdigit():
-                raise ParseError(
+                self.bad_line(
                     f"non-numeric boundary timestamps: {line!r}",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             record = LogRecord()
             record.set("tier", "mysql")
             record.set("upstream_arrival_us", arrival)

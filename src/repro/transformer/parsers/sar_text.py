@@ -57,39 +57,72 @@ class SarTextParser(MScopeParser):
                 continue
             tokens = stripped.split()
             if not _TIME_RE.match(tokens[0]):
-                raise ParseError(
+                self.bad_line(
                     f"unexpected SAR line: {line!r}",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
+            if len(tokens) < 2:
+                self.bad_line(
+                    f"truncated SAR line: {line!r}",
+                    source=source,
+                    line_number=number,
+                    raw=line,
+                )
+                continue
             if tokens[1] == "CPU":
                 # (Possibly repeated) header row defines the columns.
-                columns = [_column_tag(t) for t in tokens[2:]]
+                try:
+                    columns = [_column_tag(t) for t in tokens[2:]]
+                except ParseError as exc:
+                    # Strict parses keep the original exception; under
+                    # a lenient policy a damaged header is one error
+                    # and the next repeated header can recover.
+                    if not self.lenient:
+                        raise
+                    self.bad_line(
+                        str(exc), source=source, line_number=number, raw=line
+                    )
                 continue
             if columns is None:
-                raise ParseError(
+                self.bad_line(
                     "SAR data row before any header",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             if report_date is None:
-                raise ParseError(
+                self.bad_line(
                     "SAR data row before the banner (no report date)",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
             values = tokens[2:]
             if len(values) != len(columns):
-                raise ParseError(
+                self.bad_line(
                     f"SAR row has {len(values)} values for "
                     f"{len(columns)} columns",
-                    path=source,
+                    source=source,
                     line_number=number,
+                    raw=line,
                 )
+                continue
+            try:
+                timestamp_us = wall_to_epoch_us(report_date, tokens[0])
+            except ParseError as exc:
+                if not self.lenient:
+                    raise
+                self.bad_line(
+                    str(exc), source=source, line_number=number, raw=line
+                )
+                continue
             record = LogRecord()
-            record.set(
-                "timestamp_us", str(wall_to_epoch_us(report_date, tokens[0]))
-            )
+            record.set("timestamp_us", str(timestamp_us))
             record.set("cpu", tokens[1])
             if hostname:
                 record.set("hostname", hostname)

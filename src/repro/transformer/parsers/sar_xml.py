@@ -5,6 +5,15 @@ text parser became unnecessary (Section III-B-2).  This adapter
 normalizes the ``sadf -x`` document into the pipeline's record model —
 structurally it is the identity step the paper describes, feeding the
 XML-to-CSV converter without bespoke parsing logic.
+
+The document is consumed through an incremental pull parser, which
+buys the error policies record granularity on a format that is only
+well-formed once the writer closes it: under a lenient policy a
+mid-write truncation salvages every complete record before the damage
+(one file-level ingest error records the lost tail), and a
+``<timestamp>`` element missing its date/time attributes costs that
+record group alone, not the file.  Fail-fast behaviour is unchanged —
+any damage raises :class:`~repro.common.errors.ParseError`.
 """
 
 from __future__ import annotations
@@ -19,6 +28,10 @@ from repro.transformer.xmlmodel import LogRecord, sanitize_tag
 __all__ = ["SarXmlAdapter"]
 
 
+class _BadRoot(Exception):
+    """Internal: the document's root element is not ``<sysstat>``."""
+
+
 @register_parser
 class SarXmlAdapter(MScopeParser):
     """Ingests ``sadf -x`` style XML output."""
@@ -26,34 +39,111 @@ class SarXmlAdapter(MScopeParser):
     name = "sar_xml"
 
     def parse_lines(self, lines, source):
-        text = "\n".join(lines)
-        try:
-            root = ET.fromstring(text)
-        except ET.ParseError as exc:
-            raise ParseError(f"malformed SAR XML: {exc}", path=source) from exc
-        if root.tag != "sysstat":
-            raise ParseError(
-                f"expected <sysstat> root, got <{root.tag}>", path=source
-            )
         document = self.new_document(source)
-        for host in root.iter("host"):
-            hostname = host.attrib.get("nodename", "")
-            for stamp in host.iter("timestamp"):
-                date = stamp.attrib.get("date")
-                time = stamp.attrib.get("time")
-                if not date or not time:
-                    raise ParseError(
-                        "timestamp element missing date/time", path=source
-                    )
-                for cpu in stamp.iter("cpu"):
-                    record = LogRecord()
-                    record.set("timestamp_us", str(wall_to_epoch_us(date, time)))
-                    if hostname:
-                        record.set("hostname", hostname)
-                    for attr, value in cpu.attrib.items():
-                        if attr == "number":
-                            record.set("cpu", value)
-                        else:
-                            record.set(sanitize_tag(attr + "_pct"), value)
-                    document.append(record)
+        parser = ET.XMLPullParser(events=("start", "end"))
+        state = _SalvageState()
+        try:
+            for line in lines:
+                parser.feed(line)
+                parser.feed("\n")
+                self._drain(parser, document, state, source)
+            parser.close()
+            self._drain(parser, document, state, source)
+        except _BadRoot as exc:
+            message = str(exc)
+            if not self.lenient:
+                raise ParseError(message, path=source) from None
+            self._sink.file_error(message)
+            return document
+        except ET.ParseError as exc:
+            if not self.lenient:
+                raise ParseError(
+                    f"malformed SAR XML: {exc}", path=source
+                ) from exc
+            self._sink.file_error(
+                f"malformed SAR XML (salvaged {len(document)} records): {exc}"
+            )
+            return document
         return document
+
+    def _drain(self, parser, document, state, source) -> None:
+        """Turn buffered pull-parser events into records."""
+        for event, element in parser.read_events():
+            if event == "start":
+                self._on_start(element, document, state, source)
+            elif element.tag == "timestamp":
+                # The subtree is fully converted; free its elements so
+                # a long monitoring session stays bounded in memory.
+                element.clear()
+
+    def _on_start(self, element, document, state, source) -> None:
+        if not state.saw_root:
+            state.saw_root = True
+            if element.tag != "sysstat":
+                raise _BadRoot(
+                    f"expected <sysstat> root, got <{element.tag}>"
+                )
+            return
+        if element.tag == "host":
+            state.hostname = element.attrib.get("nodename", "")
+        elif element.tag == "timestamp":
+            state.ordinal += 1
+            state.date = element.attrib.get("date")
+            state.time = element.attrib.get("time")
+            if not state.date or not state.time:
+                state.date = state.time = None
+                self.bad_line(
+                    "timestamp element missing date/time",
+                    source=source,
+                    line_number=state.ordinal,
+                    raw=_excerpt(element),
+                )
+        elif element.tag == "cpu":
+            if state.date is None or state.time is None:
+                # Inside a damaged <timestamp>; already reported.
+                return
+            record = LogRecord()
+            try:
+                record.set(
+                    "timestamp_us",
+                    str(wall_to_epoch_us(state.date, state.time)),
+                )
+                for attr, value in element.attrib.items():
+                    if attr == "number":
+                        record.set("cpu", value)
+                    else:
+                        record.set(sanitize_tag(attr + "_pct"), value)
+            except ParseError as exc:
+                # Garbled attribute text: this record alone is damaged.
+                if not self.lenient:
+                    raise
+                self.bad_line(
+                    str(exc),
+                    source=source,
+                    line_number=state.ordinal,
+                    raw=_excerpt(element),
+                )
+                return
+            if state.hostname:
+                record.set("hostname", state.hostname)
+            document.append(record)
+
+
+class _SalvageState:
+    """Mutable cursor over the document structure during the pull parse."""
+
+    __slots__ = ("saw_root", "hostname", "date", "time", "ordinal")
+
+    def __init__(self) -> None:
+        self.saw_root = False
+        self.hostname = ""
+        self.date: str | None = None
+        self.time: str | None = None
+        #: 1-based ``<timestamp>`` ordinal — the "line number" recorded
+        #: for record-level errors in this line-less format.
+        self.ordinal = 0
+
+
+def _excerpt(element) -> str:
+    attrs = " ".join(f'{k}="{v}"' for k, v in element.attrib.items())
+    return f"<{element.tag} {attrs}>" if attrs else f"<{element.tag}>"

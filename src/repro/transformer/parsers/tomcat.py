@@ -34,13 +34,44 @@ class TomcatMScopeParser(MScopeParser):
 
     name = "tomcat"
 
+    #: Instrumented fields that must be epoch microseconds (or ``-``
+    #: for the optional downstream pair) on an undamaged line.
+    _NUMERIC = ("UA", "DS", "DR", "UD", "queries")
+
+    def _damage(self, fields: dict[str, str]) -> str | None:
+        """Why an instrumented line is damaged, or ``None`` if intact.
+
+        A line carrying the mScope ``ID=`` marker must also carry the
+        upstream boundary pair; a torn concurrent write loses fields
+        or garbles the numeric timestamps, and silently dropping such
+        a record would be undetected data loss.
+        """
+        for key in ("UA", "UD"):
+            if key not in fields:
+                return f"instrumented line missing {key}="
+        for key in self._NUMERIC:
+            value = fields.get(key)
+            if value is not None and value != "-" and not value.isdigit():
+                return f"non-numeric {key}={value!r}"
+        return None
+
     def parse_lines(self, lines, source):
         document = self.new_document(source)
-        for line in lines:
+        for number, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             fields = dict(_KV_RE.findall(line))
-            if "ID" not in fields or "UA" not in fields:
+            if "ID" not in fields:
+                # Stock Tomcat chatter — not measurement data.
+                continue
+            damage = self._damage(fields)
+            if damage is not None:
+                self.bad_line(
+                    f"{damage}: {line!r}",
+                    source=source,
+                    line_number=number,
+                    raw=line,
+                )
                 continue
             record = LogRecord()
             record.set("tier", "tomcat")

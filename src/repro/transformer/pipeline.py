@@ -15,6 +15,17 @@ stage: the parent process drains completed tables in deterministic
 ``(host, file)`` order, so the warehouse contents are identical to a
 serial (``jobs=1``) run — byte-for-byte under
 :meth:`~repro.warehouse.db.MScopeDB.iterdump`.
+
+Robustness: an :class:`~repro.transformer.errorpolicy.ErrorPolicy`
+decides what damaged log data costs.  Under the default ``fail-fast``
+policy the first damaged line aborts the transform exactly as it
+always has; under ``skip``/``quarantine`` damaged lines are recorded
+in the warehouse's ``ingest_errors`` table (and, for ``quarantine``,
+diverted to a quarantine directory), every undamaged record still
+imports, and a file whose per-file error budget runs out fails alone
+— the run continues.  Error recording happens in the same
+single-writer drain order as imports, so parallel runs stay
+byte-identical to serial under every policy.
 """
 
 from __future__ import annotations
@@ -22,13 +33,21 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import os
+import shutil
 from pathlib import Path
 
-from repro.common.errors import DeclarationError
+from repro.common.errors import DeclarationError, ParseError
 from repro.transformer.declaration import (
     ParserBinding,
     ParsingDeclaration,
     default_declaration,
+)
+from repro.transformer.errorpolicy import (
+    FAIL_FAST_POLICY,
+    QUARANTINE,
+    ErrorPolicy,
+    ErrorSink,
+    IngestError,
 )
 from repro.transformer.importer import MScopeDataImporter
 from repro.transformer.parsers import create_parser
@@ -41,7 +60,12 @@ __all__ = ["TransformOutcome", "MScopeDataTransformer"]
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class TransformOutcome:
-    """What one log file became."""
+    """What one log file became.
+
+    ``error_count`` counts the damaged lines/records recorded for the
+    file; ``failed`` marks a file that imported nothing (unsalvageable
+    or over its error budget) under a lenient policy.
+    """
 
     source: Path
     table_name: str
@@ -50,6 +74,8 @@ class TransformOutcome:
     parser_name: str
     xml_artifact: Path | None
     csv_artifact: Path | None
+    error_count: int = 0
+    failed: bool = False
 
 
 def _parse_convert(
@@ -57,15 +83,29 @@ def _parse_convert(
     hostname: str,
     binding: ParserBinding,
     workdir: Path | None,
-) -> tuple[CsvTable, Path | None, Path | None]:
+    policy: ErrorPolicy,
+) -> tuple[CsvTable | None, Path | None, Path | None, tuple[IngestError, ...]]:
     """The CPU-bound stages for one file: parse → XML → convert → CSV.
 
     Runs either in-process (serial path) or inside a worker process
     (parallel fan-out); it touches only the file system, never the
-    warehouse.
+    warehouse.  Returns ``(table, xml, csv, errors)`` where ``table``
+    is ``None`` when the file failed under a lenient policy; collected
+    ingest errors travel back for the parent's single-writer stage to
+    record.  Under ``fail-fast`` any damage raises, exactly as before.
     """
     parser = create_parser(binding)
-    document = parser.parse_file(path)
+    sink = ErrorSink(policy, str(path), binding.parser_name)
+    try:
+        document = parser.parse_file(path, sink=sink)
+    except ParseError as exc:
+        if not policy.lenient:
+            raise
+        # Unsalvageable file (unreadable, or over its error budget):
+        # fail the file, keep the run.
+        sink.file_error(str(exc))
+        _quarantine(policy, sink, path, hostname, failed_file=True)
+        return None, None, None, tuple(sink.errors)
 
     xml_artifact: Path | None = None
     csv_artifact: Path | None = None
@@ -84,7 +124,38 @@ def _parse_convert(
     if workdir is not None:
         csv_artifact = workdir / hostname / f"{path.stem}.csv"
         converter.write_csv(table, csv_artifact)
-    return table, xml_artifact, csv_artifact
+    _quarantine(policy, sink, path, hostname, failed_file=False)
+    return table, xml_artifact, csv_artifact, tuple(sink.errors)
+
+
+def _quarantine(
+    policy: ErrorPolicy,
+    sink: ErrorSink,
+    path: Path,
+    hostname: str,
+    failed_file: bool,
+) -> None:
+    """Divert a file's damaged lines (or the whole failed file).
+
+    Each source file owns its quarantine artifacts, so parallel
+    workers never contend and the layout is deterministic:
+    ``<dir>/<host>/<file>.quarantine`` lists the damaged lines as
+    ``<line>\\t<reason>\\t<excerpt>``; a failed file is additionally
+    copied whole to ``<dir>/<host>/<file>``.
+    """
+    if policy.mode != QUARANTINE or not sink.errors:
+        return
+    assert policy.quarantine_dir is not None  # enforced by ErrorPolicy
+    host_dir = policy.quarantine_dir / hostname
+    host_dir.mkdir(parents=True, exist_ok=True)
+    report = host_dir / f"{path.name}.quarantine"
+    with report.open("w", encoding="utf-8") as handle:
+        for error in sink.errors:
+            handle.write(
+                f"{error.line_number}\t{error.reason}\t{error.excerpt}\n"
+            )
+    if failed_file and path.exists():
+        shutil.copyfile(path, host_dir / path.name)
 
 
 def _parse_convert_task(
@@ -92,10 +163,11 @@ def _parse_convert_task(
     hostname: str,
     binding: ParserBinding,
     workdir_str: str | None,
-) -> tuple[CsvTable, Path | None, Path | None]:
+    policy: ErrorPolicy,
+) -> tuple[CsvTable | None, Path | None, Path | None, tuple[IngestError, ...]]:
     """Picklable worker entry point for the process pool."""
     workdir = Path(workdir_str) if workdir_str is not None else None
-    return _parse_convert(Path(path_str), hostname, binding, workdir)
+    return _parse_convert(Path(path_str), hostname, binding, workdir, policy)
 
 
 class MScopeDataTransformer:
@@ -117,6 +189,9 @@ class MScopeDataTransformer:
         in-process (the deterministic serial path — though parallel
         runs produce identical warehouses, see
         :meth:`transform_directory`).
+    policy:
+        The ingestion :class:`ErrorPolicy`; defaults to ``fail-fast``
+        (the historical behaviour).
     """
 
     def __init__(
@@ -125,6 +200,7 @@ class MScopeDataTransformer:
         declaration: ParsingDeclaration | None = None,
         workdir: Path | str | None = None,
         jobs: int | None = None,
+        policy: ErrorPolicy | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
@@ -132,6 +208,7 @@ class MScopeDataTransformer:
         self.converter = XmlToCsvConverter()
         self.importer = MScopeDataImporter(db)
         self.jobs = jobs
+        self.policy = policy or FAIL_FAST_POLICY
 
     # ------------------------------------------------------------------
 
@@ -139,12 +216,38 @@ class MScopeDataTransformer:
         self,
         path: Path,
         binding: ParserBinding,
-        table: CsvTable,
+        table: CsvTable | None,
         hostname: str,
         xml_artifact: Path | None,
         csv_artifact: Path | None,
+        errors: tuple[IngestError, ...] = (),
     ) -> TransformOutcome:
-        """The single-writer stage: load one converted table."""
+        """The single-writer stage: record errors, load one table.
+
+        Runs in deterministic ``(host, file)`` drain order for both
+        serial and parallel transforms, so the warehouse — including
+        the ``ingest_errors`` ledger — is byte-identical either way.
+        """
+        for error in errors:
+            self.db.record_ingest_error(
+                error.path,
+                error.line_number,
+                error.parser,
+                error.reason,
+                error.excerpt,
+            )
+        if table is None:
+            return TransformOutcome(
+                source=path,
+                table_name="",
+                rows_loaded=0,
+                columns=0,
+                parser_name=binding.parser_name,
+                xml_artifact=None,
+                csv_artifact=None,
+                error_count=len(errors),
+                failed=True,
+            )
         rows = self.importer.import_table(table, hostname, binding.parser_name)
         return TransformOutcome(
             source=path,
@@ -154,17 +257,18 @@ class MScopeDataTransformer:
             parser_name=binding.parser_name,
             xml_artifact=xml_artifact,
             csv_artifact=csv_artifact,
+            error_count=len(errors),
         )
 
     def transform_file(self, path: Path | str, hostname: str) -> TransformOutcome:
         """Run the full pipeline on one log file (in-process)."""
         path = Path(path)
         binding = self.declaration.resolve(path)
-        table, xml_artifact, csv_artifact = _parse_convert(
-            path, hostname, binding, self.workdir
+        table, xml_artifact, csv_artifact, errors = _parse_convert(
+            path, hostname, binding, self.workdir, self.policy
         )
         return self._import_result(
-            path, binding, table, hostname, xml_artifact, csv_artifact
+            path, binding, table, hostname, xml_artifact, csv_artifact, errors
         )
 
     def _resolve_jobs(self, jobs: int | None, tasks: int) -> int:
@@ -205,12 +309,13 @@ class MScopeDataTransformer:
         if jobs <= 1:
             outcomes: list[TransformOutcome] = []
             for path, host, binding in work:
-                table, xml_artifact, csv_artifact = _parse_convert(
-                    path, host, binding, self.workdir
+                table, xml_artifact, csv_artifact, errors = _parse_convert(
+                    path, host, binding, self.workdir, self.policy
                 )
                 outcomes.append(
                     self._import_result(
-                        path, binding, table, host, xml_artifact, csv_artifact
+                        path, binding, table, host, xml_artifact, csv_artifact,
+                        errors,
                     )
                 )
             return outcomes
@@ -224,16 +329,22 @@ class MScopeDataTransformer:
         with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(
-                    _parse_convert_task, str(path), host, binding, workdir_str
+                    _parse_convert_task,
+                    str(path),
+                    host,
+                    binding,
+                    workdir_str,
+                    self.policy,
                 )
                 for path, host, binding in work
             ]
             try:
                 for (path, host, binding), future in zip(work, futures):
-                    table, xml_artifact, csv_artifact = future.result()
+                    table, xml_artifact, csv_artifact, errors = future.result()
                     outcomes.append(
                         self._import_result(
-                            path, binding, table, host, xml_artifact, csv_artifact
+                            path, binding, table, host, xml_artifact,
+                            csv_artifact, errors,
                         )
                     )
             except BaseException:

@@ -23,6 +23,20 @@ __all__ = ["LogRecord", "XmlDocument", "sanitize_tag"]
 _TAG_CLEAN_RE = re.compile(r"[^A-Za-z0-9_]")
 _TAG_OK_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
+# Code points XML 1.0 cannot carry at all, escaped or not: C0 controls
+# (minus tab/newline/CR), surrogates, and the two non-characters.  Raw
+# bytes from a damaged log can reach a record value as such code points
+# (they are valid UTF-8), so the writer maps them to U+FFFD to keep the
+# artifact readable by :meth:`XmlDocument.read`.
+_XML_INVALID_RE = re.compile(
+    "[\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f"
+    "\\ud800-\\udfff\\ufffe\\uffff]"
+)
+
+
+def _xml_text(value: str) -> str:
+    return escape(_XML_INVALID_RE.sub("\ufffd", value))
+
 
 def sanitize_tag(raw: str) -> str:
     """Turn an arbitrary column label into a valid XML tag / SQL column.
@@ -121,16 +135,17 @@ class XmlDocument:
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        monitor_attr = quoteattr(_XML_INVALID_RE.sub("\ufffd", self.monitor))
+        source_attr = quoteattr(_XML_INVALID_RE.sub("\ufffd", self.source))
         with path.open("w", encoding="utf-8") as handle:
             handle.write("<?xml version='1.0' encoding='utf-8'?>\n")
             handle.write(
-                f"<mscope monitor={quoteattr(self.monitor)} "
-                f"source={quoteattr(self.source)}>"
+                f"<mscope monitor={monitor_attr} source={source_attr}>"
             )
             for record in self.records:
                 parts = ["<log>"]
                 for tag, value in record.items():
-                    parts.append(f"<{tag}>{escape(value)}</{tag}>")
+                    parts.append(f"<{tag}>{_xml_text(value)}</{tag}>")
                 parts.append("</log>")
                 handle.write("".join(parts))
             handle.write("</mscope>")

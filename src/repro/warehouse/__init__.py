@@ -2,12 +2,14 @@
 
 from repro.warehouse.db import MScopeDB, STATIC_TABLES, quote_identifier
 from repro.warehouse.explorer import (
+    IngestErrorSummary,
     InteractionStats,
     SlowRequest,
     WarehouseExplorer,
 )
 
 __all__ = [
+    "IngestErrorSummary",
     "InteractionStats",
     "MScopeDB",
     "STATIC_TABLES",

@@ -29,13 +29,15 @@ from repro.common.errors import QueryError, WarehouseError
 __all__ = ["MScopeDB", "STATIC_TABLES", "quote_identifier"]
 
 #: The four static metadata tables (Section III-C), plus the internal
-#: schema catalog backing dynamic-column type widening.
+#: schema catalog backing dynamic-column type widening and the ingest
+#: error ledger populated by lenient error policies.
 STATIC_TABLES = (
     "experiment_meta",
     "host_config",
     "monitor_registry",
     "load_catalog",
     "schema_catalog",
+    "ingest_errors",
 )
 
 #: Rows per ``executemany`` batch during bulk inserts.
@@ -181,6 +183,14 @@ class MScopeDB:
                 sql_type TEXT NOT NULL,
                 PRIMARY KEY (table_name, column_name)
             );
+            CREATE TABLE IF NOT EXISTS ingest_errors (
+                source_path TEXT NOT NULL,
+                line_number INTEGER NOT NULL,
+                parser TEXT NOT NULL,
+                reason TEXT NOT NULL,
+                excerpt TEXT NOT NULL DEFAULT '',
+                PRIMARY KEY (source_path, line_number)
+            );
             """
         )
         self._commit()
@@ -242,6 +252,50 @@ class MScopeDB:
             (table_name, source_path, rows, columns),
         )
         self._commit()
+
+    def record_ingest_error(
+        self,
+        source_path: str,
+        line_number: int,
+        parser: str,
+        reason: str,
+        excerpt: str = "",
+    ) -> None:
+        """Record one damaged line/record/file in the error ledger.
+
+        ``line_number`` is 1-based; ``0`` marks a file-level failure.
+        Keyed on ``(source_path, line_number)`` so re-recording the
+        same damage (e.g. every :class:`LiveTransformer` refresh
+        re-reads the file) is idempotent.
+        """
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO ingest_errors VALUES (?, ?, ?, ?, ?)",
+            (source_path, line_number, parser, reason, excerpt),
+        )
+        self._commit()
+
+    def ingest_errors(self, source_path: str | None = None) -> list[tuple]:
+        """``(source_path, line_number, parser, reason, excerpt)`` rows.
+
+        Ordered by file then line; optionally filtered to one file.
+        """
+        sql = (
+            "SELECT source_path, line_number, parser, reason, excerpt "
+            "FROM ingest_errors"
+        )
+        params: tuple = ()
+        if source_path is not None:
+            sql += " WHERE source_path = ?"
+            params = (source_path,)
+        sql += " ORDER BY source_path, line_number"
+        return self._require_conn().execute(sql, params).fetchall()
+
+    def ingest_error_count(self) -> int:
+        """Number of recorded ingest errors."""
+        return self._require_conn().execute(
+            "SELECT COUNT(*) FROM ingest_errors"
+        ).fetchone()[0]
 
     # ------------------------------------------------------------------
     # dynamic tables

@@ -1,0 +1,118 @@
+"""Nightly randomized corruption fuzzing (excluded from tier-1 runs).
+
+Generates a full scenario's native logs, damages them with a
+randomized seed (``FUZZ_SEED``, defaulting to a fixed value so local
+runs reproduce), and asserts the error-isolating invariants that must
+hold for *any* corruption:
+
+* a lenient transform never raises — every file either imports its
+  salvageable records or fails alone;
+* serial and parallel transforms stay byte-identical (``iterdump``);
+* a failed file always leaves a file-level ``ingest_errors`` row.
+
+On failure the damaged tree is preserved under ``FUZZ_ARTIFACT_DIR``
+(when set) so the CI job can upload it for triage; re-running with the
+printed seed reproduces the damage byte-for-byte.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.common.timebase import seconds
+from repro.experiments.scenarios import scenario_a
+from repro.transformer.errorpolicy import QUARANTINE, SKIP, ErrorPolicy
+from repro.transformer.faultgen import LogCorruptor
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+pytestmark = pytest.mark.fuzz
+
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "20170301"))
+
+
+def preserve_artifacts(logs, tag):
+    artifact_root = os.environ.get("FUZZ_ARTIFACT_DIR")
+    if not artifact_root:
+        return
+    target = os.path.join(artifact_root, tag)
+    shutil.copytree(logs, target, dirs_exist_ok=True)
+
+
+@pytest.fixture(scope="module")
+def damaged_logs(tmp_path_factory):
+    logs = tmp_path_factory.mktemp("fuzz") / "logs"
+    scenario_a(seed=3, duration=seconds(2), log_dir=logs)
+    reports = LogCorruptor(seed=FUZZ_SEED).corrupt_directory(
+        logs, probability=0.7
+    )
+    print(f"FUZZ_SEED={FUZZ_SEED}: {len(reports)} corruptions")
+    return logs
+
+
+@pytest.mark.parametrize("mode", [SKIP, QUARANTINE])
+def test_lenient_transform_survives_any_damage(damaged_logs, tmp_path, mode):
+    policy = ErrorPolicy(
+        mode=mode,
+        quarantine_dir=tmp_path / "quar" if mode == QUARANTINE else None,
+    )
+    db = MScopeDB()
+    try:
+        outcomes = MScopeDataTransformer(db, policy=policy, jobs=1).transform_directory(
+            damaged_logs
+        )
+    except Exception:
+        preserve_artifacts(damaged_logs, f"crash-{mode}")
+        raise
+    # Every failed file left a file-level ledger row; every imported
+    # file either was clean or recorded its damage.
+    for outcome in outcomes:
+        errors = db.ingest_errors(str(outcome.source))
+        if outcome.failed:
+            assert any(line == 0 for _, line, _, _, _ in errors), outcome
+        else:
+            assert outcome.error_count == len(errors), outcome
+    db.close()
+
+
+@pytest.mark.parametrize("mode", [SKIP, QUARANTINE])
+def test_parallel_serial_identical_under_any_damage(
+    damaged_logs, tmp_path, mode
+):
+    dumps = {}
+    for jobs in (1, 4):
+        policy = ErrorPolicy(
+            mode=mode,
+            quarantine_dir=(
+                tmp_path / f"quar{jobs}" if mode == QUARANTINE else None
+            ),
+        )
+        db = MScopeDB(tmp_path / f"{mode}-{jobs}.db")
+        try:
+            MScopeDataTransformer(db, policy=policy, jobs=jobs).transform_directory(
+                damaged_logs
+            )
+            dumps[jobs] = "\n".join(db.iterdump())
+        except Exception:
+            preserve_artifacts(damaged_logs, f"crash-parallel-{mode}")
+            raise
+        finally:
+            db.close()
+    if dumps[1] != dumps[4]:
+        preserve_artifacts(damaged_logs, f"determinism-{mode}")
+    assert dumps[1] == dumps[4], f"seed {FUZZ_SEED} broke determinism"
+
+
+def test_tiny_error_budget_never_crashes_the_run(damaged_logs):
+    db = MScopeDB()
+    policy = ErrorPolicy(mode=SKIP, budget=1)
+    try:
+        outcomes = MScopeDataTransformer(db, policy=policy, jobs=1).transform_directory(
+            damaged_logs
+        )
+    except Exception:
+        preserve_artifacts(damaged_logs, "crash-budget")
+        raise
+    assert outcomes  # the run completed; files may fail, the run may not
+    db.close()

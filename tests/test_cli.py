@@ -79,3 +79,70 @@ def test_figures_prints_selected(capsys):
     code = main(["figures", "--which", "2"])
     assert code == 0
     assert "Figure 2" in capsys.readouterr().out
+
+
+def test_transform_quarantine_and_errors_report(tmp_path, capsys):
+    out = tmp_path / "out"
+    main(["run", "--scenario", "a", "--duration", "2", "--out", str(out)])
+    # Garble one known line so the lenient transform has work to do.
+    from repro.transformer.faultgen import LogCorruptor
+
+    LogCorruptor(seed=7).garble_lines(
+        out / "logs" / "web1" / "access_log.log", [2]
+    )
+    db_path = out / "m.db"
+    capsys.readouterr()
+    code = main(
+        [
+            "transform",
+            "--logs",
+            str(out / "logs"),
+            "--db",
+            str(db_path),
+            "--on-error=quarantine",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "1 ingest errors" in output
+    # The quarantine dir defaults to <db>.quarantine.
+    quarantine = out / "m.db.quarantine"
+    assert (quarantine / "web1" / "access_log.log.quarantine").exists()
+    with MScopeDB(db_path) as db:
+        assert db.ingest_error_count() == 1
+
+    code = main(["errors", "--db", str(db_path)])
+    assert code == 1  # errors exist -> nonzero for scripting
+    report = capsys.readouterr().out
+    assert "access_log.log" in report
+    assert "line 2" in report
+
+
+def test_errors_report_empty_ledger_exits_zero(tmp_path, capsys):
+    db_path = tmp_path / "m.db"
+    MScopeDB(db_path).close()
+    code = main(["errors", "--db", str(db_path)])
+    assert code == 0
+    assert "no ingest errors" in capsys.readouterr().out
+
+
+def test_transform_fail_fast_is_the_default(tmp_path):
+    from repro.common.errors import ParseError
+
+    out = tmp_path / "out"
+    main(["run", "--scenario", "a", "--duration", "2", "--out", str(out)])
+    from repro.transformer.faultgen import LogCorruptor
+
+    LogCorruptor(seed=7).garble_lines(
+        out / "logs" / "web1" / "access_log.log", [2]
+    )
+    with pytest.raises(ParseError):
+        main(
+            [
+                "transform",
+                "--logs",
+                str(out / "logs"),
+                "--db",
+                str(tmp_path / "m.db"),
+            ]
+        )

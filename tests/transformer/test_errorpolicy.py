@@ -1,0 +1,125 @@
+"""Tests for the ingestion error policies and the per-file sink."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.transformer.errorpolicy import (
+    ERROR_MODES,
+    FAIL_FAST,
+    FAIL_FAST_POLICY,
+    QUARANTINE,
+    SKIP,
+    ErrorBudgetExceeded,
+    ErrorPolicy,
+    ErrorSink,
+    IngestError,
+)
+
+# ----------------------------------------------------------------------
+# ErrorPolicy validation
+
+
+def test_default_policy_is_fail_fast():
+    assert ErrorPolicy().mode == FAIL_FAST
+    assert not ErrorPolicy().lenient
+    assert FAIL_FAST_POLICY.mode == FAIL_FAST
+
+
+def test_lenient_modes():
+    assert ErrorPolicy(mode=SKIP).lenient
+    assert ErrorPolicy(mode=QUARANTINE, quarantine_dir="q").lenient
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        ErrorPolicy(mode="ignore")
+
+
+def test_every_declared_mode_constructs():
+    for mode in ERROR_MODES:
+        kwargs = {"quarantine_dir": "q"} if mode == QUARANTINE else {}
+        assert ErrorPolicy(mode=mode, **kwargs).mode == mode
+
+
+def test_quarantine_requires_directory():
+    with pytest.raises(ValueError):
+        ErrorPolicy(mode=QUARANTINE)
+
+
+def test_quarantine_dir_coerced_to_path(tmp_path):
+    policy = ErrorPolicy(mode=QUARANTINE, quarantine_dir=str(tmp_path))
+    assert policy.quarantine_dir == tmp_path
+
+
+def test_budget_must_be_positive_or_none():
+    with pytest.raises(ValueError):
+        ErrorPolicy(mode=SKIP, budget=0)
+    assert ErrorPolicy(mode=SKIP, budget=None).budget is None
+    assert ErrorPolicy(mode=SKIP, budget=1).budget == 1
+
+
+# ----------------------------------------------------------------------
+# ErrorSink
+
+
+def sink_for(policy):
+    return ErrorSink(policy, "host/x.log", "apache")
+
+
+def test_fail_fast_sink_raises_historical_exception():
+    sink = sink_for(FAIL_FAST_POLICY)
+    with pytest.raises(ParseError) as info:
+        sink.line_error("bad line", 7, raw="junk")
+    assert not isinstance(info.value, ErrorBudgetExceeded)
+    assert len(sink) == 0  # nothing recorded: the exception is the report
+
+
+def test_lenient_sink_records_and_returns():
+    sink = sink_for(ErrorPolicy(mode=SKIP))
+    sink.line_error("bad line", 7, raw="junk")
+    assert sink.errors == [
+        IngestError("host/x.log", 7, "apache", "bad line", "junk")
+    ]
+
+
+def test_sink_excerpt_is_bounded():
+    sink = sink_for(ErrorPolicy(mode=SKIP))
+    sink.line_error("bad", 1, raw="x" * 10_000)
+    assert len(sink.errors[0].excerpt) == 200
+
+
+def test_budget_tolerates_exactly_budget_errors():
+    sink = sink_for(ErrorPolicy(mode=SKIP, budget=3))
+    for number in range(1, 4):
+        sink.line_error("bad", number)
+    with pytest.raises(ErrorBudgetExceeded):
+        sink.line_error("bad", 4)
+    # The overflowing error is still recorded before the raise, so the
+    # ledger shows what tipped the file over.
+    assert len(sink) == 4
+
+
+def test_budget_exceeded_is_a_parse_error():
+    # The pipeline catches ParseError; budget exhaustion must ride that
+    # same channel so a failed file never escapes the per-file handler.
+    assert issubclass(ErrorBudgetExceeded, ParseError)
+
+
+def test_unlimited_budget_never_raises():
+    sink = sink_for(ErrorPolicy(mode=SKIP, budget=None))
+    for number in range(1, 5001):
+        sink.line_error("bad", number)
+    assert len(sink) == 5000
+
+
+def test_file_error_records_line_zero_and_never_raises():
+    sink = sink_for(FAIL_FAST_POLICY)
+    error = sink.file_error("unreadable", excerpt="head of file")
+    assert error.line_number == 0
+    assert sink.errors == [error]
+
+
+def test_missing_line_number_maps_to_zero():
+    sink = sink_for(ErrorPolicy(mode=SKIP))
+    sink.line_error("bad", None)
+    assert sink.errors[0].line_number == 0

@@ -104,6 +104,73 @@ def test_mid_write_file_skipped_then_recovered(log_dir):
     assert outcome.new_rows == 1
 
 
+COMPLETE_SAR_XML = (
+    '<?xml version="1.0"?>\n<sysstat>\n<host nodename="db1" cpus="4">\n'
+    "<statistics>"
+    '<timestamp date="2017-03-01" time="10:00:00.050">'
+    '<cpu-load><cpu number="all" user="1.00" system="0.50" '
+    'iowait="0.00" steal="0.00" idle="98.50"/></cpu-load></timestamp>'
+    "</statistics>\n</host>\n</sysstat>"
+)
+
+
+def test_mid_write_file_recovered_within_refresh(log_dir):
+    # The writer finishes the document while the refresh is backing
+    # off, so the retry imports it without waiting for the next round.
+    xml_path = log_dir / "db1" / "sar_xml.log"
+    xml_path.write_text('<?xml version="1.0"?>\n<sysstat>\n<host nodename="db1">')
+
+    def finish_the_write(_delay):
+        xml_path.write_text(COMPLETE_SAR_XML)
+
+    live = LiveTransformer(MScopeDB(), sleep=finish_the_write)
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.skipped_files == 0
+    assert outcome.new_rows == 1
+    assert outcome.retries == 1
+
+
+def test_mid_write_retries_are_bounded(log_dir):
+    xml_path = log_dir / "db1" / "sar_xml.log"
+    xml_path.write_text('<?xml version="1.0"?>\n<sysstat>\n<host nodename="db1">')
+    delays = []
+    live = LiveTransformer(
+        MScopeDB(), max_retries=3, backoff_s=0.01, sleep=delays.append
+    )
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.skipped_files == 1
+    assert outcome.retries == 3
+    assert delays == [0.01, 0.02, 0.04]  # exponential backoff
+
+
+def test_zero_retries_skips_immediately(log_dir):
+    xml_path = log_dir / "db1" / "sar_xml.log"
+    xml_path.write_text("<sysstat><unclosed")
+    never = []
+    live = LiveTransformer(MScopeDB(), max_retries=0, sleep=never.append)
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.skipped_files == 1
+    assert outcome.retries == 0
+    assert never == []
+
+
+def test_lenient_live_records_errors_idempotently(log_dir):
+    from repro.transformer.errorpolicy import SKIP, ErrorPolicy
+
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(0), "170301 10:00:00\tQuery\tbroken"])
+    live = LiveTransformer(MScopeDB(), policy=ErrorPolicy(mode=SKIP))
+    assert live.refresh_file(path, "db1") == 1
+    assert live.db.ingest_error_count() == 1
+    # The next refresh re-reads the whole file; the damaged line must
+    # re-record onto the same ledger row, not accumulate duplicates.
+    append(path, [mysql_line(1)])
+    assert live.refresh_file(path, "db1") == 1
+    errors = live.db.ingest_errors()
+    assert len(errors) == 1
+    assert errors[0][1] == 2  # line number of the damaged record
+
+
 def test_missing_directory_raises(tmp_path):
     live = LiveTransformer(MScopeDB())
     with pytest.raises(DeclarationError):

@@ -98,6 +98,19 @@ def test_sar_text_column_count_mismatch_raises():
         parser_for("sar.log").parse_lines(lines, "s")
 
 
+def test_sar_text_time_only_line_raises_parse_error():
+    # A line torn down to just the time token must fail as a ParseError,
+    # not an IndexError, so the error policies can classify it.
+    lines = [
+        sar_text_banner(WALL, "web1", 4),
+        sar_text_header(WALL, ms(50)),
+        "10:00:00.050",
+        format_sar_text_row(WALL, SarCpuRow(ms(100), 1, 1, 0)),
+    ]
+    with pytest.raises(ParseError):
+        parser_for("sar.log").parse_lines(lines, "s")
+
+
 def test_sar_xml_adapter():
     rows = [SarCpuRow(ms(50), 12.5, 3.0, 1.0), SarCpuRow(ms(100), 14.0, 2.0, 0.0)]
     lines = (

@@ -71,6 +71,22 @@ def test_document_write_read_round_trip(tmp_path):
     assert loaded.records[1] == doc.records[1]
 
 
+def test_write_survives_xml_invalid_code_points(tmp_path):
+    # Raw garbage bytes in a damaged log are valid UTF-8 code points
+    # (NUL, C0 controls) that XML 1.0 cannot carry even escaped; the
+    # writer must still produce a document read() accepts.
+    doc = XmlDocument("mysql", "db1/mysql\x01log.log")
+    doc.append(
+        LogRecord(
+            {"timestamp_us": "1000", "query": "SELECT \x00\x07\x1b FROM t"}
+        )
+    )
+    loaded = XmlDocument.read(doc.write(tmp_path / "out.xml"))
+    assert loaded.source == "db1/mysql�log.log"
+    value = loaded.records[0].get("query")
+    assert value == "SELECT ��� FROM t"
+
+
 def test_read_malformed_xml_raises(tmp_path):
     path = tmp_path / "bad.xml"
     path.write_text("<mscope><log><a>1</a>")
