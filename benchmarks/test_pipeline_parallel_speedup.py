@@ -39,18 +39,30 @@ def _timed_transform(log_dir, jobs):
     return elapsed, rows, db
 
 
+_CORES = os.cpu_count() or 1
+#: Speedup floor scaled to the machine: a 4-core box must approach the
+#: fan-out's ideal; on 2–3 cores the parse → convert stages can only
+#: overlap partially, so a modest floor still catches a broken pool.
+_SPEEDUP_FLOOR = 1.8 if _CORES >= 4 else 1.2
+
+
 @pytest.mark.skipif(
-    (os.cpu_count() or 1) < 4, reason="speedup target needs >= 4 cores"
+    _CORES < 2,
+    reason=(
+        f"parallel speedup is unmeasurable on this machine: detected "
+        f"{_CORES} CPU core(s), need >= 2 for the fan-out to overlap"
+    ),
 )
 def test_pipeline_parallel_speedup(scenario_a_run, tmp_path):
     logs = _replicated_logs(scenario_a_run.log_dir, tmp_path / "logs")
+    jobs = min(4, _CORES)
 
     # Warm caches (page cache, parser imports) so neither run pays
     # first-touch costs the other skips.
     _timed_transform(logs, jobs=1)
 
     serial_s, serial_rows, serial_db = _timed_transform(logs, jobs=1)
-    parallel_s, parallel_rows, parallel_db = _timed_transform(logs, jobs=4)
+    parallel_s, parallel_rows, parallel_db = _timed_transform(logs, jobs=jobs)
 
     assert serial_rows == parallel_rows
     assert serial_db.iterdump() == parallel_db.iterdump()
@@ -58,10 +70,11 @@ def test_pipeline_parallel_speedup(scenario_a_run, tmp_path):
     speedup = serial_s / parallel_s
     report(
         "Pipeline parallel fan-out",
-        f"{serial_rows} rows, jobs=1: {serial_s:.2f}s, "
-        f"jobs=4: {parallel_s:.2f}s, speedup {speedup:.2f}x",
+        f"{serial_rows} rows on {_CORES} cores, jobs=1: {serial_s:.2f}s, "
+        f"jobs={jobs}: {parallel_s:.2f}s, speedup {speedup:.2f}x "
+        f"(floor {_SPEEDUP_FLOOR}x)",
     )
-    assert speedup >= 1.8
+    assert speedup >= _SPEEDUP_FLOOR
 
 
 def test_pipeline_parallel_matches_serial_anywhere(scenario_a_run, tmp_path):

@@ -8,6 +8,9 @@ Four subcommands mirror the framework's workflow:
   directory into an mScopeDB file;
 * ``mscope errors``     — report the ingest errors a lenient
   transform recorded;
+* ``mscope stats``      — render the pipeline telemetry a transform
+  persisted (per-stage latency percentiles, per-worker utilization)
+  as text, JSON, or Prometheus exposition format;
 * ``mscope diagnose``   — run the VSB diagnosis engine over a
   warehouse and print the reports;
 * ``mscope figures``    — regenerate the paper's figures.
@@ -17,6 +20,7 @@ Example session::
     mscope run --scenario a --out out/
     mscope transform --logs out/logs --db out/mscope.db --on-error=quarantine
     mscope errors --db out/mscope.db
+    mscope stats --db out/mscope.db
     mscope diagnose --db out/mscope.db
 """
 
@@ -30,6 +34,7 @@ from pathlib import Path
 from repro.analysis.diagnosis import Diagnoser
 from repro.common.timebase import seconds
 from repro.experiments.scenarios import baseline_run, scenario_a, scenario_b
+from repro.telemetry.spans import TelemetryCollector
 from repro.transformer.errorpolicy import ERROR_MODES, QUARANTINE, ErrorPolicy
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
@@ -105,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="damaged records tolerated per file before the file "
         "fails; 0 = unlimited (lenient modes only)",
     )
+    transform.add_argument(
+        "--no-stats",
+        action="store_true",
+        help="disable pipeline telemetry (the warehouse then stays "
+        "byte-identical to a pre-telemetry one)",
+    )
+    transform.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        help="also write the run's full telemetry (including "
+        "drain-queue depth samples) to this JSON file",
+    )
 
     errors = subparsers.add_parser(
         "errors", help="report recorded ingest errors"
@@ -112,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
     errors.add_argument("--db", type=Path, required=True)
     errors.add_argument(
         "--limit", type=int, default=50, help="rows to print (0 = all)"
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="render persisted pipeline telemetry"
+    )
+    stats.add_argument("--db", type=Path, required=True)
+    stats.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="text table (default), JSON export, or Prometheus "
+        "exposition format",
     )
 
     diagnose = subparsers.add_parser(
@@ -150,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "transform": _cmd_transform,
         "errors": _cmd_errors,
+        "stats": _cmd_stats,
         "diagnose": _cmd_diagnose,
         "figures": _cmd_figures,
         "report": _cmd_report,
@@ -249,9 +280,11 @@ def _cmd_transform(args) -> int:
         budget=args.error_budget if args.error_budget > 0 else None,
         quarantine_dir=quarantine_dir if args.on_error == QUARANTINE else None,
     )
+    telemetry = None if args.no_stats else TelemetryCollector()
     db = MScopeDB(args.db)
     transformer = MScopeDataTransformer(
-        db, workdir=args.workdir, jobs=args.jobs, policy=policy
+        db, workdir=args.workdir, jobs=args.jobs, policy=policy,
+        telemetry=telemetry,
     )
     outcomes = transformer.transform_directory(args.logs)
     meta_path = args.logs.parent / _META_FILE
@@ -285,7 +318,48 @@ def _cmd_transform(args) -> int:
         )
         if policy.mode == QUARANTINE:
             print(f"quarantined lines -> {policy.quarantine_dir}")
+    if telemetry is not None:
+        run_stats = telemetry.run_telemetry()
+        parse = run_stats.stages.get("parse")
+        if parse is not None:
+            print(
+                f"telemetry: parse p50 {parse.histogram.percentile(0.5)}us, "
+                f"p99 {parse.histogram.percentile(0.99)}us over "
+                f"{parse.spans} files; inspect with: mscope stats "
+                f"--db {args.db}"
+            )
+        if args.stats_json is not None:
+            from repro.telemetry.export import render_json
+
+            args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+            args.stats_json.write_text(render_json(run_stats))
+            print(f"telemetry json -> {args.stats_json}")
     db.close()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.telemetry.aggregate import RunTelemetry
+    from repro.telemetry.export import (
+        render_json,
+        render_prometheus,
+        render_text,
+    )
+
+    with MScopeDB(args.db) as db:
+        telemetry = RunTelemetry.from_db(db)
+        if telemetry is None:
+            print(
+                "no pipeline telemetry recorded (transform ran with "
+                "--no-stats or a no-op sink)"
+            )
+            return 1
+        renderer = {
+            "text": render_text,
+            "json": render_json,
+            "prom": render_prometheus,
+        }[args.format]
+        print(renderer(telemetry), end="")
     return 0
 
 

@@ -1,0 +1,46 @@
+"""Pipeline self-observability: spans, run telemetry, exports.
+
+The transformer's own monitoring layer — the paper's medicine applied
+to our hot path.  See :mod:`repro.telemetry.spans` for the measurement
+primitives, :mod:`repro.telemetry.aggregate` for the per-run rollup,
+and :mod:`repro.telemetry.export` for the JSON / Prometheus / text
+renderings.
+"""
+
+from repro.telemetry.aggregate import (
+    LatencyHistogram,
+    RunTelemetry,
+    StageStats,
+    WorkerStats,
+    merge_histograms,
+    span_tree,
+)
+from repro.telemetry.export import render_json, render_prometheus, render_text
+from repro.telemetry.spans import (
+    MAIN_WORKER,
+    NULL_PROBE,
+    NULL_TELEMETRY,
+    SpanData,
+    SpanProbe,
+    TelemetryCollector,
+    zero_clock,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "RunTelemetry",
+    "StageStats",
+    "WorkerStats",
+    "merge_histograms",
+    "span_tree",
+    "render_json",
+    "render_prometheus",
+    "render_text",
+    "MAIN_WORKER",
+    "NULL_PROBE",
+    "NULL_TELEMETRY",
+    "SpanData",
+    "SpanProbe",
+    "TelemetryCollector",
+    "zero_clock",
+]

@@ -1,0 +1,140 @@
+"""Rendering :class:`~repro.telemetry.aggregate.RunTelemetry`.
+
+Three consumers, three formats:
+
+* :func:`render_json` — the machine-readable export (also what
+  ``mscope transform --stats-json`` writes per run);
+* :func:`render_prometheus` — Prometheus exposition text, so a scrape
+  of a long-lived transform host needs no translation layer;
+* :func:`render_text` — the human table ``mscope stats`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.aggregate import RunTelemetry, stage_table
+
+__all__ = ["render_json", "render_prometheus", "render_text"]
+
+_PROM_PREFIX = "mscope_pipeline"
+
+
+def render_json(telemetry: RunTelemetry) -> str:
+    """The full telemetry as a JSON document."""
+    return json.dumps(telemetry.to_json_dict(), indent=2, sort_keys=False) + "\n"
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_prometheus(telemetry: RunTelemetry) -> str:
+    """Prometheus exposition-format text (one scrape's worth).
+
+    Stage latencies export as summary-style quantile gauges plus the
+    exact ``_sum``/``_count`` pair; worker utilization and queue depth
+    export as gauges.
+    """
+    lines: list[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    duration = f"{_PROM_PREFIX}_stage_duration_seconds"
+    header(duration, "summary", "Per-stage latency over one pipeline run")
+    for stage in telemetry.stages.values():
+        label = f'stage="{_prom_escape(stage.stage)}"'
+        histogram = stage.histogram
+        for quantile in (0.5, 0.9, 0.99):
+            lines.append(
+                f'{duration}{{{label},quantile="{quantile}"}} '
+                f"{histogram.percentile(quantile) / 1e6:.6f}"
+            )
+        lines.append(f"{duration}_sum{{{label}}} {histogram.total_us / 1e6:.6f}")
+        lines.append(f"{duration}_count{{{label}}} {histogram.count}")
+
+    for suffix, attribute, help_text in (
+        ("stage_records_total", "records", "Records processed per stage"),
+        ("stage_bytes_total", "bytes", "Bytes processed per stage"),
+        ("stage_errors_total", "errors", "Ingest errors recorded per stage"),
+    ):
+        name = f"{_PROM_PREFIX}_{suffix}"
+        header(name, "counter", help_text)
+        for stage in telemetry.stages.values():
+            value = getattr(stage, attribute)
+            lines.append(
+                f'{name}{{stage="{_prom_escape(stage.stage)}"}} {value}'
+            )
+
+    utilization = f"{_PROM_PREFIX}_worker_utilization"
+    header(
+        utilization, "gauge",
+        "Busy share of the run wall time per fan-out worker",
+    )
+    for worker in telemetry.workers.values():
+        lines.append(
+            f'{utilization}{{worker="{_prom_escape(worker.worker)}"}} '
+            f"{worker.utilization:.4f}"
+        )
+
+    depth = f"{_PROM_PREFIX}_drain_queue_depth"
+    header(depth, "gauge", "Single-writer drain queue depth (last sample)")
+    last_depth = telemetry.queue_depth[-1][1] if telemetry.queue_depth else 0
+    lines.append(f"{depth} {last_depth}")
+
+    wall = f"{_PROM_PREFIX}_run_wall_seconds"
+    header(wall, "gauge", "Wall time of the pipeline run")
+    lines.append(f"{wall} {telemetry.wall_us / 1e6:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+def render_text(telemetry: RunTelemetry) -> str:
+    """The ``mscope stats`` table: stages, percentiles, workers."""
+    out: list[str] = []
+    out.append(
+        f"pipeline run: {telemetry.files} files, "
+        f"{telemetry.total_records} records, "
+        f"{telemetry.total_errors} errors, "
+        f"wall {telemetry.wall_us / 1e6:.3f}s"
+    )
+    rows = stage_table(telemetry)
+    if rows:
+        out.append("")
+        out.append(
+            f"{'stage':<10} {'spans':>6} {'records':>9} {'errors':>7} "
+            f"{'p50':>9} {'p90':>9} {'p99':>9} {'total':>10}"
+        )
+        for row in rows:
+            out.append(
+                f"{row['stage']:<10} {row['spans']:>6} {row['records']:>9} "
+                f"{row['errors']:>7} "
+                f"{_us(row['p50_us']):>9} {_us(row['p90_us']):>9} "
+                f"{_us(row['p99_us']):>9} {_us(row['total_us']):>10}"
+            )
+    if telemetry.workers:
+        out.append("")
+        out.append(f"{'worker':<8} {'spans':>6} {'busy':>10} {'util':>7}")
+        for worker in telemetry.workers.values():
+            out.append(
+                f"{worker.worker:<8} {worker.spans:>6} "
+                f"{_us(worker.busy_us):>10} {worker.utilization:>6.1%}"
+            )
+    if telemetry.queue_depth:
+        peak = max(depth for _, depth in telemetry.queue_depth)
+        out.append("")
+        out.append(
+            f"drain queue: {len(telemetry.queue_depth)} samples, peak depth {peak}"
+        )
+    return "\n".join(out) + "\n"
+
+
+def _us(value) -> str:
+    """Compact human duration from microseconds."""
+    value = int(value)
+    if value >= 1_000_000:
+        return f"{value / 1e6:.2f}s"
+    if value >= 1_000:
+        return f"{value / 1e3:.1f}ms"
+    return f"{value}us"

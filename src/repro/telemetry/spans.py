@@ -1,0 +1,318 @@
+"""Stage spans — the pipeline's own instrumentation primitive.
+
+The paper's thesis applied to our hot path: aggregate, end-of-run
+numbers hide where a slow transform actually spent its time, so every
+pipeline stage (resolve → parse → convert → import, plus
+:class:`~repro.transformer.live.LiveTransformer` refresh cycles) opens
+a structured span carrying host, file, stage, records/bytes processed,
+error count, and monotonic wall time.
+
+Two objects split the work across the process boundary:
+
+* :class:`SpanProbe` — the picklable *measurement* side.  Workers in
+  the parse → convert fan-out carry a probe into their process, append
+  finished :class:`SpanData` to a local list, and ship the list back
+  in the task result.  A disabled probe (:data:`NULL_PROBE`) returns a
+  shared no-op span and never touches the clock — the near-zero
+  overhead path that is the default everywhere.
+* :class:`TelemetryCollector` — the parent-side *aggregation* sink.
+  The single-writer drain loop ingests every file's spans in the same
+  deterministic ``(host, file)`` order it imports tables, so persisted
+  telemetry inherits the pipeline's determinism guarantee.
+
+Clocks are injectable (any ``() -> int`` nanosecond source).  Wall
+time is inherently nondeterministic, so the equivalence tests inject
+:func:`zero_clock` — module-level, hence picklable into pool workers —
+to pin every duration to zero and compare warehouses byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+__all__ = [
+    "MAIN_WORKER",
+    "SpanData",
+    "SpanProbe",
+    "TelemetryCollector",
+    "NULL_PROBE",
+    "NULL_TELEMETRY",
+    "zero_clock",
+]
+
+#: Worker label for spans measured in the parent process.
+MAIN_WORKER = "main"
+
+
+def zero_clock() -> int:
+    """A frozen clock: every duration becomes zero.
+
+    The deterministic seam used by the parallel/serial equivalence
+    tests — module-level so it pickles into pool workers by reference.
+    """
+    return 0
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SpanData:
+    """One finished stage span.
+
+    ``parent`` names the enclosing span's stage (``""`` for roots);
+    nesting below a file-scoped span is keyed by ``(hostname,
+    source_path)``.  Durations are clamped non-negative at measurement
+    time, so downstream aggregation can rely on it.
+    """
+
+    stage: str
+    hostname: str = ""
+    source_path: str = ""
+    parent: str = ""
+    start_ns: int = 0
+    duration_ns: int = 0
+    records: int = 0
+    bytes: int = 0
+    errors: int = 0
+    worker: str = MAIN_WORKER
+
+
+class _ActiveSpan:
+    """A span being measured; context-manage it around the stage."""
+
+    __slots__ = (
+        "_probe", "_out", "stage", "hostname", "source_path", "parent",
+        "_start", "records", "bytes", "errors",
+    )
+
+    def __init__(
+        self,
+        probe: "SpanProbe",
+        out: list[SpanData],
+        stage: str,
+        hostname: str,
+        source_path: str,
+        parent: str,
+    ) -> None:
+        self._probe = probe
+        self._out = out
+        self.stage = stage
+        self.hostname = hostname
+        self.source_path = source_path
+        self.parent = parent
+        self._start = 0
+        self.records = 0
+        self.bytes = 0
+        self.errors = 0
+
+    def add(self, records: int = 0, bytes: int = 0, errors: int = 0) -> None:
+        """Accumulate work attribution onto the span."""
+        self.records += records
+        self.bytes += bytes
+        self.errors += errors
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = self._probe.clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = self._probe.clock()
+        self._out.append(
+            SpanData(
+                stage=self.stage,
+                hostname=self.hostname,
+                source_path=self.source_path,
+                parent=self.parent,
+                start_ns=self._start,
+                # Clamp: a misbehaving injected clock must never
+                # produce a negative duration (property-tested).
+                duration_ns=max(0, end - self._start),
+                records=self.records,
+                bytes=self.bytes,
+                errors=self.errors,
+                worker=self._probe.worker,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-probe fast path."""
+
+    __slots__ = ()
+
+    def add(self, records: int = 0, bytes: int = 0, errors: int = 0) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@dataclasses.dataclass(slots=True)
+class SpanProbe:
+    """The picklable measurement half of the telemetry layer.
+
+    ``enabled=False`` (the :data:`NULL_PROBE` default) makes
+    :meth:`span` return a shared no-op span without calling the clock,
+    so instrumented code pays a single attribute check when telemetry
+    is off.
+    """
+
+    enabled: bool = True
+    clock: Callable[[], int] = time.perf_counter_ns
+    worker: str = MAIN_WORKER
+
+    def span(
+        self,
+        out: list[SpanData],
+        stage: str,
+        hostname: str = "",
+        source_path: str = "",
+        parent: str = "",
+    ):
+        """A context manager measuring one stage into ``out``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, out, stage, hostname, source_path, parent)
+
+    def relabel(self, worker: str) -> "SpanProbe":
+        """A copy of this probe tagged with a worker identity."""
+        return SpanProbe(enabled=self.enabled, clock=self.clock, worker=worker)
+
+
+#: The default, disabled probe — instrumentation points share it.
+NULL_PROBE = SpanProbe(enabled=False)
+
+
+class TelemetryCollector:
+    """Parent-side sink accumulating one run's spans and gauges.
+
+    The pipeline ingests spans in single-writer drain order, records
+    drain-queue depth samples as the parallel fan-out completes, and
+    asks for the aggregate :class:`~repro.telemetry.aggregate.RunTelemetry`
+    (or persists it into the warehouse) when the run finishes.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.clock = clock
+        self.spans: list[SpanData] = []
+        #: ``(t_ns, depth)`` samples of completed-but-undrained futures.
+        self.queue_depth: list[tuple[int, int]] = []
+        self._run_start: int | None = None
+        self._wall_ns = 0
+
+    # -- measurement -------------------------------------------------
+
+    def probe(self, worker: str = MAIN_WORKER) -> SpanProbe:
+        """A probe measuring with this collector's clock."""
+        return SpanProbe(enabled=True, clock=self.clock, worker=worker)
+
+    def start_run(self) -> None:
+        """Mark the start of a pipeline run (for wall time/utilization)."""
+        self._run_start = self.clock()
+
+    def finish_run(self) -> int:
+        """Mark the end of the run started by :meth:`start_run`.
+
+        Returns this run's wall time in nanoseconds (0 when no run was
+        started); wall time accumulates across runs for utilization.
+        """
+        if self._run_start is None:
+            return 0
+        delta = max(0, self.clock() - self._run_start)
+        self._wall_ns += delta
+        self._run_start = None
+        return delta
+
+    def ingest(self, spans: list[SpanData] | tuple[SpanData, ...]) -> None:
+        """Append finished spans (call in deterministic drain order)."""
+        self.spans.extend(spans)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the single-writer drain queue's depth."""
+        self.queue_depth.append((self.clock(), depth))
+
+    # -- results -----------------------------------------------------
+
+    @property
+    def wall_ns(self) -> int:
+        """Accumulated run wall time (0 until a run finishes)."""
+        return self._wall_ns
+
+    def run_telemetry(self):
+        """Aggregate everything collected so far into a RunTelemetry."""
+        from repro.telemetry.aggregate import RunTelemetry
+
+        return RunTelemetry.from_spans(
+            self.spans, queue_depth=self.queue_depth, wall_ns=self._wall_ns
+        )
+
+    def persist(self, db) -> None:
+        """Write this run's telemetry into the warehouse.
+
+        Span rows land in ``pipeline_metrics`` in ingest (= drain)
+        order, so their content and ordering are identical between
+        serial and parallel runs; per-worker rollups land in
+        ``pipeline_workers`` (worker *assignment* is scheduler-driven,
+        so that table is run-specific by nature).  Re-persisting
+        replaces the previous run's telemetry.
+        """
+        from repro.telemetry.aggregate import RunTelemetry
+
+        db.replace_pipeline_metrics(
+            (
+                span.stage,
+                span.hostname,
+                span.source_path,
+                span.records,
+                span.bytes,
+                span.errors,
+                span.duration_ns // 1_000,
+            )
+            for span in self.spans
+        )
+        telemetry = RunTelemetry.from_spans(
+            self.spans, queue_depth=self.queue_depth, wall_ns=self._wall_ns
+        )
+        db.replace_pipeline_workers(
+            (w.worker, w.spans, w.busy_us, w.utilization)
+            for w in telemetry.workers.values()
+        )
+
+
+class _NullTelemetry(TelemetryCollector):
+    """The disabled collector: every hook is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=zero_clock)
+
+    def probe(self, worker: str = MAIN_WORKER) -> SpanProbe:
+        return NULL_PROBE
+
+    def start_run(self) -> None:
+        pass
+
+    def finish_run(self) -> int:
+        return 0
+
+    def ingest(self, spans) -> None:
+        pass
+
+    def record_queue_depth(self, depth: int) -> None:
+        pass
+
+    def persist(self, db) -> None:
+        pass
+
+
+#: The default sink: collection hooks stay wired, nothing is measured.
+NULL_TELEMETRY = _NullTelemetry()

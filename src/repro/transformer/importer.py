@@ -41,11 +41,14 @@ class MScopeDataImporter:
         table: CsvTable,
         hostname: str,
         parser_name: str,
+        span=None,
     ) -> int:
         """Create/extend the target table and load the rows.
 
         The whole load — DDL, bulk insert, indexes, provenance — is
-        one transaction.  Returns the number of rows inserted.
+        one transaction.  Returns the number of rows inserted.  An
+        optional telemetry ``span`` is credited with the inserted row
+        count.
         """
         if not table.columns:
             raise DataImportError(f"table {table.name!r} has no columns")
@@ -75,6 +78,8 @@ class MScopeDataImporter:
                 parser=parser_name,
                 table_name=table.name,
             )
+        if span is not None:
+            span.add(records=inserted)
         return inserted
 
     def _reconcile_schema(self, table: CsvTable) -> None:

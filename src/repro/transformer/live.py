@@ -22,6 +22,10 @@ Notes
   refresh lenient: damaged lines are recorded in ``ingest_errors``
   (idempotently — each refresh re-reads the file, so errors re-record
   onto the same keyed rows) while the undamaged records import.
+* Each refresh cycle opens a telemetry span and updates the
+  :class:`Heartbeat` — files/sec, rows/sec, cycle lag, last error — so
+  a long-lived live session has a health signal without any polling of
+  the warehouse.
 """
 
 from __future__ import annotations
@@ -32,6 +36,11 @@ from pathlib import Path
 from typing import Callable
 
 from repro.common.errors import DeclarationError, ParseError
+from repro.telemetry.spans import (
+    NULL_TELEMETRY,
+    SpanData,
+    TelemetryCollector,
+)
 from repro.transformer.declaration import ParsingDeclaration, default_declaration
 from repro.transformer.errorpolicy import FAIL_FAST_POLICY, ErrorPolicy, ErrorSink
 from repro.transformer.importer import MScopeDataImporter
@@ -40,7 +49,7 @@ from repro.transformer.xml_to_csv import XmlToCsvConverter
 from repro.transformer.xmlmodel import XmlDocument
 from repro.warehouse.db import MScopeDB
 
-__all__ = ["LiveTransformer", "RefreshOutcome"]
+__all__ = ["LiveTransformer", "RefreshOutcome", "Heartbeat"]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -53,6 +62,24 @@ class RefreshOutcome:
     #: Mid-write retry attempts spent this refresh (0 when every file
     #: parsed on its first attempt).
     retries: int = 0
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """The live transformer's health signal, one per refresh cycle.
+
+    ``lag_s`` is how long the last cycle took — when it approaches the
+    refresh interval, the transformer is falling behind the logs.
+    ``last_error`` is the most recent parse/ingest failure message
+    (``None`` while everything is healthy).
+    """
+
+    refreshes: int
+    new_rows: int
+    files_per_sec: float
+    rows_per_sec: float
+    lag_s: float
+    last_error: str | None = None
 
 
 class LiveTransformer:
@@ -74,6 +101,17 @@ class LiveTransformer:
         First retry delay in seconds; doubles per attempt.
     sleep:
         Injectable clock for tests (defaults to :func:`time.sleep`).
+    telemetry:
+        Optional :class:`~repro.telemetry.spans.TelemetryCollector`
+        receiving one ``refresh`` span per cycle and one
+        ``refresh_file`` span per refreshed file.
+    clock:
+        Monotonic seconds source for the heartbeat (injectable for
+        tests; defaults to :func:`time.monotonic`).
+    on_heartbeat:
+        Callback invoked with the fresh :class:`Heartbeat` at the end
+        of every :meth:`refresh_directory` cycle — the streaming
+        health signal for a supervising process.
     """
 
     def __init__(
@@ -84,6 +122,9 @@ class LiveTransformer:
         max_retries: int = 2,
         backoff_s: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: TelemetryCollector | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_heartbeat: Callable[[Heartbeat], None] | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
@@ -93,6 +134,12 @@ class LiveTransformer:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self._sleep = sleep
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._clock = clock
+        self.on_heartbeat = on_heartbeat
+        self._refreshes = 0
+        self._last_error: str | None = None
+        self._heartbeat: Heartbeat | None = None
         self._high_water: dict[Path, int] = {}
         # Parser instances are stateless between files, so one per
         # binding serves every refresh (keyed by identity — bindings
@@ -118,13 +165,31 @@ class LiveTransformer:
         binding = self.declaration.resolve(path)
         parser = self._parser_for(binding)
         sink = ErrorSink(self.policy, str(path), binding.parser_name)
+        spans: list[SpanData] = []
         try:
-            document = parser.parse_file(path, sink=sink)
+            with self.telemetry.probe().span(
+                spans, "refresh_file", hostname, str(path), parent="refresh"
+            ) as span:
+                try:
+                    document = parser.parse_file(path, sink=sink)
+                finally:
+                    # Damage seen before the parse aborted still gets
+                    # recorded (idempotently — the keyed INSERT OR
+                    # REPLACE makes every refresh converge on the same
+                    # ledger rows).
+                    self._record_errors(sink)
+                    span.add(errors=len(sink.errors))
+                rows = self._import_delta(document, binding, path, hostname)
+                span.add(records=rows)
         finally:
-            # Damage seen before the parse aborted still gets recorded
-            # (idempotently — the keyed INSERT OR REPLACE makes every
-            # refresh converge on the same ledger rows).
-            self._record_errors(sink)
+            # The span closed on the ``with`` exit (success or not);
+            # ship whatever was measured.
+            self.telemetry.ingest(spans)
+        return rows
+
+    def _import_delta(
+        self, document, binding, path: Path, hostname: str
+    ) -> int:
         already = self._high_water.get(path, 0)
         fresh = document.records[already:]
         if not fresh:
@@ -149,6 +214,9 @@ class LiveTransformer:
                 error.reason,
                 error.excerpt,
             )
+        if sink.errors:
+            # Lenient damage feeds the heartbeat's last-error signal.
+            self._last_error = sink.errors[-1].reason
 
     def refresh_directory(self, root: Path | str) -> RefreshOutcome:
         """Refresh every declared log under ``root``.
@@ -162,36 +230,64 @@ class LiveTransformer:
         root = Path(root)
         if not root.is_dir():
             raise DeclarationError(f"log directory {root} does not exist")
+        started = self._clock()
         new_rows = 0
         refreshed = 0
         skipped = 0
         retries = 0
-        for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
-            for log_file in sorted(host_dir.glob("*.log")):
-                if self.declaration.try_resolve(log_file) is None:
-                    continue
-                imported = None
-                for attempt in range(self.max_retries + 1):
-                    try:
-                        imported = self.refresh_file(log_file, host_dir.name)
-                        break
-                    except ParseError:
-                        if attempt == self.max_retries:
+        spans: list[SpanData] = []
+        with self.telemetry.probe().span(spans, "refresh") as span:
+            for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+                for log_file in sorted(host_dir.glob("*.log")):
+                    if self.declaration.try_resolve(log_file) is None:
+                        continue
+                    imported = None
+                    for attempt in range(self.max_retries + 1):
+                        try:
+                            imported = self.refresh_file(
+                                log_file, host_dir.name
+                            )
                             break
-                        self._sleep(self.backoff_s * (2**attempt))
-                        retries += 1
-                if imported is None:
-                    skipped += 1
-                    continue
-                if imported:
-                    refreshed += 1
-                    new_rows += imported
+                        except ParseError as exc:
+                            self._last_error = str(exc)
+                            if attempt == self.max_retries:
+                                break
+                            self._sleep(self.backoff_s * (2**attempt))
+                            retries += 1
+                    if imported is None:
+                        skipped += 1
+                        continue
+                    if imported:
+                        refreshed += 1
+                        new_rows += imported
+            span.add(records=new_rows, errors=skipped)
+        self.telemetry.ingest(spans)
+        self._beat(started, refreshed, new_rows)
         return RefreshOutcome(
             new_rows=new_rows,
             refreshed_files=refreshed,
             skipped_files=skipped,
             retries=retries,
         )
+
+    def _beat(self, started: float, refreshed: int, new_rows: int) -> None:
+        """Update (and stream) the heartbeat after one refresh cycle."""
+        lag_s = max(0.0, self._clock() - started)
+        self._refreshes += 1
+        self._heartbeat = Heartbeat(
+            refreshes=self._refreshes,
+            new_rows=new_rows,
+            files_per_sec=refreshed / lag_s if lag_s > 0 else 0.0,
+            rows_per_sec=new_rows / lag_s if lag_s > 0 else 0.0,
+            lag_s=lag_s,
+            last_error=self._last_error,
+        )
+        if self.on_heartbeat is not None:
+            self.on_heartbeat(self._heartbeat)
+
+    def heartbeat(self) -> Heartbeat | None:
+        """The latest :class:`Heartbeat` (``None`` before any cycle)."""
+        return self._heartbeat
 
     def high_water(self, path: Path | str) -> int:
         """Records already imported from ``path``."""

@@ -77,7 +77,10 @@ class MScopeParser:
     # ------------------------------------------------------------------
 
     def parse_file(
-        self, path: Path | str, sink: ErrorSink | None = None
+        self,
+        path: Path | str,
+        sink: ErrorSink | None = None,
+        span=None,
     ) -> XmlDocument:
         """Parse a log file from disk, streaming it line by line.
 
@@ -92,17 +95,22 @@ class MScopeParser:
         parses also decode with ``errors="replace"`` so encoding
         garbage surfaces as unparsable text (one recorded error per
         damaged line) rather than a ``UnicodeDecodeError``.
+
+        ``span`` is an optional telemetry stage span; the parser — the
+        authority on what it actually consumed and produced — credits
+        it with the bytes read and the records parsed.
         """
         path = Path(path)
         self._sink = sink
         lenient = sink is not None and sink.policy.lenient
         try:
+            size = path.stat().st_size
             with path.open(
                 "r",
                 encoding="utf-8",
                 errors="replace" if lenient else "strict",
             ) as handle:
-                return self.parse_lines(
+                document = self.parse_lines(
                     (line.rstrip("\r\n") for line in handle),
                     source=str(path),
                 )
@@ -110,6 +118,9 @@ class MScopeParser:
             raise ParseError(f"cannot read log: {exc}", path=str(path)) from exc
         finally:
             self._sink = None
+        if span is not None:
+            span.add(records=len(document.records), bytes=size)
+        return document
 
     def parse_lines(self, lines: Iterable[str], source: str) -> XmlDocument:
         """Parse already-split log lines."""

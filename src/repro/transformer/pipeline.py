@@ -26,6 +26,15 @@ imports, and a file whose per-file error budget runs out fails alone
 — the run continues.  Error recording happens in the same
 single-writer drain order as imports, so parallel runs stay
 byte-identical to serial under every policy.
+
+Self-observability: a :class:`~repro.telemetry.spans.TelemetryCollector`
+turns the run into a span stream — ``resolve`` → per-file ``parse`` /
+``convert`` (measured inside the worker that ran them) / ``import``
+(single-writer) → a closing ``run`` span — plus drain-queue depth
+samples during the parallel fan-out.  Spans are ingested and persisted
+(``pipeline_metrics``) in the same deterministic drain order as
+imports, and the default :data:`~repro.telemetry.spans.NULL_TELEMETRY`
+sink keeps the instrumented path a no-op.
 """
 
 from __future__ import annotations
@@ -48,6 +57,13 @@ from repro.transformer.errorpolicy import (
     ErrorPolicy,
     ErrorSink,
     IngestError,
+)
+from repro.telemetry.spans import (
+    NULL_PROBE,
+    NULL_TELEMETRY,
+    SpanData,
+    SpanProbe,
+    TelemetryCollector,
 )
 from repro.transformer.importer import MScopeDataImporter
 from repro.transformer.parsers import create_parser
@@ -84,48 +100,65 @@ def _parse_convert(
     binding: ParserBinding,
     workdir: Path | None,
     policy: ErrorPolicy,
-) -> tuple[CsvTable | None, Path | None, Path | None, tuple[IngestError, ...]]:
+    probe: SpanProbe = NULL_PROBE,
+) -> tuple[
+    CsvTable | None,
+    Path | None,
+    Path | None,
+    tuple[IngestError, ...],
+    tuple[SpanData, ...],
+]:
     """The CPU-bound stages for one file: parse → XML → convert → CSV.
 
     Runs either in-process (serial path) or inside a worker process
     (parallel fan-out); it touches only the file system, never the
-    warehouse.  Returns ``(table, xml, csv, errors)`` where ``table``
-    is ``None`` when the file failed under a lenient policy; collected
-    ingest errors travel back for the parent's single-writer stage to
-    record.  Under ``fail-fast`` any damage raises, exactly as before.
+    warehouse.  Returns ``(table, xml, csv, errors, spans)`` where
+    ``table`` is ``None`` when the file failed under a lenient policy;
+    collected ingest errors and the ``parse``/``convert`` stage spans
+    travel back for the parent's single-writer stage to record in
+    drain order.  Under ``fail-fast`` any damage raises, exactly as
+    before.
     """
     parser = create_parser(binding)
     sink = ErrorSink(policy, str(path), binding.parser_name)
-    try:
-        document = parser.parse_file(path, sink=sink)
-    except ParseError as exc:
-        if not policy.lenient:
-            raise
-        # Unsalvageable file (unreadable, or over its error budget):
-        # fail the file, keep the run.
-        sink.file_error(str(exc))
+    spans: list[SpanData] = []
+    source = str(path)
+    document: XmlDocument | None = None
+    with probe.span(spans, "parse", hostname, source, parent="file") as span:
+        try:
+            document = parser.parse_file(path, sink=sink, span=span)
+        except ParseError as exc:
+            if not policy.lenient:
+                raise
+            # Unsalvageable file (unreadable, or over its error
+            # budget): fail the file, keep the run.
+            sink.file_error(str(exc))
+        span.add(errors=len(sink.errors))
+    if document is None:
         _quarantine(policy, sink, path, hostname, failed_file=True)
-        return None, None, None, tuple(sink.errors)
+        return None, None, None, tuple(sink.errors), tuple(spans)
 
     xml_artifact: Path | None = None
     csv_artifact: Path | None = None
     converter = XmlToCsvConverter()
-    if workdir is not None:
-        xml_artifact = workdir / hostname / f"{path.stem}.xml"
-        document.write(xml_artifact)
-        # Honest stage boundary: the converter reads what the
-        # parser wrote, not the parser's in-memory objects.
-        document = XmlDocument.read(xml_artifact)
+    with probe.span(spans, "convert", hostname, source, parent="file") as span:
+        if workdir is not None:
+            xml_artifact = workdir / hostname / f"{path.stem}.xml"
+            document.write(xml_artifact)
+            # Honest stage boundary: the converter reads what the
+            # parser wrote, not the parser's in-memory objects.
+            document = XmlDocument.read(xml_artifact)
 
-    table_name = f"{binding.monitor}_{hostname}"
-    table = converter.convert(
-        document, table_name, extra_columns={"hostname": hostname}
-    )
-    if workdir is not None:
-        csv_artifact = workdir / hostname / f"{path.stem}.csv"
-        converter.write_csv(table, csv_artifact)
+        table_name = f"{binding.monitor}_{hostname}"
+        table = converter.convert(
+            document, table_name, extra_columns={"hostname": hostname}
+        )
+        if workdir is not None:
+            csv_artifact = workdir / hostname / f"{path.stem}.csv"
+            converter.write_csv(table, csv_artifact)
+        span.add(records=len(table.rows))
     _quarantine(policy, sink, path, hostname, failed_file=False)
-    return table, xml_artifact, csv_artifact, tuple(sink.errors)
+    return table, xml_artifact, csv_artifact, tuple(sink.errors), tuple(spans)
 
 
 def _quarantine(
@@ -164,10 +197,23 @@ def _parse_convert_task(
     binding: ParserBinding,
     workdir_str: str | None,
     policy: ErrorPolicy,
-) -> tuple[CsvTable | None, Path | None, Path | None, tuple[IngestError, ...]]:
+    probe: SpanProbe = NULL_PROBE,
+) -> tuple[
+    CsvTable | None,
+    Path | None,
+    Path | None,
+    tuple[IngestError, ...],
+    tuple[SpanData, ...],
+]:
     """Picklable worker entry point for the process pool."""
     workdir = Path(workdir_str) if workdir_str is not None else None
-    return _parse_convert(Path(path_str), hostname, binding, workdir, policy)
+    if probe.enabled:
+        # Tag spans with the process that measured them; the collector
+        # normalizes pids to stable w0..wN labels at aggregation time.
+        probe = probe.relabel(f"pid-{os.getpid()}")
+    return _parse_convert(
+        Path(path_str), hostname, binding, workdir, policy, probe
+    )
 
 
 class MScopeDataTransformer:
@@ -192,6 +238,14 @@ class MScopeDataTransformer:
     policy:
         The ingestion :class:`ErrorPolicy`; defaults to ``fail-fast``
         (the historical behaviour).
+    telemetry:
+        A :class:`~repro.telemetry.spans.TelemetryCollector` receiving
+        the run's stage spans; defaults to the no-op
+        :data:`~repro.telemetry.spans.NULL_TELEMETRY` sink, which
+        keeps the warehouse byte-identical to a pre-telemetry one.
+        With a real collector, :meth:`transform_directory` persists
+        the run's telemetry into the warehouse's ``pipeline_metrics``
+        / ``pipeline_workers`` tables.
     """
 
     def __init__(
@@ -201,6 +255,7 @@ class MScopeDataTransformer:
         workdir: Path | str | None = None,
         jobs: int | None = None,
         policy: ErrorPolicy | None = None,
+        telemetry: TelemetryCollector | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
@@ -209,6 +264,7 @@ class MScopeDataTransformer:
         self.importer = MScopeDataImporter(db)
         self.jobs = jobs
         self.policy = policy or FAIL_FAST_POLICY
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
 
@@ -221,54 +277,80 @@ class MScopeDataTransformer:
         xml_artifact: Path | None,
         csv_artifact: Path | None,
         errors: tuple[IngestError, ...] = (),
+        spans: tuple[SpanData, ...] = (),
     ) -> TransformOutcome:
         """The single-writer stage: record errors, load one table.
 
         Runs in deterministic ``(host, file)`` drain order for both
         serial and parallel transforms, so the warehouse — including
         the ``ingest_errors`` ledger — is byte-identical either way.
+        The file's worker-measured spans are ingested here, followed by
+        the ``import`` span, so the telemetry stream inherits the same
+        order.
         """
-        for error in errors:
-            self.db.record_ingest_error(
-                error.path,
-                error.line_number,
-                error.parser,
-                error.reason,
-                error.excerpt,
-            )
-        if table is None:
-            return TransformOutcome(
-                source=path,
-                table_name="",
-                rows_loaded=0,
-                columns=0,
-                parser_name=binding.parser_name,
-                xml_artifact=None,
-                csv_artifact=None,
-                error_count=len(errors),
-                failed=True,
-            )
-        rows = self.importer.import_table(table, hostname, binding.parser_name)
-        return TransformOutcome(
-            source=path,
-            table_name=table.name,
-            rows_loaded=rows,
-            columns=len(table.columns),
-            parser_name=binding.parser_name,
-            xml_artifact=xml_artifact,
-            csv_artifact=csv_artifact,
-            error_count=len(errors),
-        )
+        telemetry = self.telemetry
+        telemetry.ingest(spans)
+        import_spans: list[SpanData] = []
+        outcome: TransformOutcome
+        with telemetry.probe().span(
+            import_spans, "import", hostname, str(path), parent="file"
+        ) as span:
+            for error in errors:
+                self.db.record_ingest_error(
+                    error.path,
+                    error.line_number,
+                    error.parser,
+                    error.reason,
+                    error.excerpt,
+                )
+            span.add(errors=len(errors))
+            if table is None:
+                outcome = TransformOutcome(
+                    source=path,
+                    table_name="",
+                    rows_loaded=0,
+                    columns=0,
+                    parser_name=binding.parser_name,
+                    xml_artifact=None,
+                    csv_artifact=None,
+                    error_count=len(errors),
+                    failed=True,
+                )
+            else:
+                rows = self.importer.import_table(
+                    table, hostname, binding.parser_name, span=span
+                )
+                outcome = TransformOutcome(
+                    source=path,
+                    table_name=table.name,
+                    rows_loaded=rows,
+                    columns=len(table.columns),
+                    parser_name=binding.parser_name,
+                    xml_artifact=xml_artifact,
+                    csv_artifact=csv_artifact,
+                    error_count=len(errors),
+                )
+        telemetry.ingest(import_spans)
+        return outcome
 
     def transform_file(self, path: Path | str, hostname: str) -> TransformOutcome:
         """Run the full pipeline on one log file (in-process)."""
         path = Path(path)
-        binding = self.declaration.resolve(path)
-        table, xml_artifact, csv_artifact, errors = _parse_convert(
-            path, hostname, binding, self.workdir, self.policy
+        telemetry = self.telemetry
+        resolve_spans: list[SpanData] = []
+        with telemetry.probe().span(
+            resolve_spans, "resolve", hostname, str(path)
+        ) as span:
+            binding = self.declaration.resolve(path)
+            span.add(records=1)
+        telemetry.ingest(resolve_spans)
+        table, xml_artifact, csv_artifact, errors, spans = _parse_convert(
+            path, hostname, binding, self.workdir, self.policy,
+            telemetry.probe(),
         )
         return self._import_result(
-            path, binding, table, hostname, xml_artifact, csv_artifact, errors
+            path, binding, table, hostname, xml_artifact, csv_artifact,
+            errors, spans,
         )
 
     def _resolve_jobs(self, jobs: int | None, tasks: int) -> int:
@@ -297,35 +379,66 @@ class MScopeDataTransformer:
         root = Path(root)
         if not root.is_dir():
             raise DeclarationError(f"log directory {root} does not exist")
+        telemetry = self.telemetry
+        telemetry.start_run()
+        resolve_spans: list[SpanData] = []
         work: list[tuple[Path, str, ParserBinding]] = []
-        for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
-            for log_file in sorted(host_dir.glob("*.log")):
-                binding = self.declaration.try_resolve(log_file)
-                if binding is None:
-                    continue
-                work.append((log_file, host_dir.name, binding))
+        with telemetry.probe().span(resolve_spans, "resolve") as span:
+            for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+                for log_file in sorted(host_dir.glob("*.log")):
+                    binding = self.declaration.try_resolve(log_file)
+                    if binding is None:
+                        continue
+                    work.append((log_file, host_dir.name, binding))
+            span.add(records=len(work))
+        telemetry.ingest(resolve_spans)
 
         jobs = self._resolve_jobs(jobs, len(work))
         if jobs <= 1:
             outcomes: list[TransformOutcome] = []
+            probe = telemetry.probe()
             for path, host, binding in work:
-                table, xml_artifact, csv_artifact, errors = _parse_convert(
-                    path, host, binding, self.workdir, self.policy
+                table, xml_artifact, csv_artifact, errors, spans = (
+                    _parse_convert(
+                        path, host, binding, self.workdir, self.policy, probe
+                    )
                 )
                 outcomes.append(
                     self._import_result(
                         path, binding, table, host, xml_artifact, csv_artifact,
-                        errors,
+                        errors, spans,
                     )
                 )
-            return outcomes
-        return self._transform_parallel(work, jobs)
+        else:
+            outcomes = self._transform_parallel(work, jobs)
+        self._finish_run(outcomes)
+        return outcomes
+
+    def _finish_run(self, outcomes: list[TransformOutcome]) -> None:
+        """Close the run span and persist the run's telemetry."""
+        telemetry = self.telemetry
+        wall_ns = telemetry.finish_run()
+        if not telemetry.enabled:
+            return
+        telemetry.ingest(
+            [
+                SpanData(
+                    stage="run",
+                    duration_ns=wall_ns,
+                    records=sum(o.rows_loaded for o in outcomes),
+                    errors=sum(o.error_count for o in outcomes),
+                )
+            ]
+        )
+        telemetry.persist(self.db)
 
     def _transform_parallel(
         self, work: list[tuple[Path, str, ParserBinding]], jobs: int
     ) -> list[TransformOutcome]:
         outcomes: list[TransformOutcome] = []
         workdir_str = str(self.workdir) if self.workdir is not None else None
+        telemetry = self.telemetry
+        probe = telemetry.probe()
         with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(
@@ -335,16 +448,27 @@ class MScopeDataTransformer:
                     binding,
                     workdir_str,
                     self.policy,
+                    probe,
                 )
                 for path, host, binding in work
             ]
             try:
-                for (path, host, binding), future in zip(work, futures):
-                    table, xml_artifact, csv_artifact, errors = future.result()
+                for index, ((path, host, binding), future) in enumerate(
+                    zip(work, futures)
+                ):
+                    if telemetry.enabled:
+                        # Depth of the single-writer drain queue: tasks
+                        # already finished but not yet imported.
+                        telemetry.record_queue_depth(
+                            sum(1 for f in futures[index:] if f.done())
+                        )
+                    table, xml_artifact, csv_artifact, errors, spans = (
+                        future.result()
+                    )
                     outcomes.append(
                         self._import_result(
                             path, binding, table, host, xml_artifact,
-                            csv_artifact, errors,
+                            csv_artifact, errors, spans,
                         )
                     )
             except BaseException:

@@ -29,8 +29,11 @@ from repro.common.errors import QueryError, WarehouseError
 __all__ = ["MScopeDB", "STATIC_TABLES", "quote_identifier"]
 
 #: The four static metadata tables (Section III-C), plus the internal
-#: schema catalog backing dynamic-column type widening and the ingest
-#: error ledger populated by lenient error policies.
+#: schema catalog backing dynamic-column type widening, the ingest
+#: error ledger populated by lenient error policies, and the pipeline
+#: telemetry tables (created lazily — only a telemetry-enabled
+#: transform materializes them, so telemetry-off warehouses stay
+#: byte-identical to pre-telemetry ones).
 STATIC_TABLES = (
     "experiment_meta",
     "host_config",
@@ -38,6 +41,8 @@ STATIC_TABLES = (
     "load_catalog",
     "schema_catalog",
     "ingest_errors",
+    "pipeline_metrics",
+    "pipeline_workers",
 )
 
 #: Rows per ``executemany`` batch during bulk inserts.
@@ -296,6 +301,98 @@ class MScopeDB:
         return self._require_conn().execute(
             "SELECT COUNT(*) FROM ingest_errors"
         ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # pipeline telemetry
+
+    def _ensure_telemetry_tables(self) -> None:
+        """Create the telemetry tables on first use (lazily).
+
+        Deliberately *not* part of :meth:`_create_static_tables`: a
+        warehouse loaded with telemetry off must dump byte-identically
+        to one from before the telemetry layer existed.
+        """
+        conn = self._require_conn()
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS pipeline_metrics (
+                seq INTEGER PRIMARY KEY,
+                stage TEXT NOT NULL,
+                hostname TEXT NOT NULL,
+                source_path TEXT NOT NULL,
+                records INTEGER NOT NULL,
+                bytes INTEGER NOT NULL,
+                errors INTEGER NOT NULL,
+                duration_us INTEGER NOT NULL
+            );
+            CREATE TABLE IF NOT EXISTS pipeline_workers (
+                worker TEXT PRIMARY KEY,
+                spans INTEGER NOT NULL,
+                busy_us INTEGER NOT NULL,
+                utilization REAL NOT NULL
+            );
+            """
+        )
+
+    def replace_pipeline_metrics(
+        self, rows: Iterable[Sequence[Any]]
+    ) -> int:
+        """Replace the persisted span rows with one run's telemetry.
+
+        ``rows`` are ``(stage, hostname, source_path, records, bytes,
+        errors, duration_us)`` tuples **in single-writer drain order**
+        — the sequence number is assigned here, so row order in the
+        warehouse always mirrors ingest order.  Returns the row count.
+        """
+        self._ensure_telemetry_tables()
+        conn = self._require_conn()
+        conn.execute("DELETE FROM pipeline_metrics")
+        numbered = [(seq, *row) for seq, row in enumerate(rows)]
+        conn.executemany(
+            "INSERT INTO pipeline_metrics VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            numbered,
+        )
+        self._commit()
+        return len(numbered)
+
+    def replace_pipeline_workers(
+        self, rows: Iterable[Sequence[Any]]
+    ) -> int:
+        """Replace the per-worker rollup: ``(worker, spans, busy_us,
+        utilization)`` rows."""
+        self._ensure_telemetry_tables()
+        conn = self._require_conn()
+        conn.execute("DELETE FROM pipeline_workers")
+        cursor = conn.executemany(
+            "INSERT INTO pipeline_workers VALUES (?, ?, ?, ?)", rows
+        )
+        inserted = cursor.rowcount
+        self._commit()
+        return inserted
+
+    def has_pipeline_metrics(self) -> bool:
+        """Whether this warehouse holds persisted pipeline telemetry."""
+        return "pipeline_metrics" in self.tables()
+
+    def pipeline_metrics(self) -> list[tuple]:
+        """``(stage, hostname, source_path, records, bytes, errors,
+        duration_us)`` rows in drain order (empty when telemetry was
+        off)."""
+        if not self.has_pipeline_metrics():
+            return []
+        return self._require_conn().execute(
+            "SELECT stage, hostname, source_path, records, bytes, errors, "
+            "duration_us FROM pipeline_metrics ORDER BY seq"
+        ).fetchall()
+
+    def pipeline_workers(self) -> list[tuple]:
+        """``(worker, spans, busy_us, utilization)`` rollup rows."""
+        if "pipeline_workers" not in self.tables():
+            return []
+        return self._require_conn().execute(
+            "SELECT worker, spans, busy_us, utilization "
+            "FROM pipeline_workers ORDER BY worker"
+        ).fetchall()
 
     # ------------------------------------------------------------------
     # dynamic tables

@@ -212,6 +212,23 @@ class WarehouseExplorer:
         ]
 
     # ------------------------------------------------------------------
+    # pipeline telemetry
+
+    def pipeline_metrics(self):
+        """The telemetry the loading pipeline persisted, aggregated.
+
+        Returns a :class:`~repro.telemetry.aggregate.RunTelemetry`
+        (per-stage latency histograms, per-worker utilization) rebuilt
+        from the ``pipeline_metrics`` / ``pipeline_workers`` tables,
+        or ``None`` when the transform ran with telemetry off.  Render
+        it with :func:`repro.telemetry.export.render_json` /
+        ``render_prometheus`` / ``render_text``.
+        """
+        from repro.telemetry.aggregate import RunTelemetry
+
+        return RunTelemetry.from_db(self.db)
+
+    # ------------------------------------------------------------------
     # metrics
 
     def metric_timeline(

@@ -1,0 +1,24 @@
+"""Repo-wide pytest plumbing.
+
+``--update-golden`` rewrites the committed golden-trace files instead
+of comparing against them — the one-command workflow after a deliberate
+pipeline-shape change (see tests/integration/test_golden_trace.py).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden trace files from the current pipeline "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether this run should rewrite golden files."""
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,81 @@
+"""Golden-trace regression test for the transformation pipeline.
+
+The checked-in logs under ``tests/golden/logs`` are a frozen miniature
+of a scenario-A run (every declared monitor format, four hosts, files
+truncated to a couple dozen lines).  Running the full pipeline over
+them must produce exactly the span tree committed in
+``tests/golden/trace.json`` — stage names, nesting, and per-stage
+record counts.  Any change to what the pipeline *does* (a stage added
+or dropped, a parser suddenly eating records, resolve picking up a
+different file set) shows up as a tree diff here before it shows up in
+production data.
+
+Durations are deliberately absent from the tree, so the golden file is
+machine-independent.  After a deliberate pipeline-shape change, rewrite
+it with::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_trace.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+from repro.telemetry.aggregate import span_tree
+from repro.telemetry.spans import TelemetryCollector, zero_clock
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+GOLDEN_LOGS = GOLDEN_DIR / "logs"
+GOLDEN_TRACE = GOLDEN_DIR / "trace.json"
+
+
+def _trace(jobs: int = 1) -> dict:
+    """Run the full pipeline over the golden logs; return its span tree."""
+    collector = TelemetryCollector(clock=zero_clock)
+    db = MScopeDB()
+    transformer = MScopeDataTransformer(db, telemetry=collector)
+    outcomes = transformer.transform_directory(GOLDEN_LOGS, jobs=jobs)
+    assert outcomes, "golden logs resolved to no files"
+    return span_tree(collector.spans)
+
+
+def test_golden_trace_matches_committed_tree(update_golden):
+    tree = _trace()
+    if update_golden:
+        GOLDEN_TRACE.write_text(json.dumps(tree, indent=1) + "\n")
+        return
+    assert GOLDEN_TRACE.exists(), (
+        "no golden trace committed — generate one with --update-golden"
+    )
+    golden = json.loads(GOLDEN_TRACE.read_text())
+    assert tree == golden, (
+        "pipeline span tree diverged from tests/golden/trace.json; "
+        "if the change is intentional, rerun with --update-golden"
+    )
+
+
+def test_golden_trace_parallel_matches_serial():
+    # The single-writer drains in deterministic (host, file) order, so
+    # the span tree must be fan-out-invariant.
+    assert _trace(jobs=4) == _trace(jobs=1)
+
+
+def test_golden_tree_totals_are_consistent():
+    tree = _trace()
+    files = [n for n in tree["children"] if n["stage"] == "file"]
+    assert len(files) == 16
+    parse_total = sum(
+        child["records"]
+        for node in files
+        for child in node["children"]
+        if child["stage"] == "parse"
+    )
+    assert tree["records"] == parse_total > 0
+    # Every file ran the full parse -> convert -> import chain.
+    for node in files:
+        assert [c["stage"] for c in node["children"]] == [
+            "parse",
+            "convert",
+            "import",
+        ]

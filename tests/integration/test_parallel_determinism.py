@@ -7,15 +7,17 @@ same schemas, same rows, same catalog entries.  ``iterdump`` compares
 all of it at once.
 """
 
+from repro.telemetry.spans import TelemetryCollector, zero_clock
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
 
 
-def _transform(log_dir, jobs, workdir=None):
+def _transform(log_dir, jobs, workdir=None, telemetry=None):
     db = MScopeDB()
-    outcomes = MScopeDataTransformer(db, workdir=workdir).transform_directory(
-        log_dir, jobs=jobs
+    transformer = MScopeDataTransformer(
+        db, workdir=workdir, telemetry=telemetry
     )
+    outcomes = transformer.transform_directory(log_dir, jobs=jobs)
     return db, outcomes
 
 
@@ -50,3 +52,69 @@ def test_artifact_free_run_matches_artifact_run(scenario_a_run, tmp_path):
         scenario_a_run.log_dir, jobs=4, workdir=tmp_path / "work"
     )
     assert bare_db.iterdump() == artifact_db.iterdump()
+
+
+def _dump_sans_worker_rollup(db):
+    """The full dump minus ``pipeline_workers`` rows.
+
+    Worker *assignment* is the scheduler's choice, so the per-worker
+    rollup table is run-specific by design; everything else — the
+    per-span ``pipeline_metrics`` rows included — must be identical.
+    """
+    return [
+        line
+        for line in db.iterdump()
+        if "pipeline_workers" not in line.split("(", 1)[0]
+    ]
+
+
+def test_telemetry_keeps_parallel_iterdump_identical(scenario_a_run):
+    """With the deterministic zero clock, a telemetry-on jobs=4 run
+    dumps byte-identical to serial — pipeline_metrics rows included.
+
+    Durations are the only nondeterministic field in pipeline_metrics,
+    so pinning the clock pins the whole dump (minus the documented
+    run-specific worker rollup).
+    """
+    serial_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=1,
+        telemetry=TelemetryCollector(clock=zero_clock),
+    )
+    parallel_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=4,
+        telemetry=TelemetryCollector(clock=zero_clock),
+    )
+    assert serial_db.has_pipeline_metrics()
+    assert serial_db.pipeline_metrics()  # rows actually landed
+    assert serial_db.pipeline_metrics() == parallel_db.pipeline_metrics()
+    assert _dump_sans_worker_rollup(serial_db) == _dump_sans_worker_rollup(
+        parallel_db
+    )
+
+
+def test_real_clock_telemetry_rows_match_modulo_duration(scenario_a_run):
+    """Even with the real clock, everything but the measured duration
+    is identical between serial and parallel pipeline_metrics."""
+    serial_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=1, telemetry=TelemetryCollector()
+    )
+    parallel_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=4, telemetry=TelemetryCollector()
+    )
+
+    def sans_duration(db):
+        return [row[:-1] for row in db.pipeline_metrics()]
+
+    assert sans_duration(serial_db) == sans_duration(parallel_db)
+
+
+def test_telemetry_off_run_is_byte_identical_to_pre_telemetry(scenario_a_run):
+    """The default no-op sink leaves no trace: no telemetry tables, and
+    the dump matches a run with no telemetry argument at all."""
+    default_db, _ = _transform(scenario_a_run.log_dir, jobs=1)
+    explicit_off_db, _ = _transform(
+        scenario_a_run.log_dir, jobs=4, telemetry=None
+    )
+    assert "pipeline_metrics" not in default_db.tables()
+    assert "pipeline_workers" not in default_db.tables()
+    assert default_db.iterdump() == explicit_off_db.iterdump()

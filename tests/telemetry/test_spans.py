@@ -1,0 +1,149 @@
+"""Unit tests of the span measurement layer and the collector."""
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.telemetry.spans import (
+    MAIN_WORKER,
+    NULL_PROBE,
+    NULL_TELEMETRY,
+    SpanData,
+    SpanProbe,
+    TelemetryCollector,
+    zero_clock,
+)
+from repro.warehouse.db import MScopeDB
+
+
+def ticking_clock(values):
+    """A clock replaying a fixed sequence of nanosecond readings."""
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+def test_span_measures_duration_and_attribution():
+    out = []
+    probe = SpanProbe(clock=ticking_clock([100, 350]))
+    with probe.span(out, "parse", "web1", "/x/access.log", parent="file") as s:
+        s.add(records=7, bytes=1024)
+        s.add(errors=2)
+    (span,) = out
+    assert span == SpanData(
+        stage="parse",
+        hostname="web1",
+        source_path="/x/access.log",
+        parent="file",
+        start_ns=100,
+        duration_ns=250,
+        records=7,
+        bytes=1024,
+        errors=2,
+    )
+
+
+def test_span_closes_on_exception():
+    out = []
+    probe = SpanProbe(clock=ticking_clock([1, 2]))
+    with pytest.raises(RuntimeError):
+        with probe.span(out, "convert"):
+            raise RuntimeError("stage blew up")
+    assert len(out) == 1 and out[0].stage == "convert"
+
+
+@given(st.integers(0, 2**40), st.integers(0, 2**40))
+def test_duration_never_negative_even_with_misbehaving_clock(start, end):
+    """Property: a backwards-jumping injected clock still yields a
+    non-negative duration (the aggregation layer relies on it)."""
+    out = []
+    probe = SpanProbe(clock=ticking_clock([start, end]))
+    with probe.span(out, "parse"):
+        pass
+    assert out[0].duration_ns == max(0, end - start)
+    assert out[0].duration_ns >= 0
+
+
+def test_disabled_probe_never_touches_clock_or_output():
+    def exploding_clock():
+        raise AssertionError("disabled probe called the clock")
+
+    out = []
+    probe = SpanProbe(enabled=False, clock=exploding_clock)
+    with probe.span(out, "parse") as span:
+        span.add(records=10)
+    assert out == []
+    assert NULL_PROBE.span(out, "x") is probe.span(out, "y")
+
+
+def test_relabel_preserves_clock_and_enabled():
+    probe = SpanProbe(clock=zero_clock).relabel("pid-42")
+    assert probe.worker == "pid-42"
+    assert probe.clock is zero_clock
+    assert NULL_PROBE.relabel("pid-1").enabled is False
+
+
+def test_probe_with_module_level_clock_pickles():
+    # Workers receive their probe through ProcessPoolExecutor.
+    probe = SpanProbe(clock=zero_clock, worker="pid-9")
+    clone = pickle.loads(pickle.dumps(probe))
+    assert clone == probe
+
+
+def test_collector_wall_time_accumulates_across_runs():
+    collector = TelemetryCollector(clock=ticking_clock([10, 30, 100, 150]))
+    collector.start_run()
+    assert collector.finish_run() == 20
+    collector.start_run()
+    assert collector.finish_run() == 50
+    assert collector.wall_ns == 70
+    assert collector.finish_run() == 0  # no run in flight
+
+
+def test_collector_ingests_in_call_order_and_aggregates():
+    collector = TelemetryCollector(clock=zero_clock)
+    collector.ingest([SpanData(stage="parse", records=3, worker="pid-7")])
+    collector.ingest((SpanData(stage="import", records=3),))
+    collector.record_queue_depth(2)
+    telemetry = collector.run_telemetry()
+    assert [s.stage for s in collector.spans] == ["parse", "import"]
+    assert telemetry.stages["parse"].records == 3
+    assert sorted(telemetry.workers) == ["main", "w0"]
+    assert telemetry.queue_depth == [(0, 2)]
+
+
+def test_persist_round_trips_through_warehouse():
+    collector = TelemetryCollector(clock=zero_clock)
+    collector.start_run()
+    collector.ingest(
+        [
+            SpanData(stage="parse", hostname="web1", source_path="a.log",
+                     records=5, bytes=100),
+            SpanData(stage="import", hostname="web1", source_path="a.log",
+                     records=5),
+        ]
+    )
+    collector.finish_run()
+    db = MScopeDB()
+    collector.persist(db)
+    assert db.has_pipeline_metrics()
+    rows = db.pipeline_metrics()
+    assert [(r[0], r[3]) for r in rows] == [("parse", 5), ("import", 5)]
+    workers = db.pipeline_workers()
+    assert [w[0] for w in workers] == [MAIN_WORKER]
+    # Re-persisting replaces, not appends.
+    collector.persist(db)
+    assert len(db.pipeline_metrics()) == 2
+
+
+def test_null_telemetry_is_inert():
+    db = MScopeDB()
+    NULL_TELEMETRY.start_run()
+    NULL_TELEMETRY.ingest([SpanData(stage="parse")])
+    NULL_TELEMETRY.record_queue_depth(5)
+    assert NULL_TELEMETRY.finish_run() == 0
+    NULL_TELEMETRY.persist(db)
+    assert NULL_TELEMETRY.spans == []
+    assert NULL_TELEMETRY.probe() is NULL_PROBE
+    assert not NULL_TELEMETRY.enabled
+    assert "pipeline_metrics" not in db.tables()

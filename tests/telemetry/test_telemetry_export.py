@@ -1,0 +1,73 @@
+"""Unit tests of the three telemetry renderers."""
+
+import json
+
+from repro.telemetry.aggregate import RunTelemetry
+from repro.telemetry.export import render_json, render_prometheus, render_text
+from repro.telemetry.spans import SpanData
+
+
+def _telemetry():
+    spans = [
+        SpanData(stage="resolve", records=2, duration_ns=5_000),
+        SpanData(stage="parse", hostname="web1", source_path="a.log",
+                 records=10, bytes=2_000, duration_ns=1_500_000),
+        SpanData(stage="parse", hostname="db1", source_path="b.log",
+                 records=4, errors=1, duration_ns=2_500_000,
+                 worker="pid-11"),
+        SpanData(stage="import", hostname="web1", source_path="a.log",
+                 records=10, duration_ns=700_000),
+        SpanData(stage="run", records=14, duration_ns=10_000_000),
+    ]
+    return RunTelemetry.from_spans(
+        spans, queue_depth=[(1_000, 1), (2_000, 3)], wall_ns=10_000_000
+    )
+
+
+def test_render_json_round_trips():
+    data = json.loads(render_json(_telemetry()))
+    assert data["files"] == 2
+    assert data["records"] == 14
+    assert data["errors"] == 1
+    assert {s["stage"] for s in data["stages"]} == {
+        "resolve", "parse", "import", "run",
+    }
+    parse = next(s for s in data["stages"] if s["stage"] == "parse")
+    assert parse["latency"]["count"] == 2
+    assert parse["latency"]["p50_us"] <= parse["latency"]["p99_us"]
+    assert data["queue_depth"] == [
+        {"t_us": 1, "depth": 1},
+        {"t_us": 2, "depth": 3},
+    ]
+
+
+def test_render_prometheus_exposition_shape():
+    text = render_prometheus(_telemetry())
+    assert "# TYPE mscope_pipeline_stage_duration_seconds summary" in text
+    assert 'mscope_pipeline_stage_duration_seconds{stage="parse",quantile="0.5"}' in text
+    assert 'mscope_pipeline_stage_duration_seconds_count{stage="parse"} 2' in text
+    assert 'mscope_pipeline_stage_records_total{stage="parse"} 14' in text
+    assert 'mscope_pipeline_stage_errors_total{stage="parse"} 1' in text
+    assert 'mscope_pipeline_worker_utilization{worker="main"}' in text
+    assert 'mscope_pipeline_worker_utilization{worker="w0"}' in text
+    assert "mscope_pipeline_drain_queue_depth 3" in text
+    assert "mscope_pipeline_run_wall_seconds 0.010000" in text
+    # Exposition format: every non-comment line is "name{labels} value".
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name and float(value) >= 0
+
+
+def test_render_text_table():
+    text = render_text(_telemetry())
+    assert "pipeline run: 2 files, 14 records, 1 errors" in text
+    assert "parse" in text and "import" in text
+    assert "worker" in text and "main" in text and "w0" in text
+    assert "peak depth 3" in text
+
+
+def test_render_text_handles_empty_run():
+    text = render_text(RunTelemetry.from_spans([]))
+    assert "0 files, 0 records" in text

@@ -146,3 +146,65 @@ def test_transform_fail_fast_is_the_default(tmp_path):
                 str(tmp_path / "m.db"),
             ]
         )
+
+
+def test_transform_records_telemetry_and_stats_renders(tmp_path, capsys):
+    out = tmp_path / "out"
+    main(["run", "--scenario", "a", "--duration", "2", "--out", str(out)])
+    db_path = out / "m.db"
+    stats_json = out / "stats.json"
+    code = main(
+        [
+            "transform",
+            "--logs", str(out / "logs"),
+            "--db", str(db_path),
+            "--stats-json", str(stats_json),
+        ]
+    )
+    assert code == 0
+    summary = capsys.readouterr().out
+    assert "telemetry:" in summary and "mscope stats" in summary
+
+    exported = json.loads(stats_json.read_text())
+    assert exported["files"] == 16
+    assert {s["stage"] for s in exported["stages"]} >= {
+        "resolve", "parse", "convert", "import", "run",
+    }
+
+    with MScopeDB(db_path) as db:
+        assert db.has_pipeline_metrics()
+
+    # Text rendering: per-stage latency percentiles + worker table.
+    code = main(["stats", "--db", str(db_path)])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "p50" in text and "p99" in text
+    assert "parse" in text and "main" in text
+
+    # JSON and Prometheus renderings of the same warehouse.
+    assert main(["stats", "--db", str(db_path), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["files"] == 16
+    assert main(["stats", "--db", str(db_path), "--format", "prom"]) == 0
+    assert "mscope_pipeline_stage_duration_seconds" in capsys.readouterr().out
+
+
+def test_transform_no_stats_leaves_no_telemetry(tmp_path, capsys):
+    out = tmp_path / "out"
+    main(["run", "--scenario", "a", "--duration", "2", "--out", str(out)])
+    db_path = out / "m.db"
+    code = main(
+        [
+            "transform",
+            "--logs", str(out / "logs"),
+            "--db", str(db_path),
+            "--no-stats",
+        ]
+    )
+    assert code == 0
+    assert "telemetry:" not in capsys.readouterr().out
+    with MScopeDB(db_path) as db:
+        assert not db.has_pipeline_metrics()
+
+    # stats on a telemetry-free warehouse explains itself and fails.
+    assert main(["stats", "--db", str(db_path)]) == 1
+    assert "no pipeline telemetry" in capsys.readouterr().out

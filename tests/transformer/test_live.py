@@ -199,3 +199,68 @@ def test_live_matches_batch_load(log_dir):
         "ORDER BY upstream_arrival_us"
     )
     assert live_rows == batch_rows
+
+
+# ----------------------------------------------------------------------
+# telemetry: refresh spans and the heartbeat stream
+
+
+def test_refresh_records_spans_and_heartbeat(log_dir):
+    from repro.telemetry.spans import TelemetryCollector, zero_clock
+
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(i) for i in range(4)])
+    beats = []
+    ticks = iter([100.0, 102.0, 110.0, 110.5])
+    live = LiveTransformer(
+        MScopeDB(),
+        telemetry=TelemetryCollector(clock=zero_clock),
+        clock=lambda: next(ticks),
+        on_heartbeat=beats.append,
+    )
+
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.new_rows == 4
+
+    stages = [s.stage for s in live.telemetry.spans]
+    assert stages == ["refresh_file", "refresh"]
+    refresh = live.telemetry.spans[-1]
+    assert refresh.records == 4 and refresh.errors == 0
+    file_span = live.telemetry.spans[0]
+    assert file_span.hostname == "db1"
+    assert file_span.records == 4
+
+    # First cycle took 2s (clock 100 -> 102): 4 rows over one file.
+    (beat,) = beats
+    assert beat is live.heartbeat()
+    assert beat.refreshes == 1
+    assert beat.new_rows == 4
+    assert beat.lag_s == pytest.approx(2.0)
+    assert beat.files_per_sec == pytest.approx(0.5)
+    assert beat.rows_per_sec == pytest.approx(2.0)
+    assert beat.last_error is None
+
+    # Second, growth-free cycle (clock 110 -> 110.5) streams a fresh beat.
+    live.refresh_directory(log_dir)
+    assert len(beats) == 2
+    assert beats[-1].refreshes == 2
+    assert beats[-1].new_rows == 0
+
+
+def test_heartbeat_carries_last_error(log_dir):
+    from repro.transformer.errorpolicy import ErrorPolicy
+
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(0), "170301 10:00:00\tQuery\tbroken"])
+    live = LiveTransformer(
+        MScopeDB(), policy=ErrorPolicy(mode="skip"), clock=lambda: 0.0
+    )
+    live.refresh_directory(log_dir)
+    beat = live.heartbeat()
+    assert beat is not None
+    assert beat.last_error is not None
+
+
+def test_heartbeat_none_before_any_cycle(log_dir):
+    live = LiveTransformer(MScopeDB())
+    assert live.heartbeat() is None

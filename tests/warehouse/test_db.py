@@ -6,11 +6,32 @@ from repro.common.errors import QueryError, WarehouseError
 from repro.warehouse.db import MScopeDB, STATIC_TABLES, quote_identifier
 
 
+#: Static by classification, but created only on first telemetry
+#: persist — a telemetry-off warehouse must stay byte-identical to a
+#: pre-telemetry one.
+_LAZY_STATIC = ("pipeline_metrics", "pipeline_workers")
+
+
 def test_static_tables_exist_on_creation():
     db = MScopeDB()
     for table in STATIC_TABLES:
-        assert table in db.tables()
+        if table in _LAZY_STATIC:
+            assert table not in db.tables()
+        else:
+            assert table in db.tables()
     assert db.dynamic_tables() == []
+
+
+def test_telemetry_tables_are_static_once_created():
+    from repro.telemetry.spans import SpanData, TelemetryCollector, zero_clock
+
+    db = MScopeDB()
+    collector = TelemetryCollector(clock=zero_clock)
+    collector.ingest([SpanData(stage="parse", records=1)])
+    collector.persist(db)
+    for table in _LAZY_STATIC:
+        assert table in db.tables()
+        assert table not in db.dynamic_tables()
 
 
 def test_experiment_meta_round_trip():
