@@ -29,11 +29,13 @@ from repro.analysis.anomaly import (
     cluster_anomaly_windows,
     detect_vlrt,
 )
+from repro.analysis.cache import SeriesCache
 from repro.analysis.causal import (
     CausalHop,
     CausalPath,
     DEFAULT_EVENT_TABLES,
     reconstruct_path,
+    reconstruct_paths_bulk,
 )
 from repro.analysis.diagnosis import (
     Diagnoser,
@@ -43,6 +45,7 @@ from repro.analysis.diagnosis import (
 )
 from repro.analysis.metrics import MetricCandidate, discover_candidates, metric_series
 from repro.analysis.queues import (
+    concurrency_from_sorted,
     concurrency_series,
     spans_from_traces,
     spans_from_warehouse,
@@ -86,6 +89,7 @@ __all__ = [
     "QueueFinding",
     "RootCause",
     "Series",
+    "SeriesCache",
     "SkewEstimate",
     "VlrtRequest",
     "estimate_pairwise_offset",
@@ -93,6 +97,7 @@ __all__ = [
     "cluster_anomaly_windows",
     "completions_from_traces",
     "completions_from_warehouse",
+    "concurrency_from_sorted",
     "concurrency_series",
     "detect_vlrt",
     "discover_candidates",
@@ -101,6 +106,7 @@ __all__ = [
     "percentile_windows",
     "point_in_time_response_times",
     "reconstruct_path",
+    "reconstruct_paths_bulk",
     "request_breakdown_ms",
     "sampled_average_response_times",
     "spans_from_traces",

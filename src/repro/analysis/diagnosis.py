@@ -16,14 +16,15 @@ two illustrative scenarios:
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
 from repro.analysis.anomaly import (
     AnomalyWindow,
     cluster_anomaly_windows,
     detect_vlrt,
 )
-from repro.analysis.metrics import MetricCandidate, discover_candidates, metric_series
-from repro.analysis.queues import tier_queue_lengths
+from repro.analysis.cache import SeriesCache
+from repro.analysis.metrics import MetricCandidate, discover_candidates
 from repro.analysis.response_time import (
     CompletionSample,
     completions_from_warehouse,
@@ -31,6 +32,7 @@ from repro.analysis.response_time import (
 from repro.analysis.series import Series, pearson_correlation
 from repro.common.errors import AnalysisError
 from repro.common.timebase import Micros, ms
+from repro.telemetry.spans import NULL_TELEMETRY, SpanData, TelemetryCollector
 from repro.warehouse.db import MScopeDB
 
 __all__ = ["QueueFinding", "RootCause", "DiagnosisReport", "Diagnoser"]
@@ -134,8 +136,58 @@ class DiagnosisReport:
         return "\n".join(lines)
 
 
+@dataclasses.dataclass(slots=True)
+class _InteractionInputs:
+    """Window-independent inputs of the interaction-skew analysis.
+
+    The old engine re-ran :func:`detect_vlrt` (an O(n log n) sort of
+    every completion) plus two full passes over the completions *per
+    anomaly window*; everything here depends only on the run's
+    completions, so it is computed once and shared by every window —
+    and by every pool worker, which rebuilds it in its initializer.
+    """
+
+    completions: list[CompletionSample]
+    #: VLRTs at the *default* thresholds (the skew analysis always
+    #: used defaults, regardless of the run's detection parameters).
+    vlrts: list  # list[VlrtRequest]
+    #: interaction → total completions carrying that interaction.
+    totals: dict[str, int]
+    #: VLRT request id → {interaction: sample count} (multi-sample ids
+    #: kept so the per-window counts match the old full-pass exactly;
+    #: only VLRT ids, since no window ever consults the rest).
+    id_counts: dict[str, dict[str, int]]
+
+
+def _interaction_inputs(
+    completions: list[CompletionSample],
+) -> _InteractionInputs:
+    vlrts = detect_vlrt(completions)
+    vlrt_ids = {v.request_id for v in vlrts}
+    totals: dict[str, int] = {}
+    id_counts: dict[str, dict[str, int]] = {}
+    for sample in completions:
+        if not sample.interaction:
+            continue
+        totals[sample.interaction] = totals.get(sample.interaction, 0) + 1
+        if sample.request_id in vlrt_ids:
+            per_id = id_counts.setdefault(sample.request_id, {})
+            per_id[sample.interaction] = per_id.get(sample.interaction, 0) + 1
+    return _InteractionInputs(
+        completions=completions,
+        vlrts=vlrts,
+        totals=totals,
+        id_counts=id_counts,
+    )
+
+
 class Diagnoser:
     """Diagnoses VSBs from a populated mScopeDB.
+
+    The bulk analysis engine: every warehouse table a diagnosis needs
+    is read once per run into a :class:`SeriesCache`, and each anomaly
+    window is served by ``searchsorted`` slices of the cached columns
+    — the scalar per-window N+1 query pattern is gone.
 
     Parameters
     ----------
@@ -150,6 +202,16 @@ class Diagnoser:
     epoch_us:
         Epoch offset rebasing warehouse wall timestamps onto
         simulation time zero.
+    telemetry:
+        Optional :class:`TelemetryCollector`; the engine then measures
+        ``analysis.*`` stage spans (ingested in deterministic order)
+        that ``mscope stats`` renders next to the ingest stages.
+    jobs:
+        Fan independent anomaly windows across this many worker
+        processes (requires a file-backed warehouse).  Reports merge
+        back in window order, so the output is identical to a serial
+        run — the same guarantee style as the parallel transformer.
+        ``None``/``1`` diagnoses in-process.
     """
 
     #: A metric is "saturated" above this value (percent).
@@ -169,6 +231,8 @@ class Diagnoser:
         tier_tables: dict[str, str] | None = None,
         front_table: str = "apache_events_web1",
         epoch_us: int = 0,
+        telemetry: TelemetryCollector | None = None,
+        jobs: int | None = None,
     ) -> None:
         from repro.analysis.causal import DEFAULT_EVENT_TABLES
 
@@ -188,6 +252,24 @@ class Diagnoser:
             raise AnalysisError("no tier event tables found in the warehouse")
         self.front_table = front_table
         self.epoch_us = epoch_us
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.jobs = jobs
+        # Tier-table schemas resolve once, here; per-window code never
+        # touches the catalog again.
+        self.tier_columns: dict[str, set[str]] = {
+            table: {name for name, _ in db.table_schema(table)}
+            for table in self.tier_tables.values()
+        }
+        for table, columns in self.tier_columns.items():
+            if "upstream_arrival_us" not in columns:
+                raise AnalysisError(
+                    f"tier table {table!r} has no upstream_arrival_us column"
+                )
+        self._probe = self.telemetry.probe()
+        self._spans: list[SpanData] = []
+        self.cache = SeriesCache(
+            db, epoch_us=epoch_us, probe=self._probe, spans=self._spans
+        )
 
     # ------------------------------------------------------------------
 
@@ -198,26 +280,95 @@ class Diagnoser:
         queue_step_us: Micros = ms(10),
     ) -> list[DiagnosisReport]:
         """Run the full pipeline; one report per anomaly window."""
-        completions = completions_from_warehouse(
-            self.db, self.front_table, self.epoch_us
-        )
-        if not completions:
-            raise AnalysisError(f"no completions in {self.front_table!r}")
-        vlrts = detect_vlrt(completions, threshold_factor, min_response_ms)
-        windows = cluster_anomaly_windows(vlrts)
-        candidates = discover_candidates(self.db)
-        horizon = max(c.completed_at for c in completions)
-        return [
-            self._diagnose_window(window, completions, candidates, horizon, queue_step_us)
-            for window in windows
-        ]
+        self._spans.clear()
+        with self._probe.span(self._spans, "analysis.run") as run_span:
+            with self._probe.span(
+                self._spans, "analysis.completions", source_path=self.front_table
+            ) as span:
+                completions = completions_from_warehouse(
+                    self.db, self.front_table, self.epoch_us
+                )
+                span.add(records=len(completions))
+            if not completions:
+                raise AnalysisError(f"no completions in {self.front_table!r}")
+            vlrts = detect_vlrt(completions, threshold_factor, min_response_ms)
+            windows = cluster_anomaly_windows(vlrts)
+            with self._probe.span(
+                self._spans, "analysis.candidates"
+            ) as span:
+                candidates = discover_candidates(self.db)
+                span.add(records=len(candidates))
+            with self._probe.span(self._spans, "analysis.skew") as span:
+                skew = _interaction_inputs(completions)
+                span.add(records=len(skew.vlrts))
+            horizon = max(c.completed_at for c in completions)
+            if self.jobs is not None and self.jobs > 1 and len(windows) > 1:
+                reports = self._diagnose_parallel(windows, queue_step_us)
+            else:
+                reports = []
+                for index, window in enumerate(windows):
+                    with self._probe.span(
+                        self._spans,
+                        "analysis.window",
+                        source_path=f"window{index}",
+                    ) as span:
+                        report = self._diagnose_window(
+                            window, skew, candidates, horizon,
+                            queue_step_us,
+                        )
+                        span.add(records=window.vlrt_count)
+                    reports.append(report)
+            run_span.add(records=len(completions), errors=0)
+        self.telemetry.ingest(tuple(self._spans))
+        return reports
+
+    def _diagnose_parallel(
+        self, windows: list[AnomalyWindow], queue_step_us: Micros
+    ) -> list[DiagnosisReport]:
+        """Fan windows across a process pool; merge in window order.
+
+        Each worker opens its own connection to the file-backed
+        warehouse, rebuilds the run inputs (completions, candidates —
+        both deterministic functions of the immutable warehouse) once
+        in its initializer, and diagnoses whole windows.  ``map``
+        returns results in submission order, so the report list is
+        identical to the serial one regardless of scheduling.
+        """
+        import concurrent.futures
+
+        if self.db.path == ":memory:":
+            raise AnalysisError(
+                "jobs > 1 needs a file-backed warehouse (workers open "
+                "their own connections); use jobs=1 for in-memory DBs"
+            )
+        workers = min(self.jobs or 1, len(windows))
+        with self._probe.span(
+            self._spans, "analysis.fanout", source_path=f"jobs{workers}"
+        ) as span:
+            span.add(records=len(windows))
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_window_worker,
+                initargs=(
+                    self.db.path,
+                    self.tier_tables,
+                    self.front_table,
+                    self.epoch_us,
+                ),
+            ) as pool:
+                return list(
+                    pool.map(
+                        _diagnose_window_task,
+                        ((window, queue_step_us) for window in windows),
+                    )
+                )
 
     # ------------------------------------------------------------------
 
     def _diagnose_window(
         self,
         window: AnomalyWindow,
-        completions: list[CompletionSample],
+        skew: "_InteractionInputs",
         candidates: list[MetricCandidate],
         horizon: Micros,
         queue_step_us: Micros,
@@ -225,36 +376,46 @@ class Diagnoser:
         queue_findings, pushback, front_queue = self._queue_analysis(
             window, horizon, queue_step_us
         )
-        causes = self._resource_analysis(window, candidates, front_queue)
+        causes = self._resource_analysis(
+            window, candidates, front_queue, queue_step_us
+        )
         return DiagnosisReport(
             window=window,
             queue_findings=queue_findings,
             pushback_tiers=pushback,
             causes=causes,
-            affected_interactions=self._interaction_analysis(window, completions),
+            affected_interactions=self._interaction_analysis(window, skew),
         )
 
     def _interaction_analysis(
-        self, window: AnomalyWindow, completions: list[CompletionSample]
+        self, window: AnomalyWindow, skew: "_InteractionInputs"
     ) -> dict[str, tuple[int, float]]:
-        """Which interaction classes the window's VLRTs belong to."""
+        """Which interaction classes the window's VLRTs belong to.
+
+        All O(completions) work lives in :func:`_interaction_inputs`,
+        computed once per run; each window only walks the (small) VLRT
+        list — the same numbers the old per-window full pass produced.
+        """
         vlrt_counts: dict[str, int] = {}
-        totals: dict[str, int] = {}
-        vlrt_ids = {
-            v.request_id
-            for v in detect_vlrt(completions)
-            if window.start <= v.completed_at <= window.stop
-        }
-        for sample in completions:
-            if not sample.interaction:
+        seen: set[str] = set()
+        # Iterate the VLRT *list*, not an id set: list order is the
+        # deterministic completions order, so dict insertion order —
+        # which breaks ties in the report's top-interactions cut —
+        # never depends on string-hash randomization across processes.
+        for vlrt in skew.vlrts:
+            if not window.start <= vlrt.completed_at <= window.stop:
                 continue
-            totals[sample.interaction] = totals.get(sample.interaction, 0) + 1
-            if sample.request_id in vlrt_ids:
-                vlrt_counts[sample.interaction] = (
-                    vlrt_counts.get(sample.interaction, 0) + 1
+            if vlrt.request_id in seen:
+                continue
+            seen.add(vlrt.request_id)
+            for interaction, count in skew.id_counts.get(
+                vlrt.request_id, {}
+            ).items():
+                vlrt_counts[interaction] = (
+                    vlrt_counts.get(interaction, 0) + count
                 )
         return {
-            name: (count, count / totals[name])
+            name: (count, count / skew.totals[name])
             for name, count in vlrt_counts.items()
         }
 
@@ -263,16 +424,16 @@ class Diagnoser:
     ) -> tuple[list[QueueFinding], list[str], Series]:
         context_start = max(0, window.start - ms(1_000))
         context_stop = min(horizon, window.stop + ms(1_000))
-        queues = tier_queue_lengths(
-            self.db,
-            self.tier_tables,
-            context_start,
-            context_stop,
-            step,
-            self.epoch_us,
-        )
         findings: list[QueueFinding] = []
-        for tier, series in queues.items():
+        front_queue: Series | None = None
+        for tier, tables in self.tier_tables.items():
+            # Boundary arrays load once per run; each window is just a
+            # fresh grid over the cached sorted columns.
+            series = self.cache.queue_series(
+                tables, context_start, context_stop, step
+            )
+            if front_queue is None:
+                front_queue = series
             inside = series.window(window.start, window.stop)
             outside_values = [
                 series.window(context_start, window.start).mean(),
@@ -285,24 +446,31 @@ class Diagnoser:
                 )
             )
         pushback = [f.tier for f in findings if f.amplification >= 3.0]
-        front_tier = next(iter(self.tier_tables))
-        return findings, pushback, queues[front_tier]
+        assert front_queue is not None  # tier_tables is non-empty (ctor)
+        return findings, pushback, front_queue
 
     def _resource_analysis(
         self,
         window: AnomalyWindow,
         candidates: list[MetricCandidate],
         front_queue: Series,
+        queue_step_us: Micros,
     ) -> list[RootCause]:
+        # Candidates sharing a monitor table share a sample grid, so
+        # aligning the front queue onto it repeats; memoize under a key
+        # pinning everything the queue series depends on.
+        front_key = ("front_queue", window.start, window.stop, queue_step_us)
+
+        def align_front(series: Series, grid) -> Series:
+            return self.cache.resample_keyed(front_key, series, grid)
+
         causes: list[RootCause] = []
         for candidate in candidates:
-            series = metric_series(
-                self.db,
+            series = self.cache.window(
                 candidate.table,
                 candidate.columns,
-                epoch_us=self.epoch_us,
-                start=window.start - ms(500),
-                stop=window.stop + ms(500),
+                window.start - ms(500),
+                window.stop + ms(500),
             )
             if series.is_empty():
                 continue
@@ -312,7 +480,9 @@ class Diagnoser:
             if candidate.kind == "dirty_pages":
                 cause = self._dirty_page_cause(candidate, inside)
             else:
-                cause = self._saturation_cause(candidate, inside, front_queue, series)
+                cause = self._saturation_cause(
+                    candidate, inside, front_queue, series, align_front
+                )
             if cause is not None:
                 causes.append(cause)
         causes.sort(key=lambda c: c.score, reverse=True)
@@ -324,6 +494,7 @@ class Diagnoser:
         inside: Series,
         front_queue: Series,
         context: Series,
+        align_front: "Callable[[Series, object], Series] | None" = None,
     ) -> RootCause | None:
         peak = inside.max()
         threshold = (
@@ -336,7 +507,9 @@ class Diagnoser:
         correlation: float | None
         lead_lag: int | None
         try:
-            correlation = pearson_correlation(context, front_queue)
+            correlation = pearson_correlation(
+                context, front_queue, resample=align_front
+            )
         except AnalysisError:
             correlation = None
         try:
@@ -403,3 +576,47 @@ class Diagnoser:
                 f"recycling stole the CPU"
             ),
         )
+
+
+# ----------------------------------------------------------------------
+# process-pool window workers
+#
+# Initialized once per worker process: each worker opens its own
+# connection to the file-backed warehouse (WAL mode keeps readers
+# concurrent) and recomputes the run inputs — completions, candidates,
+# horizon are deterministic functions of the immutable warehouse, so
+# recomputing them is cheaper and simpler than pickling 50k samples
+# into every task.
+
+_WORKER: (
+    "tuple[Diagnoser, _InteractionInputs, list[MetricCandidate], Micros] | None"
+) = None
+
+
+def _init_window_worker(
+    db_path: str,
+    tier_tables: dict[str, str],
+    front_table: str,
+    epoch_us: int,
+) -> None:
+    global _WORKER
+    db = MScopeDB(db_path)
+    diagnoser = Diagnoser(
+        db, tier_tables=tier_tables, front_table=front_table, epoch_us=epoch_us
+    )
+    completions = completions_from_warehouse(db, front_table, epoch_us)
+    skew = _interaction_inputs(completions)
+    candidates = discover_candidates(db)
+    horizon = max(c.completed_at for c in completions)
+    _WORKER = (diagnoser, skew, candidates, horizon)
+
+
+def _diagnose_window_task(
+    task: "tuple[AnomalyWindow, Micros]",
+) -> DiagnosisReport:
+    window, queue_step_us = task
+    assert _WORKER is not None, "worker used before initializer ran"
+    diagnoser, skew, candidates, horizon = _WORKER
+    return diagnoser._diagnose_window(
+        window, skew, candidates, horizon, queue_step_us
+    )

@@ -21,6 +21,7 @@ from repro.warehouse.db import MScopeDB, quote_identifier
 __all__ = [
     "spans_from_warehouse",
     "spans_from_traces",
+    "concurrency_from_sorted",
     "concurrency_series",
     "tier_queue_lengths",
 ]
@@ -50,6 +51,32 @@ def spans_from_traces(traces: list[RequestTrace], tier: str) -> list[Span]:
     return spans
 
 
+def concurrency_from_sorted(
+    arrivals: np.ndarray,
+    departures: np.ndarray,
+    start: Micros,
+    stop: Micros,
+    step: Micros,
+) -> Series:
+    """Concurrency at each grid point, from pre-sorted boundary arrays.
+
+    The kernel behind :func:`concurrency_series`, split out so the
+    :class:`~repro.analysis.cache.SeriesCache` can sort each tier's
+    boundary arrays once per diagnosis run and re-grid every anomaly
+    window against them with two ``searchsorted`` calls.
+    """
+    if step <= 0:
+        raise AnalysisError(f"grid step must be positive: {step}")
+    if stop <= start:
+        raise AnalysisError(f"grid span empty: [{start}, {stop})")
+    grid = np.arange(start, stop, step, dtype=np.int64)
+    if not len(arrivals):
+        return Series(grid, np.zeros(len(grid)))
+    arrived = np.searchsorted(arrivals, grid, side="right")
+    departed = np.searchsorted(departures, grid, side="right")
+    return Series(grid, (arrived - departed).astype(float))
+
+
 def concurrency_series(
     spans: list[Span],
     start: Micros,
@@ -60,18 +87,13 @@ def concurrency_series(
 
     A span covers grid point ``t`` when ``arrival <= t < departure``.
     """
-    if step <= 0:
-        raise AnalysisError(f"grid step must be positive: {step}")
-    if stop <= start:
-        raise AnalysisError(f"grid span empty: [{start}, {stop})")
-    grid = np.arange(start, stop, step, dtype=np.int64)
     if not spans:
-        return Series(grid, np.zeros(len(grid)))
-    arrivals = np.sort(np.array([s[0] for s in spans], dtype=np.int64))
-    departures = np.sort(np.array([s[1] for s in spans], dtype=np.int64))
-    arrived = np.searchsorted(arrivals, grid, side="right")
-    departed = np.searchsorted(departures, grid, side="right")
-    return Series(grid, (arrived - departed).astype(float))
+        arrivals = np.array([], dtype=np.int64)
+        departures = np.array([], dtype=np.int64)
+    else:
+        arrivals = np.sort(np.array([s[0] for s in spans], dtype=np.int64))
+        departures = np.sort(np.array([s[1] for s in spans], dtype=np.int64))
+    return concurrency_from_sorted(arrivals, departures, start, stop, step)
 
 
 def tier_queue_lengths(

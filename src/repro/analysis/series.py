@@ -8,7 +8,7 @@ simulator ground truth or from warehouse tables.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -48,10 +48,36 @@ class Series:
     def is_empty(self) -> bool:
         return len(self.times) == 0
 
+    @classmethod
+    def _from_sorted(cls, times: np.ndarray, values: np.ndarray) -> "Series":
+        """Wrap arrays already known sorted/aligned, skipping validation.
+
+        The slicing hot path: a diagnosis run takes thousands of
+        window slices of already-validated series; re-running the
+        O(n) ``__post_init__`` sortedness scan per slice would swamp
+        the O(log n) slice itself.
+        """
+        series = object.__new__(cls)
+        series.times = times
+        series.values = values
+        return series
+
+    def _step_indices(self, times: np.ndarray) -> np.ndarray:
+        """Step-interpolation kernel: index of the last sample at or
+        before each query time (clamped to the first sample)."""
+        indices = np.searchsorted(self.times, times, side="right") - 1
+        return np.clip(indices, 0, len(self.times) - 1)
+
     def window(self, start: Micros, stop: Micros) -> "Series":
-        """The sub-series with ``start <= t < stop``."""
-        mask = (self.times >= start) & (self.times < stop)
-        return Series(self.times[mask], self.values[mask])
+        """The sub-series with ``start <= t < stop``.
+
+        Times are sorted, so the bounds come from two binary searches
+        (O(log n)) and the result views the parent's arrays — no
+        boolean mask, no copy.
+        """
+        lo = int(np.searchsorted(self.times, start, side="left"))
+        hi = int(np.searchsorted(self.times, stop, side="left"))
+        return Series._from_sorted(self.times[lo:hi], self.values[lo:hi])
 
     def max(self) -> float:
         """Maximum value (0.0 for an empty series)."""
@@ -65,28 +91,37 @@ class Series:
         """Step interpolation: the last value at or before ``time``."""
         if self.is_empty():
             raise AnalysisError("cannot interpolate an empty series")
-        index = int(np.searchsorted(self.times, time, side="right")) - 1
-        if index < 0:
-            return float(self.values[0])
+        index = self._step_indices(np.asarray(time, dtype=np.int64))
         return float(self.values[index])
 
     def resample(self, grid: Sequence[Micros]) -> "Series":
-        """Step-interpolate onto an explicit grid."""
+        """Step-interpolate onto an explicit (sorted) grid.
+
+        The full constructor revalidates the caller-supplied grid —
+        only :meth:`window`'s slices skip validation, because slices
+        of a sorted array are sorted by construction.
+        """
         grid_arr = np.asarray(list(grid), dtype=np.int64)
-        indices = np.searchsorted(self.times, grid_arr, side="right") - 1
-        indices = np.clip(indices, 0, len(self.times) - 1)
-        return Series(grid_arr, self.values[indices])
+        return Series(grid_arr, self.values[self._step_indices(grid_arr)])
 
 
-def pearson_correlation(a: Series, b: Series) -> float:
+def pearson_correlation(
+    a: Series,
+    b: Series,
+    resample: "Callable[[Series, np.ndarray], Series] | None" = None,
+) -> float:
     """Pearson r between two series, step-aligned on ``a``'s grid.
+
+    ``resample`` overrides how ``b`` is aligned onto ``a``'s grid —
+    the :class:`~repro.analysis.cache.SeriesCache` passes its memoized
+    kernel so repeated alignments of the same series are dict hits.
 
     Raises :class:`AnalysisError` when either series is too short or
     constant (correlation undefined).
     """
     if len(a) < 3 or len(b) < 3:
         raise AnalysisError("need at least 3 points per series")
-    aligned_b = b.resample(a.times)
+    aligned_b = b.resample(a.times) if resample is None else resample(b, a.times)
     x = a.values
     y = aligned_b.values
     if float(np.std(x)) == 0.0 or float(np.std(y)) == 0.0:

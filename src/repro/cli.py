@@ -154,6 +154,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="epoch offset; defaults to the warehouse's recorded value",
     )
+    diagnose.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="diagnose anomaly windows across this many worker "
+        "processes (default 1 = in-process; output is identical "
+        "either way)",
+    )
+    diagnose.add_argument(
+        "--no-stats",
+        action="store_true",
+        help="skip recording analysis-stage telemetry into the "
+        "warehouse",
+    )
 
     figures = subparsers.add_parser(
         "figures", help="regenerate the paper's figures"
@@ -386,12 +400,20 @@ def _cmd_errors(args) -> int:
 
 
 def _cmd_diagnose(args) -> int:
+    from repro.telemetry.spans import NULL_TELEMETRY, TelemetryCollector
+
     db = MScopeDB(args.db)
     epoch = args.epoch_us
     if epoch is None:
         recorded = db.get_experiment_meta("epoch_us")
         epoch = int(recorded) if recorded is not None else 0
-    reports = Diagnoser(db, epoch_us=epoch).diagnose()
+    telemetry = NULL_TELEMETRY if args.no_stats else TelemetryCollector()
+    reports = Diagnoser(
+        db, epoch_us=epoch, telemetry=telemetry, jobs=args.jobs
+    ).diagnose()
+    # Analysis spans land next to the ingest stages, so `mscope stats`
+    # shows one end-to-end latency breakdown.
+    telemetry.persist_stages(db)
     if not reports:
         print("no anomaly windows found")
         db.close()

@@ -286,6 +286,32 @@ class TelemetryCollector:
             for w in telemetry.workers.values()
         )
 
+    def persist_stages(self, db, prefix: str = "analysis.") -> None:
+        """Append this run's ``prefix``-stage spans to ``pipeline_metrics``.
+
+        Unlike :meth:`persist`, rows already in the table are left
+        alone except those under the same prefix — so analysis-stage
+        latency lands *next to* the ingest stages and ``mscope stats``
+        renders them as one run history.  Re-running analysis replaces
+        only the previous analysis rows (idempotent).
+        """
+        db.append_pipeline_metrics(
+            (
+                (
+                    span.stage,
+                    span.hostname,
+                    span.source_path,
+                    span.records,
+                    span.bytes,
+                    span.errors,
+                    span.duration_ns // 1_000,
+                )
+                for span in self.spans
+                if span.stage.startswith(prefix)
+            ),
+            replace_prefix=prefix,
+        )
+
 
 class _NullTelemetry(TelemetryCollector):
     """The disabled collector: every hook is a no-op."""
@@ -311,6 +337,9 @@ class _NullTelemetry(TelemetryCollector):
         pass
 
     def persist(self, db) -> None:
+        pass
+
+    def persist_stages(self, db, prefix: str = "analysis.") -> None:
         pass
 
 

@@ -68,6 +68,24 @@ class MScopeDataImporter:
                 for column in ("request_id", "timestamp_us"):
                     if column in table.column_names:
                         self.db.create_index(table.name, column)
+                names = set(table.column_names)
+                if {"upstream_arrival_us", "upstream_departure_us"} <= names:
+                    # Event tables also serve the explorer's hot
+                    # queries: slowest_requests sorts on the
+                    # response-time expression, interaction_stats
+                    # groups on interaction — both must stay off full
+                    # table scans as the warehouse grows.
+                    self.db.create_response_time_index(table.name)
+                    if "interaction" in names:
+                        self.db.create_covering_index(
+                            table.name,
+                            (
+                                "interaction",
+                                "upstream_arrival_us",
+                                "upstream_departure_us",
+                            ),
+                            "interaction_rt",
+                        )
             self.db.record_load(
                 table.name, table.source, inserted, len(table.columns)
             )

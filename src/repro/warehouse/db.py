@@ -26,7 +26,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import QueryError, WarehouseError
 
-__all__ = ["MScopeDB", "STATIC_TABLES", "quote_identifier"]
+__all__ = ["MScopeDB", "RESPONSE_TIME_SQL", "STATIC_TABLES", "quote_identifier"]
 
 #: The four static metadata tables (Section III-C), plus the internal
 #: schema catalog backing dynamic-column type widening, the ingest
@@ -47,6 +47,16 @@ STATIC_TABLES = (
 
 #: Rows per ``executemany`` batch during bulk inserts.
 _INSERT_BATCH_SIZE = 5000
+
+#: Ids per chunk in :meth:`MScopeDB.query_in_chunks` — safely under
+#: sqlite's default SQLITE_MAX_VARIABLE_NUMBER of 999.
+_IN_CHUNK_SIZE = 900
+
+#: The expression the explorer's response-time queries sort and
+#: aggregate on; :meth:`MScopeDB.create_response_time_index` indexes
+#: exactly this expression so those queries never fall back to a full
+#: scan (sqlite matches expression indexes structurally).
+RESPONSE_TIME_SQL = "upstream_departure_us - upstream_arrival_us"
 
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
@@ -83,6 +93,10 @@ class MScopeDB:
         self.path = str(path)
         self._conn = sqlite3.connect(self.path)
         self._bulk_depth = 0
+        #: table → resolved (column, type) pairs; every DDL path and
+        #: catalog widening invalidates its table's entry, so a cached
+        #: schema is always what :meth:`table_schema` would recompute.
+        self._schema_cache: dict[str, list[tuple[str, str]]] = {}
         if self.path == ":memory:":
             self._conn.execute("PRAGMA journal_mode = MEMORY")
         else:
@@ -355,6 +369,39 @@ class MScopeDB:
         self._commit()
         return len(numbered)
 
+    def append_pipeline_metrics(
+        self,
+        rows: Iterable[Sequence[Any]],
+        replace_prefix: str | None = None,
+    ) -> int:
+        """Append span rows after the persisted pipeline telemetry.
+
+        The analysis engine's spans land *next to* the ingest stages —
+        appending (rather than :meth:`replace_pipeline_metrics`, which
+        wipes the table) keeps a transform's telemetry intact while
+        ``mscope stats`` gains the analysis rows.  ``replace_prefix``
+        first deletes rows whose stage starts with the prefix, so
+        re-running a diagnosis replaces its own spans idempotently.
+        Returns the appended row count.
+        """
+        self._ensure_telemetry_tables()
+        conn = self._require_conn()
+        if replace_prefix is not None:
+            conn.execute(
+                "DELETE FROM pipeline_metrics WHERE stage LIKE ? || '%'",
+                (replace_prefix,),
+            )
+        next_seq = conn.execute(
+            "SELECT COALESCE(MAX(seq), -1) + 1 FROM pipeline_metrics"
+        ).fetchone()[0]
+        numbered = [(next_seq + i, *row) for i, row in enumerate(rows)]
+        conn.executemany(
+            "INSERT INTO pipeline_metrics VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            numbered,
+        )
+        self._commit()
+        return len(numbered)
+
     def replace_pipeline_workers(
         self, rows: Iterable[Sequence[Any]]
     ) -> int:
@@ -421,6 +468,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
             [(name, column, sql_type) for column, sql_type in columns],
         )
+        self._schema_cache.pop(name, None)
         self._commit()
 
     def record_column_type(self, table: str, column: str, sql_type: str) -> None:
@@ -438,6 +486,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
             (table, column, sql_type),
         )
+        self._schema_cache.pop(table, None)
         self._commit()
 
     def create_index(self, table: str, column: str) -> None:
@@ -452,6 +501,40 @@ class MScopeDB:
         conn.execute(
             f"CREATE INDEX IF NOT EXISTS {quote_identifier(index_name)} "
             f"ON {quote_identifier(table)} ({quote_identifier(column)})"
+        )
+        self._commit()
+
+    def create_response_time_index(self, table: str) -> None:
+        """Index an event table's response-time expression, descending.
+
+        The explorer's ``slowest_requests`` sorts on
+        :data:`RESPONSE_TIME_SQL`; indexing the identical expression
+        lets sqlite satisfy the ``ORDER BY ... DESC LIMIT n`` straight
+        off the index instead of sorting the whole table.
+        """
+        index_name = f"idx_{table}_response_time"
+        conn = self._require_conn()
+        conn.execute(
+            f"CREATE INDEX IF NOT EXISTS {quote_identifier(index_name)} "
+            f"ON {quote_identifier(table)} ({RESPONSE_TIME_SQL} DESC)"
+        )
+        self._commit()
+
+    def create_covering_index(
+        self, table: str, columns: Sequence[str], name: str
+    ) -> None:
+        """Create a multi-column (covering) index on a dynamic table.
+
+        A query reading only the indexed columns scans the index and
+        never touches the table — the shape ``interaction_stats``'s
+        GROUP BY needs.
+        """
+        index_name = f"idx_{table}_{name}"
+        rendered = ", ".join(quote_identifier(c) for c in columns)
+        conn = self._require_conn()
+        conn.execute(
+            f"CREATE INDEX IF NOT EXISTS {quote_identifier(index_name)} "
+            f"ON {quote_identifier(table)} ({rendered})"
         )
         self._commit()
 
@@ -477,6 +560,7 @@ class MScopeDB:
             "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
             (table, column, sql_type),
         )
+        self._schema_cache.pop(table, None)
         self._commit()
 
     def insert_rows(
@@ -528,8 +612,15 @@ class MScopeDB:
 
         Types recorded in the schema catalog (including widenings
         applied after load) override the column's original DDL
-        declaration.
+        declaration.  Results are cached per table; every DDL path
+        (:meth:`create_table`, :meth:`add_column`) and catalog update
+        (:meth:`record_column_type`) invalidates its table's entry, so
+        per-request callers such as the causal-path joins never repay
+        the two catalog queries.
         """
+        cached = self._schema_cache.get(table)
+        if cached is not None:
+            return list(cached)
         conn = self._require_conn()
         rows = conn.execute(
             f"PRAGMA table_info({quote_identifier(table)})"
@@ -543,7 +634,9 @@ class MScopeDB:
                 (table,),
             ).fetchall()
         )
-        return [(r[1], overrides.get(r[1], r[2])) for r in rows]
+        schema = [(r[1], overrides.get(r[1], r[2])) for r in rows]
+        self._schema_cache[table] = schema
+        return list(schema)
 
     def row_count(self, table: str) -> int:
         """Number of rows in ``table``."""
@@ -559,6 +652,40 @@ class MScopeDB:
             return self._require_conn().execute(sql, params).fetchall()
         except sqlite3.Error as exc:
             raise QueryError(f"query failed: {exc}") from exc
+
+    def query_in_chunks(
+        self,
+        sql: str,
+        values: Sequence[Any],
+        chunk_size: int = _IN_CHUNK_SIZE,
+    ) -> list[tuple]:
+        """Run an ``IN (...)``-style query over ``values`` in chunks.
+
+        ``sql`` must contain one ``{placeholders}`` slot that expands
+        to the chunk's ``?`` list; chunking keeps each statement under
+        sqlite's bound-variable limit (999 by default).  Results are
+        concatenated in chunk order, so per-value row groups keep their
+        within-chunk ``ORDER BY`` (each value lands in exactly one
+        chunk).
+        """
+        if chunk_size <= 0:
+            raise QueryError(f"chunk size must be positive: {chunk_size}")
+        rows: list[tuple] = []
+        for start in range(0, len(values), chunk_size):
+            chunk = values[start : start + chunk_size]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows.extend(self.query(sql.format(placeholders=placeholders), chunk))
+        return rows
+
+    def query_plan(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
+        """The ``EXPLAIN QUERY PLAN`` detail lines for a query.
+
+        The index-regression tests assert these lines mention an index
+        (``USING [COVERING] INDEX``) rather than a bare table scan.
+        """
+        return [
+            row[-1] for row in self.query(f"EXPLAIN QUERY PLAN {sql}", params)
+        ]
 
     def fetch_series(
         self,

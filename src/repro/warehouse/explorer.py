@@ -14,14 +14,50 @@ import dataclasses
 
 from repro.common.errors import QueryError
 from repro.common.timebase import Micros
-from repro.warehouse.db import MScopeDB, quote_identifier
+from repro.warehouse.db import MScopeDB, RESPONSE_TIME_SQL, quote_identifier
 
 __all__ = [
     "WarehouseExplorer",
     "IngestErrorSummary",
     "InteractionStats",
     "SlowRequest",
+    "slowest_requests_sql",
+    "interaction_stats_sql",
 ]
+
+
+def slowest_requests_sql(front_table: str) -> str:
+    """The ``slowest_requests`` SQL (shared with the query-plan tests).
+
+    Sorts on :data:`~repro.warehouse.db.RESPONSE_TIME_SQL` — the exact
+    expression the importer indexes, so the ``ORDER BY ... DESC LIMIT``
+    reads straight off the index.
+    """
+    return (
+        f"SELECT request_id, interaction, "
+        f"{RESPONSE_TIME_SQL} AS rt, "
+        f"upstream_departure_us "
+        f"FROM {quote_identifier(front_table)} "
+        f"WHERE upstream_departure_us IS NOT NULL "
+        f"ORDER BY rt DESC LIMIT ?"
+    )
+
+
+def interaction_stats_sql(front_table: str) -> str:
+    """The ``interaction_stats`` SQL (shared with the query-plan tests).
+
+    Reads only the columns of the importer's ``interaction_rt``
+    covering index, so the GROUP BY scans the index and never touches
+    the table.
+    """
+    return (
+        f"SELECT interaction, COUNT(*), "
+        f"AVG({RESPONSE_TIME_SQL}), "
+        f"MAX({RESPONSE_TIME_SQL}) "
+        f"FROM {quote_identifier(front_table)} "
+        f"WHERE upstream_departure_us IS NOT NULL "
+        f"GROUP BY interaction ORDER BY 3 DESC"
+    )
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -90,15 +126,7 @@ class WarehouseExplorer:
 
     def slowest_requests(self, n: int = 10) -> list[SlowRequest]:
         """The ``n`` slowest requests, slowest first."""
-        rows = self.db.query(
-            f"SELECT request_id, interaction, "
-            f"upstream_departure_us - upstream_arrival_us AS rt, "
-            f"upstream_departure_us "
-            f"FROM {quote_identifier(self.front_table)} "
-            f"WHERE upstream_departure_us IS NOT NULL "
-            f"ORDER BY rt DESC LIMIT ?",
-            (n,),
-        )
+        rows = self.db.query(slowest_requests_sql(self.front_table), (n,))
         return [
             SlowRequest(
                 request_id=request_id or "",
@@ -111,14 +139,7 @@ class WarehouseExplorer:
 
     def interaction_stats(self) -> list[InteractionStats]:
         """Per-interaction response-time aggregates, slowest mean first."""
-        rows = self.db.query(
-            f"SELECT interaction, COUNT(*), "
-            f"AVG(upstream_departure_us - upstream_arrival_us), "
-            f"MAX(upstream_departure_us - upstream_arrival_us) "
-            f"FROM {quote_identifier(self.front_table)} "
-            f"WHERE upstream_departure_us IS NOT NULL "
-            f"GROUP BY interaction ORDER BY 3 DESC"
-        )
+        rows = self.db.query(interaction_stats_sql(self.front_table))
         return [
             InteractionStats(
                 interaction=interaction or "",

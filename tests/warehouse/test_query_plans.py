@@ -1,0 +1,124 @@
+"""Query-plan regression tests for the explorer's hot queries.
+
+`slowest_requests` and `interaction_stats` run against the front
+event table on every investigation; the importer builds an expression
+index on the response-time expression and a covering index on the
+interaction rollup so neither query degrades to a full table scan as
+the warehouse grows.  These tests pin the plans with EXPLAIN QUERY
+PLAN — an index drop or SQL drift that reintroduces a scan fails
+here, not in a slow investigation six months later.
+"""
+
+import pytest
+
+from repro.warehouse.db import MScopeDB
+from repro.warehouse.explorer import (
+    WarehouseExplorer,
+    interaction_stats_sql,
+    slowest_requests_sql,
+)
+
+FRONT = "apache_events_web1"
+
+
+@pytest.fixture
+def db():
+    db = MScopeDB()
+    db.create_table(
+        FRONT,
+        [
+            ("request_id", "TEXT"),
+            ("interaction", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+    )
+    db.insert_rows(
+        FRONT,
+        ["request_id", "interaction", "upstream_arrival_us", "upstream_departure_us"],
+        [
+            (f"R{i:05d}", ("home", "login", "search")[i % 3], 100 * i, 100 * i + 7 * (i % 11))
+            for i in range(300)
+        ],
+    )
+    # The same two indexes the importer creates after a bulk load.
+    db.create_response_time_index(FRONT)
+    db.create_covering_index(
+        FRONT,
+        ("interaction", "upstream_arrival_us", "upstream_departure_us"),
+        "interaction_rt",
+    )
+    return db
+
+
+def test_slowest_requests_uses_response_time_index(db):
+    plan = db.query_plan(slowest_requests_sql(FRONT), (10,))
+    assert any("USING INDEX idx_apache_events_web1_response_time" in line for line in plan), plan
+    # No sort pass: the DESC expression index already delivers order.
+    assert not any("USE TEMP B-TREE" in line for line in plan), plan
+
+
+def test_interaction_stats_uses_covering_index(db):
+    plan = db.query_plan(interaction_stats_sql(FRONT))
+    assert any("USING COVERING INDEX idx_apache_events_web1_interaction_rt" in line for line in plan), plan
+
+
+def test_plans_degrade_without_indexes():
+    """The guard is real: the same SQL without the indexes is a bare
+    table scan (so the assertions above cannot pass vacuously)."""
+    db = MScopeDB()
+    db.create_table(
+        FRONT,
+        [
+            ("request_id", "TEXT"),
+            ("interaction", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+    )
+    for sql, params in (
+        (slowest_requests_sql(FRONT), (10,)),
+        (interaction_stats_sql(FRONT), ()),
+    ):
+        plan = db.query_plan(sql, params)
+        assert not any("USING" in line and "INDEX" in line for line in plan), plan
+
+
+def test_explorer_results_consistent_with_indexes(db):
+    """Indexes change plans, never answers: explorer output matches a
+    hand-computed aggregate over the same rows."""
+    explorer = WarehouseExplorer(db, front_table=FRONT)
+    slowest = explorer.slowest_requests(5)
+    assert len(slowest) == 5
+    times = [r.response_ms for r in slowest]
+    assert times == sorted(times, reverse=True)
+    assert times[0] == pytest.approx(0.07)  # 7 us * max residue 10
+
+    stats = {s.interaction: s for s in explorer.interaction_stats()}
+    assert set(stats) == {"home", "login", "search"}
+    assert sum(s.count for s in stats.values()) == 300
+
+
+def test_importer_builds_both_indexes():
+    """End-to-end: a transformed warehouse ships with the indexes on."""
+    from repro.transformer.importer import MScopeDataImporter
+    from repro.transformer.xml_to_csv import CsvTable
+
+    db = MScopeDB()
+    table = CsvTable(
+        name=FRONT,
+        columns=[
+            ("request_id", "TEXT"),
+            ("interaction", "TEXT"),
+            ("upstream_arrival_us", "INTEGER"),
+            ("upstream_departure_us", "INTEGER"),
+        ],
+        rows=[(f"R{i}", "home", 10 * i, 10 * i + 4) for i in range(8)],
+        monitor="apache_events",
+        source="/logs/web1/apache_events.log",
+    )
+    MScopeDataImporter(db).import_table(table, "web1", "apache_log")
+    plan = db.query_plan(slowest_requests_sql(FRONT), (3,))
+    assert any("USING INDEX" in line for line in plan), plan
+    plan = db.query_plan(interaction_stats_sql(FRONT))
+    assert any("USING COVERING INDEX" in line for line in plan), plan
