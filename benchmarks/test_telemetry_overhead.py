@@ -10,7 +10,10 @@ acceptance ceiling; the typical measured delta is recorded in
 docs/architecture.md.
 """
 
+import os
 import time
+
+import pytest
 
 from conftest import report
 from repro.telemetry.spans import TelemetryCollector
@@ -19,6 +22,7 @@ from repro.warehouse.db import MScopeDB
 
 _ROUNDS = 5
 _MAX_OVERHEAD = 1.05
+_CORES = os.cpu_count() or 1
 
 
 def _transform_once(log_dir, telemetry):
@@ -40,6 +44,14 @@ def _best_of(log_dir, make_telemetry):
     return best, rows
 
 
+@pytest.mark.skipif(
+    _CORES < 2,
+    reason=(
+        f"a 5% timing delta is unmeasurable on this machine: detected "
+        f"{_CORES} CPU core(s); any background task steals more than "
+        f"the budget under test"
+    ),
+)
 def test_telemetry_overhead_within_budget(scenario_a_run):
     logs = scenario_a_run.log_dir
     # Warm-up: parser imports, page cache.

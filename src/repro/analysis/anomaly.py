@@ -64,6 +64,16 @@ def detect_vlrt(
         return []
     ordered = sorted(s.response_time_us for s in samples)
     median_rt = ordered[len(ordered) // 2]
+    # When the anomaly dominates the snapshot — a fault in the first
+    # 100 ms of a short run can make VLRTs the *majority* of logged
+    # completions — the median itself is inflated by an order of
+    # magnitude and the window silently vanishes from diagnosis.  The
+    # lower quartile still tracks normal-request cost in that regime:
+    # fall back to it whenever the median sits implausibly far above
+    # it (the same factor that defines "anomalous" in the first place).
+    lower_quartile = ordered[len(ordered) // 4]
+    if lower_quartile > 0 and median_rt > threshold_factor * lower_quartile:
+        median_rt = lower_quartile
     cutoff = max(median_rt * threshold_factor, ms(min_response_ms))
     return [
         VlrtRequest(s.request_id, s.completed_at, s.response_time_us)

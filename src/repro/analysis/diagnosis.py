@@ -435,11 +435,9 @@ class Diagnoser:
             if front_queue is None:
                 front_queue = series
             inside = series.window(window.start, window.stop)
-            outside_values = [
-                series.window(context_start, window.start).mean(),
-                series.window(window.stop, context_stop).mean(),
-            ]
-            baseline = sum(outside_values) / len(outside_values)
+            baseline = self._context_baseline(
+                series, context_start, window, context_stop
+            )
             findings.append(
                 QueueFinding(
                     tier=tier, peak_queue=inside.max(), baseline_queue=baseline
@@ -448,6 +446,32 @@ class Diagnoser:
         pushback = [f.tier for f in findings if f.amplification >= 3.0]
         assert front_queue is not None  # tier_tables is non-empty (ctor)
         return findings, pushback, front_queue
+
+    @staticmethod
+    def _context_baseline(
+        series: Series,
+        context_start: Micros,
+        window: AnomalyWindow,
+        context_stop: Micros,
+    ) -> float:
+        """Mean queue level in the context outside the anomaly window.
+
+        A window abutting the run boundary (fault in the first 100 ms,
+        or still in flight at the last sample) has an *empty* context
+        on that side; averaging in its 0.0 would halve the baseline and
+        overstate amplification, so only populated sides contribute.
+        """
+        outside_values = [
+            side.mean()
+            for side in (
+                series.window(context_start, window.start),
+                series.window(window.stop, context_stop),
+            )
+            if not side.is_empty()
+        ]
+        if not outside_values:
+            return 0.0
+        return sum(outside_values) / len(outside_values)
 
     def _resource_analysis(
         self,

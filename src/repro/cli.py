@@ -184,6 +184,59 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--db", type=Path, required=True)
     report.add_argument("--out", type=Path, required=True)
     report.add_argument("--epoch-us", type=int, default=None)
+
+    from repro.validation.runner import MODES, SCENARIOS
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="score diagnosis accuracy against injected ground truth",
+    )
+    validate.add_argument(
+        "--scenario",
+        choices=tuple(SCENARIOS) + ("fast", "all"),
+        default="db_log_flush",
+        help="a registered scenario, 'fast' (the gating pair), or "
+        "'all' (the nightly sweep)",
+    )
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument(
+        "--mode",
+        choices=MODES + ("all",),
+        default="batch",
+        help="warehouse-construction mode; 'all' sweeps every mode",
+    )
+    validate.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable summary (default) or the full JSON report",
+    )
+    validate.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the full JSON report to this file (the "
+        "nightly matrix uploads it as an artifact)",
+    )
+    validate.add_argument(
+        "--check-floors",
+        action="store_true",
+        help="exit non-zero when a scenario misses its registered "
+        "accuracy floors",
+    )
+    validate.add_argument(
+        "--conformance",
+        action="store_true",
+        help="also run every differential conformance pair on the "
+        "selected scenario(s)",
+    )
+    validate.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="keep run artifacts (logs, schedules, warehouses) here "
+        "(default: a temporary directory, removed afterwards)",
+    )
     return parser
 
 
@@ -198,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         "diagnose": _cmd_diagnose,
         "figures": _cmd_figures,
         "report": _cmd_report,
+        "validate": _cmd_validate,
     }[args.command]
     return handler(args)
 
@@ -423,6 +477,96 @@ def _cmd_diagnose(args) -> int:
         print()
     db.close()
     return 0
+
+
+def _cmd_validate(args) -> int:
+    import shutil
+    import tempfile
+
+    from repro.validation.conformance import (
+        CONFORMANCE_PAIRS,
+        run_conformance_pair,
+    )
+    from repro.validation.runner import MODES, SCENARIOS, ScenarioRunner
+
+    if args.scenario == "fast":
+        names = [name for name, spec in SCENARIOS.items() if spec.fast]
+    elif args.scenario == "all":
+        names = list(SCENARIOS)
+    else:
+        names = [args.scenario]
+    modes = list(MODES) if args.mode == "all" else [args.mode]
+
+    workdir = args.workdir
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="mscope-validate-"))
+    runner = ScenarioRunner(workdir)
+    outcomes = []
+    conformance_results = []
+    failures: list[str] = []
+    try:
+        for name in names:
+            spec = SCENARIOS[name]
+            baseline = None
+            for mode in modes:
+                outcome = runner.run(name, seed=args.seed, mode=mode)
+                if mode == "batch":
+                    baseline = outcome
+                outcomes.append(outcome)
+                if args.check_floors:
+                    for violation in outcome.passes_floors(spec.floors):
+                        failures.append(f"{name} ({mode}): {violation}")
+            if args.conformance:
+                for pair in CONFORMANCE_PAIRS:
+                    result = run_conformance_pair(
+                        pair,
+                        name,
+                        args.seed,
+                        workdir,
+                        baseline=baseline,
+                        runner=runner,
+                    )
+                    conformance_results.append(result)
+                    if not result.equal:
+                        failures.append(
+                            f"{name} conformance {pair.key}: "
+                            f"{result.divergence}"
+                        )
+        payload = {
+            "seed": args.seed,
+            "scenarios": [outcome.to_dict() for outcome in outcomes],
+            "conformance": [
+                result.to_dict() for result in conformance_results
+            ],
+            "failures": failures,
+        }
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(rendered + "\n")
+        if args.format == "json":
+            print(rendered)
+        else:
+            for outcome in outcomes:
+                print(outcome.to_text())
+                print()
+            for result in conformance_results:
+                status = "ok" if result.equal else "DIVERGED"
+                print(
+                    f"conformance {result.pair.key} "
+                    f"[{result.scenario}]: {status} — {result.pair.claim}"
+                )
+                if not result.equal:
+                    print(f"  {result.divergence}")
+            if failures:
+                print()
+                for failure in failures:
+                    print(f"FAIL: {failure}")
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return 1 if failures else 0
 
 
 def _cmd_figures(args) -> int:

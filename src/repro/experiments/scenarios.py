@@ -23,7 +23,13 @@ from repro.baselines.sysviz import SysVizTracer
 from repro.common.timebase import Micros, ms, seconds
 from repro.monitors.event.suite import EventMonitorSuite
 from repro.monitors.resource.suite import ResourceMonitorSuite
-from repro.ntier.faults import DBLogFlushFault, DirtyPageFlushFault, Fault
+from repro.ntier.faults import (
+    DBLogFlushFault,
+    DirtyPageFlushFault,
+    Fault,
+    GarbageCollectionFault,
+)
+from repro.ntier.faults_extra import DvfsSlowdownFault, VmConsolidationFault
 from repro.ntier.system import NTierSystem, SystemConfig, SystemResult, TierConfig
 from repro.rubbos.workload import WorkloadSpec
 from repro.transformer.pipeline import MScopeDataTransformer
@@ -34,8 +40,12 @@ __all__ = [
     "scenario_tier_configs",
     "scenario_a",
     "scenario_b",
+    "scenario_gc",
+    "scenario_dvfs",
+    "scenario_vm",
     "baseline_run",
     "load_warehouse",
+    "record_run_metadata",
 ]
 
 MB = 1024 * 1024
@@ -206,6 +216,119 @@ def scenario_b(
     )
 
 
+def _single_fault_scenario(
+    fault: Fault,
+    seed: int,
+    users: int,
+    think_ms: float,
+    duration: Micros,
+    log_dir: Path | None,
+    monitor_interval: Micros,
+    with_sysviz: bool,
+) -> ScenarioRun:
+    """Run one injected fault on the calibrated small-pool testbed."""
+    system, events, resources, sysviz = _build(
+        users,
+        think_ms,
+        seed,
+        log_dir,
+        scenario_tier_configs(),
+        [fault],
+        monitor_interval,
+        with_event_monitors=True,
+        with_resource_monitors=True,
+        with_sysviz=with_sysviz,
+    )
+    result = system.run(duration)
+    return ScenarioRun(
+        system=system,
+        result=result,
+        faults=[fault],
+        events=events,
+        resources=resources,
+        sysviz=sysviz,
+        log_dir=log_dir,
+        duration=duration,
+    )
+
+
+def scenario_gc(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    pause_at: Micros = seconds(2),
+    pause: Micros = ms(400),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+) -> ScenarioRun:
+    """Stop-the-world JVM collection on the Tomcat tier (Section II)."""
+    fault = GarbageCollectionFault(
+        tier="tomcat",
+        start_at=pause_at,
+        period=seconds(10),
+        pause=pause,
+        collections=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz,
+    )
+
+
+def scenario_dvfs(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    slow_at: Micros = seconds(2),
+    slow_duration: Micros = ms(600),
+    speed_factor: float = 0.05,
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+) -> ScenarioRun:
+    """CPU frequency-scaling slowdown on the Tomcat tier (Section II)."""
+    fault = DvfsSlowdownFault(
+        tier="tomcat",
+        start_at=slow_at,
+        period=seconds(10),
+        slow_duration=slow_duration,
+        speed_factor=speed_factor,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz,
+    )
+
+
+def scenario_vm(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    burst_at: Micros = seconds(2),
+    burst: Micros = ms(400),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+) -> ScenarioRun:
+    """Co-located-VM CPU steal on the Tomcat tier (Section II)."""
+    fault = VmConsolidationFault(
+        tier="tomcat",
+        start_at=burst_at,
+        period=seconds(10),
+        burst=burst,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz,
+    )
+
+
 def baseline_run(
     workload_users: int,
     seed: int = 7,
@@ -266,6 +389,17 @@ def load_warehouse(
         db = MScopeDB()
     transformer = MScopeDataTransformer(db, workdir=workdir, jobs=jobs)
     transformer.transform_directory(run.log_dir)
+    record_run_metadata(run, db)
+    return db
+
+
+def record_run_metadata(run: ScenarioRun, db: MScopeDB) -> None:
+    """Record the run's experiment and host metadata in ``db``.
+
+    Shared by :func:`load_warehouse` and the validation harness's
+    :class:`~repro.validation.runner.ScenarioRunner`, whose modes build
+    their warehouses through different transformer paths.
+    """
     db.set_experiment_meta("seed", str(run.system.config.seed))
     db.set_experiment_meta("workload_users", str(run.system.config.workload.users))
     db.set_experiment_meta("duration_us", str(run.duration))
@@ -275,4 +409,3 @@ def load_warehouse(
         db.register_host(
             node.name, tier, node.spec.cores, node.spec.disk_bandwidth_bytes_per_sec
         )
-    return db

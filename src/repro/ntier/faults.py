@@ -85,6 +85,10 @@ class DBLogFlushFault(Fault):
         self.bursts = bursts
         self.tier = tier
         self.flush_times: list[Micros] = []
+        #: ``(start, stop)`` of each completed flush burst — the
+        #: labeled ground-truth intervals the validation harness scores
+        #: diagnosis output against.
+        self.flush_windows: list[tuple[Micros, Micros]] = []
 
     def install(self, system: "NTierSystem") -> None:
         node = system.node_for_tier(self.tier)
@@ -96,7 +100,8 @@ class DBLogFlushFault(Fault):
         yield engine.timeout(self.start_at)
         injected = 0
         while self.bursts is None or injected < self.bursts:
-            self.flush_times.append(engine.now)
+            started = engine.now
+            self.flush_times.append(started)
             # Group-commit semantics: commits arriving during the flush
             # wait on the barrier, and the flush itself is one large
             # sequential write that saturates the disk — together these
@@ -106,6 +111,7 @@ class DBLogFlushFault(Fault):
             yield from node.disk.write(self.flush_bytes, priority=5)
             if server is not None and hasattr(server, "end_log_flush"):
                 server.end_log_flush()
+            self.flush_windows.append((started, engine.now))
             injected += 1
             if self.bursts is not None and injected >= self.bursts:
                 break

@@ -203,6 +203,18 @@ class LiveTransformer:
         )
         rows = self.importer.import_table(table, hostname, binding.parser_name)
         self._high_water[path] = len(document.records)
+        # The importer just recorded *this delta's* row/column counts in
+        # load_catalog; a batch transform records the whole file's.  The
+        # catalog row is keyed (table, source), so re-record the
+        # cumulative state and the warehouses converge — a fully
+        # caught-up live warehouse iterdumps identically to a one-shot
+        # batch one.
+        self.db.record_load(
+            table_name,
+            document.source,
+            self._high_water[path],
+            len(self.db.table_schema(table_name)),
+        )
         return rows
 
     def _record_errors(self, sink: ErrorSink) -> None:

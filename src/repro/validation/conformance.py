@@ -1,0 +1,224 @@
+"""Differential conformance: every "these modes are identical" claim,
+asserted in one place.
+
+The pipeline makes several equivalence promises — parallel transform is
+byte-identical to serial, a caught-up :class:`LiveTransformer` matches
+a one-shot batch, bulk path reconstruction matches scalar, parallel
+diagnosis matches serial, lenient error policies are no-ops on clean
+input.  Historically each promise had its own ad-hoc pairwise test;
+:data:`CONFORMANCE_PAIRS` is the single catalogue, and
+:func:`run_conformance_pair` executes one entry and returns a
+:class:`ConformanceResult` that names exactly what diverged (first
+differing line of the warehouse dump, or the differing report).
+
+Warehouse-comparing pairs run both sides from the *same* simulated
+logs (the baseline side's log directory is reused), so any divergence
+is the ingest path's fault, never the simulator's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.validation.runner import ScenarioOutcome, ScenarioRunner
+
+__all__ = [
+    "ConformancePair",
+    "ConformanceResult",
+    "CONFORMANCE_PAIRS",
+    "run_conformance_pair",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ConformancePair:
+    """One equivalence claim between two pipeline modes."""
+
+    key: str
+    baseline_mode: str
+    variant_mode: str
+    #: ``"warehouse"`` compares full SQL dumps; ``"report"`` compares
+    #: rendered diagnosis reports (modes that only change analysis
+    #: fan-out leave the warehouse identical by construction).
+    compare: str
+    claim: str
+
+
+CONFORMANCE_PAIRS: tuple[ConformancePair, ...] = (
+    ConformancePair(
+        key="transform-parallel",
+        baseline_mode="batch",
+        variant_mode="transform-jobs2",
+        compare="warehouse",
+        claim="jobs=N transform is byte-identical to serial",
+    ),
+    ConformancePair(
+        key="live-incremental",
+        baseline_mode="batch",
+        variant_mode="live",
+        compare="warehouse",
+        claim="a caught-up LiveTransformer matches one-shot batch",
+    ),
+    ConformancePair(
+        key="diagnose-parallel",
+        baseline_mode="batch",
+        variant_mode="diagnose-jobs2",
+        compare="report",
+        claim="jobs=N diagnosis reports equal the serial run's",
+    ),
+    ConformancePair(
+        key="policy-skip-clean",
+        baseline_mode="batch",
+        variant_mode="policy-skip",
+        compare="warehouse",
+        claim="the skip policy is a no-op on clean logs",
+    ),
+    ConformancePair(
+        key="policy-quarantine-clean",
+        baseline_mode="batch",
+        variant_mode="policy-quarantine",
+        compare="warehouse",
+        claim="the quarantine policy is a no-op on clean logs",
+    ),
+    ConformancePair(
+        key="causal-bulk",
+        baseline_mode="batch",
+        variant_mode="batch",
+        compare="paths",
+        claim="reconstruct_paths_bulk hop-for-hop equals scalar "
+        "reconstruct_path",
+    ),
+)
+
+
+@dataclasses.dataclass(slots=True)
+class ConformanceResult:
+    """The verdict on one conformance pair for one scenario."""
+
+    pair: ConformancePair
+    scenario: str
+    seed: int
+    equal: bool
+    #: Human-readable description of the first divergence (``None``
+    #: when ``equal``).
+    divergence: str | None
+
+    def to_dict(self) -> dict:
+        return {
+            "pair": self.pair.key,
+            "claim": self.pair.claim,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "equal": self.equal,
+            "divergence": self.divergence,
+        }
+
+
+def _first_dump_divergence(baseline: str, variant: str) -> str | None:
+    if baseline == variant:
+        return None
+    base_lines = baseline.splitlines()
+    var_lines = variant.splitlines()
+    for index, (expected, got) in enumerate(zip(base_lines, var_lines)):
+        if expected != got:
+            return (
+                f"warehouse dump line {index + 1}: "
+                f"baseline {expected!r} != variant {got!r}"
+            )
+    return (
+        f"warehouse dump length: baseline {len(base_lines)} lines, "
+        f"variant {len(var_lines)} lines"
+    )
+
+
+def _report_divergence(
+    baseline: ScenarioOutcome, variant: ScenarioOutcome
+) -> str | None:
+    base_texts = baseline.report_texts
+    var_texts = variant.report_texts
+    if len(base_texts) != len(var_texts):
+        return (
+            f"report count: baseline {len(base_texts)}, "
+            f"variant {len(var_texts)}"
+        )
+    for index, (expected, got) in enumerate(zip(base_texts, var_texts)):
+        if expected != got:
+            return f"report {index} differs:\n--- baseline\n{expected}\n--- variant\n{got}"
+    return None
+
+
+def _paths_divergence(baseline: ScenarioOutcome) -> str | None:
+    """Scalar vs bulk path reconstruction over the baseline warehouse."""
+    from repro.analysis.causal import reconstruct_path, reconstruct_paths_bulk
+    from repro.warehouse.db import MScopeDB
+
+    with MScopeDB(baseline.db_path) as db:
+        front = "apache_events_web1"
+        ids = [
+            row[0]
+            for row in db.query(
+                f"SELECT DISTINCT request_id FROM {front} "
+                f"ORDER BY request_id"
+            )
+        ]
+        bulk = list(reconstruct_paths_bulk(db, ids))
+        if len(bulk) != len(ids):
+            return f"bulk returned {len(bulk)} paths for {len(ids)} ids"
+        for request_id, bulk_path in zip(ids, bulk):
+            scalar_path = reconstruct_path(db, request_id)
+            if scalar_path.hops != bulk_path.hops:
+                return (
+                    f"request {request_id}: scalar hops "
+                    f"{scalar_path.hops!r} != bulk hops {bulk_path.hops!r}"
+                )
+    return None
+
+
+def run_conformance_pair(
+    pair: ConformancePair,
+    scenario: str,
+    seed: int,
+    workdir: Path,
+    baseline: ScenarioOutcome | None = None,
+    runner: ScenarioRunner | None = None,
+) -> ConformanceResult:
+    """Execute one pair on one scenario and compare the sides.
+
+    ``baseline`` lets a sweep run the baseline mode once and reuse it
+    across every pair, and passing the sweep's ``runner`` reuses its
+    cached simulation (the outcome of a given ``(scenario, seed)`` is
+    deterministic, so sharing loses nothing).
+    """
+    if runner is None:
+        runner = ScenarioRunner(workdir)
+    if baseline is None:
+        baseline = runner.run(scenario, seed=seed, mode=pair.baseline_mode)
+    if pair.compare == "paths":
+        # Both "sides" read the same warehouse; no variant run needed.
+        divergence = _paths_divergence(baseline)
+        return ConformanceResult(
+            pair=pair,
+            scenario=scenario,
+            seed=seed,
+            equal=divergence is None,
+            divergence=divergence,
+        )
+    variant = runner.run(scenario, seed=seed, mode=pair.variant_mode)
+    if pair.compare == "warehouse":
+        divergence = _first_dump_divergence(
+            baseline.warehouse_dump, variant.warehouse_dump
+        )
+        # Equal warehouses must also diagnose equally; check both so a
+        # pair failure always names the earliest layer that diverged.
+        if divergence is None:
+            divergence = _report_divergence(baseline, variant)
+    else:
+        divergence = _report_divergence(baseline, variant)
+    return ConformanceResult(
+        pair=pair,
+        scenario=scenario,
+        seed=seed,
+        equal=divergence is None,
+        divergence=divergence,
+    )

@@ -1,0 +1,343 @@
+"""End-to-end scenario execution and scoring.
+
+:class:`ScenarioRunner` drives the full milliScope loop for one entry
+of the :data:`SCENARIOS` registry:
+
+1. simulate the scenario with its fault injectors, writing native
+   mScopeMonitors logs (seeded — the whole run is a deterministic
+   function of ``(scenario, seed)``);
+2. capture the injectors' recorded episodes as a
+   :class:`~repro.validation.schedule.FaultSchedule`, saved next to the
+   logs;
+3. build the warehouse through one of several *modes* (batch,
+   parallel transform, live incremental, lenient error policies) — the
+   pipeline claims them all equivalent, and the conformance runner
+   holds it to that;
+4. diagnose (serially or with ``jobs``) and score the reports against
+   the schedule.
+
+The resulting :class:`ScenarioOutcome` renders to a JSON document that
+contains no wall-clock times or filesystem paths, so two runs with the
+same ``(scenario, seed, mode)`` produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import shutil
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.diagnosis import Diagnoser, DiagnosisReport
+from repro.common.errors import ConfigError
+from repro.common.timebase import Micros
+from repro.experiments.scenarios import (
+    ScenarioRun,
+    record_run_metadata,
+    scenario_a,
+    scenario_b,
+    scenario_dvfs,
+    scenario_gc,
+    scenario_vm,
+)
+from repro.telemetry.spans import NULL_TELEMETRY, TelemetryCollector
+from repro.transformer.errorpolicy import QUARANTINE, SKIP, ErrorPolicy
+from repro.transformer.live import LiveTransformer
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.validation.schedule import FaultSchedule
+from repro.validation.scoring import (
+    DEFAULT_SLACK_US,
+    ValidationScore,
+    score_reports,
+)
+from repro.warehouse.db import MScopeDB
+
+__all__ = [
+    "MODES",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+]
+
+SCHEDULE_FILE = "fault_schedule.json"
+
+#: Warehouse-construction modes the pipeline claims equivalent.  Every
+#: mode ends in the same diagnosis; ``diagnose-jobs2`` additionally
+#: fans anomaly windows across worker processes.
+MODES = (
+    "batch",
+    "transform-jobs2",
+    "live",
+    "diagnose-jobs2",
+    "policy-skip",
+    "policy-quarantine",
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One registered validation scenario."""
+
+    name: str
+    description: str
+    #: ``(seed, log_dir) -> ScenarioRun``; must run the simulation.
+    build: Callable[[int, Path], ScenarioRun]
+    #: Fast enough for the gating CI job (the rest run nightly).
+    fast: bool
+    #: Accuracy floors the gating/nightly checks assert.
+    floors: dict[str, float]
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "db_log_flush": ScenarioSpec(
+        name="db_log_flush",
+        description="database log flush saturates the DB disk (paper §V-A)",
+        build=lambda seed, log_dir: scenario_a(seed=seed, log_dir=log_dir),
+        fast=True,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "dirty_page_flush": ScenarioSpec(
+        name="dirty_page_flush",
+        description=(
+            "kernel dirty-page recycling saturates web/app CPUs (paper §V-B)"
+        ),
+        build=lambda seed, log_dir: scenario_b(seed=seed, log_dir=log_dir),
+        fast=True,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "jvm_gc": ScenarioSpec(
+        name="jvm_gc",
+        description="stop-the-world JVM collection on the app tier (§II)",
+        build=lambda seed, log_dir: scenario_gc(seed=seed, log_dir=log_dir),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
+    ),
+    "dvfs_slowdown": ScenarioSpec(
+        name="dvfs_slowdown",
+        description="CPU frequency scaling slows the app tier (§II)",
+        build=lambda seed, log_dir: scenario_dvfs(seed=seed, log_dir=log_dir),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
+    ),
+    "vm_consolidation": ScenarioSpec(
+        name="vm_consolidation",
+        description="co-located VM steals app-tier CPU (§II)",
+        build=lambda seed, log_dir: scenario_vm(seed=seed, log_dir=log_dir),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
+    ),
+}
+
+
+@dataclasses.dataclass(slots=True)
+class ScenarioOutcome:
+    """Everything one validated scenario run produced."""
+
+    scenario: str
+    seed: int
+    mode: str
+    score: ValidationScore
+    reports: list[DiagnosisReport]
+    schedule: FaultSchedule
+    #: Full warehouse SQL dump — what conformance compares.
+    warehouse_dump: str
+    db_path: Path
+
+    @property
+    def report_texts(self) -> list[str]:
+        return [report.to_text() for report in self.reports]
+
+    def passes_floors(self, floors: dict[str, float]) -> list[str]:
+        """Floor violations (empty = all floors met)."""
+        actual = {
+            "precision": self.score.precision,
+            "recall": self.score.recall,
+            "attribution": self.score.attribution_accuracy,
+        }
+        return [
+            f"{metric} {actual[metric]:.3f} < floor {floor:.3f}"
+            for metric, floor in sorted(floors.items())
+            if actual[metric] < floor
+        ]
+
+    def to_dict(self) -> dict:
+        """Deterministic summary: no wall-clock, no filesystem paths."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "mode": self.mode,
+            "score": self.score.to_dict(),
+            "reports": self.report_texts,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        score = self.score
+        latency = score.mean_detection_latency_us
+        lines = [
+            f"scenario {self.scenario} (seed {self.seed}, mode {self.mode})",
+            f"  injected episodes : {score.labels_total}",
+            f"  detected          : {score.labels_detected}",
+            f"  precision         : {score.precision:.3f}",
+            f"  recall            : {score.recall:.3f}",
+            f"  attribution       : {score.attribution_accuracy:.3f}"
+            f" (primary {score.primary_attribution_accuracy:.3f})",
+            "  detection latency : "
+            + (f"{latency / 1000:.0f} ms" if latency is not None else "n/a"),
+        ]
+        for match in score.matches:
+            label = match.label
+            span = f"[{label.start_us / 1e6:.3f}s, {label.stop_us / 1e6:.3f}s]"
+            if match.detected:
+                status = "detected" + (
+                    ", attributed" if match.attributed else ", MISATTRIBUTED"
+                )
+            else:
+                status = "MISSED"
+            lines.append(
+                f"    {label.cause} on {label.hostname} {span}: {status}"
+            )
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Runs registry scenarios end to end and scores the diagnoses.
+
+    Parameters
+    ----------
+    workdir:
+        Where per-run directories (native logs, fault schedule,
+        warehouse) are created.
+    telemetry:
+        Optional collector threaded through transform and diagnosis;
+        its spans persist into the warehouse's ``pipeline_metrics``.
+        Defaults to the no-op sink so conformance mode pairs compare
+        pure monitoring data.
+    """
+
+    def __init__(
+        self,
+        workdir: Path,
+        telemetry: TelemetryCollector | None = None,
+    ) -> None:
+        self.workdir = Path(workdir)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # One simulation per (scenario, seed), shared by every mode:
+        # all modes then ingest the *same* native logs, so warehouse
+        # dumps (which record source paths) are directly comparable and
+        # any conformance divergence is the ingest path's fault.
+        self._runs: dict[tuple[str, int], tuple[ScenarioRun, FaultSchedule]] = {}
+        # One outcome per (scenario, seed, mode): re-requesting a mode
+        # (e.g. the conformance pass after a full-matrix sweep) must
+        # reuse the built warehouse, not re-ingest into it.
+        self._outcomes: dict[tuple[str, int, str], ScenarioOutcome] = {}
+
+    def run(
+        self,
+        scenario: str,
+        seed: int = 7,
+        mode: str = "batch",
+        slack_us: Micros = DEFAULT_SLACK_US,
+    ) -> ScenarioOutcome:
+        """Simulate, ingest (per ``mode``), diagnose, and score."""
+        spec = SCENARIOS.get(scenario)
+        if spec is None:
+            raise ConfigError(
+                f"unknown scenario {scenario!r}; "
+                f"registered: {', '.join(sorted(SCENARIOS))}"
+            )
+        if mode not in MODES:
+            raise ConfigError(
+                f"unknown mode {mode!r}; expected one of {MODES}"
+            )
+        done = self._outcomes.get((scenario, seed, mode))
+        if done is not None:
+            if done.score.slack_us == slack_us:
+                return done
+            # Same warehouse and reports; only the matching slack
+            # changed — re-score without re-ingesting.
+            return dataclasses.replace(
+                done,
+                score=score_reports(
+                    done.schedule, done.reports, slack_us=slack_us
+                ),
+            )
+
+        rundir = self.workdir / f"{scenario}-seed{seed}"
+        mode_dir = rundir / mode
+        mode_dir.mkdir(parents=True, exist_ok=True)
+
+        cached = self._runs.get((scenario, seed))
+        if cached is None:
+            # A leftover logs tree (reused --workdir) must not survive:
+            # the monitors append to existing files, which would double
+            # every log line on re-simulation.
+            shutil.rmtree(rundir / "logs", ignore_errors=True)
+            run = spec.build(seed, rundir / "logs")
+            schedule = FaultSchedule.from_faults(run.system, run.faults)
+            schedule.save(rundir / SCHEDULE_FILE)
+            self._runs[(scenario, seed)] = (run, schedule)
+        else:
+            run, schedule = cached
+
+        db_path = mode_dir / "mscope.db"
+        # Always build from scratch: appending to a leftover warehouse
+        # (a reused --workdir, say) would silently double every table.
+        db_path.unlink(missing_ok=True)
+        db = self._build_warehouse(run, db_path, mode, mode_dir)
+        try:
+            jobs = 2 if mode == "diagnose-jobs2" else None
+            diagnoser = Diagnoser(
+                db,
+                epoch_us=run.epoch_us,
+                telemetry=self.telemetry,
+                jobs=jobs,
+            )
+            reports = diagnoser.diagnose()
+            self.telemetry.persist_stages(db)
+            dump = "\n".join(db.iterdump())
+        finally:
+            db.close()
+        score = score_reports(schedule, reports, slack_us=slack_us)
+        outcome = ScenarioOutcome(
+            scenario=scenario,
+            seed=seed,
+            mode=mode,
+            score=score,
+            reports=reports,
+            schedule=schedule,
+            warehouse_dump=dump,
+            db_path=db_path,
+        )
+        self._outcomes[(scenario, seed, mode)] = outcome
+        return outcome
+
+    def _build_warehouse(
+        self, run: ScenarioRun, db_path: Path, mode: str, rundir: Path
+    ) -> MScopeDB:
+        assert run.log_dir is not None  # every spec passes a log_dir
+        db = MScopeDB(db_path)
+        if mode == "live":
+            # One catch-up refresh over the finished logs; incremental
+            # split behaviour is covered by the live property test.
+            live = LiveTransformer(db, telemetry=self.telemetry)
+            live.refresh_directory(run.log_dir)
+        else:
+            policy = None
+            if mode == "policy-skip":
+                policy = ErrorPolicy(mode=SKIP)
+            elif mode == "policy-quarantine":
+                policy = ErrorPolicy(
+                    mode=QUARANTINE, quarantine_dir=rundir / "quarantine"
+                )
+            jobs = 2 if mode == "transform-jobs2" else 1
+            transformer = MScopeDataTransformer(
+                db, jobs=jobs, policy=policy, telemetry=self.telemetry
+            )
+            transformer.transform_directory(run.log_dir)
+        record_run_metadata(run, db)
+        return db

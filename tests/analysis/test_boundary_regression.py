@@ -1,0 +1,130 @@
+"""Regression: anomaly windows abutting the run boundary stay diagnosable.
+
+Two defects used to drop or cripple boundary-hugging windows:
+
+* ``detect_vlrt``'s median baseline collapses when an early fault makes
+  VLRTs the majority of a short snapshot's completions — the inflated
+  median raised the cutoff above every response time and the whole
+  anomaly silently vanished from diagnosis;
+* ``Diagnoser._queue_analysis`` averaged the pre- and post-window
+  context means even when the window starts at t=0 and the pre-window
+  context is empty, halving the baseline and overstating amplification.
+
+The end-to-end check injects the DB log flush in the first 100 ms of a
+short run and demands a correct, attributed diagnosis.
+"""
+
+import pytest
+
+from repro.analysis.anomaly import detect_vlrt
+from repro.analysis.diagnosis import Diagnoser
+from repro.analysis.response_time import CompletionSample
+from repro.common.timebase import ms, seconds
+from repro.experiments.scenarios import load_warehouse, scenario_a
+from repro.validation.schedule import FaultSchedule
+from repro.validation.scoring import score_reports
+
+
+def _sample(index, rt_us):
+    return CompletionSample(
+        request_id=f"r{index}",
+        completed_at=ms(100) * index,
+        response_time_us=rt_us,
+        interaction="Home",
+    )
+
+
+def test_vlrt_detection_survives_majority_anomaly():
+    """When >=50% of completions are VLRT (fault at the start of a
+    truncated snapshot), the inflated median must not hide them."""
+    normal = [_sample(i, ms(5)) for i in range(10)]
+    slow = [_sample(100 + i, ms(600)) for i in range(12)]
+    vlrts = detect_vlrt(normal + slow)
+    assert len(vlrts) == 12
+    assert all(v.response_time_us == ms(600) for v in vlrts)
+
+
+def test_vlrt_median_baseline_unchanged_for_minority_anomalies():
+    normal = [_sample(i, ms(5)) for i in range(50)]
+    slow = [_sample(100 + i, ms(600)) for i in range(3)]
+    vlrts = detect_vlrt(normal + slow)
+    assert len(vlrts) == 3
+
+
+def test_vlrt_quartile_fallback_does_not_flag_healthy_spread():
+    # A healthy heavy-ish tail (all under the absolute floor) stays
+    # quiet even when median > factor x lower quartile.
+    samples = [_sample(i, ms(1)) for i in range(12)]
+    samples += [_sample(100 + i, ms(15)) for i in range(12)]
+    assert detect_vlrt(samples) == []
+
+
+@pytest.fixture(scope="module")
+def early_fault_run(tmp_path_factory):
+    log_dir = tmp_path_factory.mktemp("early_fault_logs")
+    # The flush fires 80 ms into a 2 s run: the anomaly window abuts
+    # t=0 (its clustering margin reaches below the run start).
+    return scenario_a(
+        seed=7, flush_at=ms(80), duration=seconds(2), log_dir=log_dir
+    )
+
+
+def test_fault_in_first_100ms_is_diagnosed(early_fault_run):
+    run = early_fault_run
+    schedule = FaultSchedule.from_faults(run.system, run.faults)
+    assert len(schedule) == 1
+    assert schedule.labels[0].start_us == ms(80)
+
+    db = load_warehouse(run)
+    reports = Diagnoser(db, epoch_us=run.epoch_us).diagnose()
+    assert reports, "boundary-hugging anomaly window was dropped"
+
+    score = score_reports(schedule, reports)
+    assert score.recall == 1.0
+    assert score.attribution_accuracy == 1.0
+    # The window genuinely hugs the boundary; otherwise this test is
+    # not exercising the edge it claims to.
+    earliest = min(report.window.start for report in reports)
+    assert earliest <= ms(100)
+
+
+def test_context_baseline_ignores_empty_boundary_side():
+    """The queue baseline comes from the populated context side only —
+    an empty side must not average in a phantom zero and halve it."""
+    from repro.analysis.anomaly import AnomalyWindow
+    from repro.analysis.series import Series
+
+    # Queue level is a steady 2.0 after the window; nothing before it.
+    series = Series.from_pairs(
+        [(ms(600) + ms(10) * i, 2.0) for i in range(40)]
+    )
+    window = AnomalyWindow(
+        start=0, stop=ms(500), vlrt_count=3, peak_response_ms=200.0
+    )
+    baseline = Diagnoser._context_baseline(series, 0, window, ms(1_000))
+    assert baseline == pytest.approx(2.0)  # not 1.0 (the halved value)
+
+
+def test_context_baseline_averages_two_populated_sides():
+    from repro.analysis.anomaly import AnomalyWindow
+    from repro.analysis.series import Series
+
+    pre = [(ms(10) * i, 1.0) for i in range(20)]  # [0, 200) at 1.0
+    post = [(ms(700) + ms(10) * i, 3.0) for i in range(20)]
+    series = Series.from_pairs(pre + post)
+    window = AnomalyWindow(
+        start=ms(200), stop=ms(700), vlrt_count=3, peak_response_ms=200.0
+    )
+    baseline = Diagnoser._context_baseline(series, 0, window, ms(1_000))
+    assert baseline == pytest.approx(2.0)
+
+
+def test_context_baseline_empty_everywhere_is_zero():
+    from repro.analysis.anomaly import AnomalyWindow
+    from repro.analysis.series import Series
+
+    window = AnomalyWindow(
+        start=0, stop=ms(500), vlrt_count=1, peak_response_ms=100.0
+    )
+    empty = Series.from_pairs([])
+    assert Diagnoser._context_baseline(empty, 0, window, ms(500)) == 0.0

@@ -3,7 +3,15 @@
 ``--update-golden`` rewrites the committed golden-trace files instead
 of comparing against them — the one-command workflow after a deliberate
 pipeline-shape change (see tests/integration/test_golden_trace.py).
+
+``--shuffle-seed N`` runs the suite in a seeded random collection
+order.  Tier-1 must pass for any seed: tests may share module/session
+fixtures but must not depend on which test touched them first.  CI
+exercises one rotating seed per run; reproduce a failure locally with
+the seed CI prints.
 """
+
+import random
 
 import pytest
 
@@ -15,6 +23,24 @@ def pytest_addoption(parser):
         default=False,
         help="rewrite golden trace files from the current pipeline "
         "instead of asserting against them",
+    )
+    parser.addoption(
+        "--shuffle-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shuffle test collection order with this seed "
+        "(ordering-independence check; any seed must pass)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = config.getoption("--shuffle-seed")
+    if seed is None:
+        return
+    random.Random(seed).shuffle(items)
+    config.pluginmanager.get_plugin("terminalreporter").write_line(
+        f"shuffled {len(items)} tests with --shuffle-seed={seed}"
     )
 
 

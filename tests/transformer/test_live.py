@@ -171,6 +171,66 @@ def test_lenient_live_records_errors_idempotently(log_dir):
     assert errors[0][1] == 2  # line number of the damaged record
 
 
+def test_lenient_budget_exhaustion_skips_file_after_retries(log_dir):
+    """A live file that blows its error budget rides the same
+    retry-then-skip path as a torn mid-write file: bounded retries,
+    no partial import, and the damage stays on the ledger."""
+    from repro.transformer.errorpolicy import SKIP, ErrorPolicy
+
+    path = log_dir / "db1" / "mysql_log.log"
+    append(
+        path,
+        [
+            mysql_line(0),
+            "170301 10:00:00\tQuery\tbroken one",
+            "170301 10:00:01\tQuery\tbroken two",
+        ],
+    )
+    delays = []
+    live = LiveTransformer(
+        MScopeDB(),
+        policy=ErrorPolicy(mode=SKIP, budget=1),
+        max_retries=2,
+        backoff_s=0.01,
+        sleep=delays.append,
+        clock=lambda: 0.0,
+    )
+    outcome = live.refresh_directory(log_dir)
+    assert outcome.skipped_files == 1
+    assert outcome.retries == 2
+    assert delays == [0.01, 0.02]
+    # The aborted parse imports nothing — not even the healthy line.
+    assert "mysql_events_db1" not in live.db.dynamic_tables()
+    # Each retry re-parses and re-records onto the same keyed ledger
+    # rows: budget + 1 errors, not (budget + 1) x attempts.
+    assert live.db.ingest_error_count() == 2
+    beat = live.heartbeat()
+    assert beat is not None and "budget" in beat.last_error
+
+
+def test_budget_exhausted_file_imports_once_repaired(log_dir):
+    """The skip is per-refresh: repair the file and the next refresh
+    imports everything, converging with a clean batch load."""
+    from repro.transformer.errorpolicy import SKIP, ErrorPolicy
+
+    path = log_dir / "db1" / "mysql_log.log"
+    append(path, [mysql_line(0), "170301 10:00:00\tQuery\tbroken"])
+    live = LiveTransformer(
+        MScopeDB(),
+        policy=ErrorPolicy(mode=SKIP, budget=None),
+        max_retries=0,
+        sleep=lambda _d: None,
+    )
+    # Unlimited budget: the damaged line records, the healthy one lands.
+    assert live.refresh_directory(log_dir).new_rows == 1
+    path.write_text("")
+    append(path, [mysql_line(0), mysql_line(1)])
+    # The rewritten file grew past the high-water mark; the fresh tail
+    # imports and the warehouse holds both healthy rows.
+    live.refresh_directory(log_dir)
+    assert live.db.row_count("mysql_events_db1") == 2
+
+
 def test_missing_directory_raises(tmp_path):
     live = LiveTransformer(MScopeDB())
     with pytest.raises(DeclarationError):

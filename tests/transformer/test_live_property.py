@@ -1,0 +1,98 @@
+"""Property: live incremental ingest is split-invariant.
+
+``tests/transformer/test_live.py::test_live_matches_batch_load`` checks
+one fixed interleaving (one line per refresh).  The property below is
+the general claim the validation harness leans on: for *any* partition
+of the same byte stream into successive appends — including empty
+refreshes, everything-at-once, and uneven bursts — the LiveTransformer
+warehouse is ``iterdump``-identical to a one-shot batch transform of
+the final directory.
+
+Splits are constrained to complete-line boundaries: a torn (half
+written) record is a different byte stream, not a different split of
+this one, and mid-record tearing semantics are covered by the error
+policy tests.  See docs/validation.md ("Known limits").
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.records import BoundaryRecord
+from repro.common.timebase import WallClock, ms
+from repro.logfmt.mysql import format_mscope_query
+from repro.transformer.live import LiveTransformer
+from repro.transformer.pipeline import MScopeDataTransformer
+from repro.warehouse.db import MScopeDB
+
+WALL = WallClock()
+
+
+def mysql_line(i):
+    boundary = BoundaryRecord(
+        request_id=f"R0A00000000{i}",
+        tier="mysql",
+        node="db1",
+        upstream_arrival=ms(10 * (i + 1)),
+        upstream_departure=ms(10 * (i + 1) + 2),
+    )
+    return format_mscope_query(WALL, boundary, f"SELECT {i}")
+
+
+LINES = [mysql_line(i) for i in range(10)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cuts=st.lists(
+        st.integers(min_value=0, max_value=len(LINES)), max_size=6
+    )
+)
+def test_any_line_split_matches_batch(cuts):
+    """Incremental refreshes over any prefix chain of the stream end in
+    the same warehouse bytes as a single batch transform."""
+    # Sorted unique cut points form a chain of growing prefixes; the
+    # final refresh always sees the complete file.
+    prefixes = sorted(set(cuts) | {len(LINES)})
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = Path(tmp) / "logs"
+        host = log_dir / "db1"
+        host.mkdir(parents=True)
+        path = host / "mysql_log.log"
+
+        live = LiveTransformer(MScopeDB())
+        written = 0
+        for cut in prefixes:
+            with path.open("a") as handle:
+                for line in LINES[written:cut]:
+                    handle.write(line + "\n")
+            written = cut
+            live.refresh_directory(log_dir)
+
+        batch_db = MScopeDB()
+        MScopeDataTransformer(batch_db).transform_directory(log_dir)
+        assert live.db.iterdump() == batch_db.iterdump()
+
+
+@settings(max_examples=15, deadline=None)
+@given(repeats=st.lists(st.integers(min_value=0, max_value=3), max_size=4))
+def test_redundant_refreshes_are_idempotent(repeats):
+    """No-growth refreshes interleaved anywhere in the chain never
+    duplicate rows or perturb the catalog."""
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = Path(tmp) / "logs"
+        host = log_dir / "db1"
+        host.mkdir(parents=True)
+        path = host / "mysql_log.log"
+
+        live = LiveTransformer(MScopeDB())
+        for i, extra in enumerate(repeats):
+            with path.open("a") as handle:
+                handle.write(LINES[i] + "\n")
+            for _ in range(1 + extra):
+                live.refresh_directory(log_dir)
+
+        batch_db = MScopeDB()
+        MScopeDataTransformer(batch_db).transform_directory(log_dir)
+        assert live.db.iterdump() == batch_db.iterdump()

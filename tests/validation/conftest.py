@@ -1,0 +1,29 @@
+"""Shared, session-scoped validation runs.
+
+A scenario run (simulate + transform + diagnose) costs a few seconds;
+the accuracy, conformance, and CLI tests all read from the same seeded
+outcomes.  Everything here is deterministic in (scenario, seed), so
+sharing loses nothing.
+"""
+
+import pytest
+
+from repro.validation.runner import ScenarioRunner
+
+#: The one seed the gating suite pins (matches the CI validation job).
+GATING_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def validation_runner(tmp_path_factory):
+    return ScenarioRunner(tmp_path_factory.mktemp("validation"))
+
+
+@pytest.fixture(scope="session")
+def db_log_flush_outcome(validation_runner):
+    return validation_runner.run("db_log_flush", seed=GATING_SEED)
+
+
+@pytest.fixture(scope="session")
+def dirty_page_flush_outcome(validation_runner):
+    return validation_runner.run("dirty_page_flush", seed=GATING_SEED)

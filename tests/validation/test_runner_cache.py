@@ -1,0 +1,41 @@
+"""Re-running a (scenario, seed, mode) must never re-ingest.
+
+The full-matrix CLI sweep (``--mode all --conformance``) requests the
+same mode twice through one runner — once for the score table, once as
+a conformance baseline/variant.  A naive second build would append the
+same logs into the existing warehouse and silently double every table
+(the bug showed up as exactly-2x VLRT counts in every conformance
+divergence).
+"""
+
+GATING_SEED = 7  # matches conftest.GATING_SEED
+
+
+def test_rerequesting_a_mode_reuses_the_outcome(
+    validation_runner, db_log_flush_outcome
+):
+    again = validation_runner.run("db_log_flush", GATING_SEED, "batch")
+    assert again is db_log_flush_outcome
+
+
+def test_fresh_runner_over_a_used_workdir_rebuilds_cleanly(
+    validation_runner, db_log_flush_outcome
+):
+    """A reused --workdir (second CLI invocation) starts from scratch
+    instead of appending to the leftover warehouse."""
+    from repro.validation.runner import ScenarioRunner
+
+    fresh = ScenarioRunner(validation_runner.workdir)
+    again = fresh.run("db_log_flush", GATING_SEED, "batch")
+    assert again.warehouse_dump == db_log_flush_outcome.warehouse_dump
+    assert again.score.to_dict() == db_log_flush_outcome.score.to_dict()
+
+
+def test_rescore_with_different_slack_keeps_the_warehouse(
+    validation_runner, db_log_flush_outcome
+):
+    rescored = validation_runner.run(
+        "db_log_flush", GATING_SEED, "batch", slack_us=0
+    )
+    assert rescored.warehouse_dump == db_log_flush_outcome.warehouse_dump
+    assert rescored.score.slack_us == 0
