@@ -65,7 +65,7 @@ def test_pipeline_parallel_speedup(scenario_a_run, tmp_path):
     parallel_s, parallel_rows, parallel_db = _timed_transform(logs, jobs=jobs)
 
     assert serial_rows == parallel_rows
-    assert serial_db.iterdump() == parallel_db.iterdump()
+    assert list(serial_db.iterdump()) == list(parallel_db.iterdump())
 
     speedup = serial_s / parallel_s
     report(
@@ -83,4 +83,4 @@ def test_pipeline_parallel_matches_serial_anywhere(scenario_a_run, tmp_path):
     _, serial_rows, serial_db = _timed_transform(logs, jobs=1)
     _, parallel_rows, parallel_db = _timed_transform(logs, jobs=4)
     assert serial_rows == parallel_rows
-    assert serial_db.iterdump() == parallel_db.iterdump()
+    assert list(serial_db.iterdump()) == list(parallel_db.iterdump())

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.analysis.metrics import metric_series
 from repro.analysis.queues import concurrency_from_sorted
+from repro.analysis.response_time import IN_FLIGHT_SLACK_US
 from repro.analysis.series import Series
 from repro.common.timebase import Micros
 from repro.telemetry.spans import NULL_PROBE, SpanData, SpanProbe
@@ -53,6 +54,14 @@ class SeriesCache:
         Optional telemetry measurement side: loads open spans into
         ``spans`` via ``probe``, which the owning engine ingests in
         deterministic order.
+    bounds:
+        Optional ``(start, stop)`` simulation-time window restricting
+        every load (either side may be ``None`` for half-open).  The
+        windowed-diagnosis path: on a sharded warehouse each load then
+        prunes to the shards its window overlaps instead of scanning
+        the whole history.  Event-table span loads keep requests that
+        *arrived* up to ``IN_FLIGHT_SLACK_US`` before ``start``, since
+        those may still occupy a queue inside the window.
 
     The cache holds **loaded data only** — it never invalidates, by
     design: a diagnosis run analyzes one immutable warehouse snapshot.
@@ -65,9 +74,11 @@ class SeriesCache:
         epoch_us: int = 0,
         probe: SpanProbe = NULL_PROBE,
         spans: list[SpanData] | None = None,
+        bounds: tuple[Micros | None, Micros | None] | None = None,
     ) -> None:
         self.db = db
         self.epoch_us = epoch_us
+        self.bounds = bounds
         self._probe = probe
         self._spans: list[SpanData] = spans if spans is not None else []
         self._metrics: dict[tuple[str, tuple[str, ...]], Series] = {}
@@ -93,11 +104,17 @@ class SeriesCache:
             self.hits += 1
             return series
         self.misses += 1
+        start, stop = self.bounds if self.bounds is not None else (None, None)
         with self._probe.span(
             self._spans, "analysis.load_metric", source_path=table
         ) as span:
             series = metric_series(
-                self.db, table, tuple(columns), epoch_us=self.epoch_us
+                self.db,
+                table,
+                tuple(columns),
+                epoch_us=self.epoch_us,
+                start=start,
+                stop=stop,
             )
             span.add(records=len(series))
         self._metrics[key] = series
@@ -153,14 +170,40 @@ class SeriesCache:
             self.hits += 1
             return cached
         self.misses += 1
+        start, stop = self.bounds if self.bounds is not None else (None, None)
+        # A request that arrived before the window may still be in
+        # flight inside it; keep arrivals back to start - slack.
+        wh_start = (
+            start + self.epoch_us - IN_FLIGHT_SLACK_US
+            if start is not None
+            else None
+        )
+        wh_stop = stop + self.epoch_us if stop is not None else None
+        columnar = getattr(self.db, "columnar_spans", None)
+        if columnar is not None:
+            arrays = columnar(table, wh_start, wh_stop)
+            if arrays is not None:
+                arrivals = arrays[0] - self.epoch_us
+                departures = arrays[1] - self.epoch_us
+                self._tier_spans[table] = (arrivals, departures)
+                return arrivals, departures
+        sql = (
+            f"SELECT upstream_arrival_us, upstream_departure_us "
+            f"FROM {quote_identifier(table)} "
+            f"WHERE upstream_departure_us IS NOT NULL"
+        )
+        params: list = []
+        if wh_start is not None:
+            sql += " AND upstream_arrival_us >= ?"
+            params.append(wh_start)
+        if wh_stop is not None:
+            sql += " AND upstream_arrival_us < ?"
+            params.append(wh_stop)
         with self._probe.span(
             self._spans, "analysis.load_spans", source_path=table
         ) as span:
-            rows = self.db.query(
-                f"SELECT upstream_arrival_us, upstream_departure_us "
-                f"FROM {quote_identifier(table)} "
-                f"WHERE upstream_departure_us IS NOT NULL"
-            )
+            with self.db.pruned(wh_start, wh_stop):
+                rows = self.db.query(sql, params)
             span.add(records=len(rows))
         if rows:
             data = np.asarray(rows, dtype=np.int64) - self.epoch_us

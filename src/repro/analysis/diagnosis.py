@@ -212,7 +212,19 @@ class Diagnoser:
         back in window order, so the output is identical to a serial
         run — the same guarantee style as the parallel transformer.
         ``None``/``1`` diagnoses in-process.
+    window_us:
+        Optional ``(start, stop)`` simulation-time window restricting
+        the diagnosis to requests completing inside it (either side
+        may be ``None``).  Every warehouse load is bounded to the
+        window plus analysis context, so on a sharded warehouse only
+        the overlapping shards are ever opened — diagnosing the last
+        minute of a day-long run no longer reads the day.
     """
+
+    #: Context padding applied to ``window_us`` when bounding series
+    #: loads: queue analysis looks ±1 s around each anomaly window and
+    #: resource analysis ±0.5 s, so ±1.5 s covers both.
+    window_pad_us: Micros = ms(1_500)
 
     #: A metric is "saturated" above this value (percent).
     saturation_threshold = 80.0
@@ -233,6 +245,7 @@ class Diagnoser:
         epoch_us: int = 0,
         telemetry: TelemetryCollector | None = None,
         jobs: int | None = None,
+        window_us: "tuple[Micros | None, Micros | None] | None" = None,
     ) -> None:
         from repro.analysis.causal import DEFAULT_EVENT_TABLES
 
@@ -265,10 +278,22 @@ class Diagnoser:
                 raise AnalysisError(
                     f"tier table {table!r} has no upstream_arrival_us column"
                 )
+        self.window_us = window_us
+        bounds: tuple[Micros | None, Micros | None] | None = None
+        if window_us is not None:
+            start, stop = window_us
+            bounds = (
+                start - self.window_pad_us if start is not None else None,
+                stop + self.window_pad_us if stop is not None else None,
+            )
         self._probe = self.telemetry.probe()
         self._spans: list[SpanData] = []
         self.cache = SeriesCache(
-            db, epoch_us=epoch_us, probe=self._probe, spans=self._spans
+            db,
+            epoch_us=epoch_us,
+            probe=self._probe,
+            spans=self._spans,
+            bounds=bounds,
         )
 
     # ------------------------------------------------------------------
@@ -282,11 +307,18 @@ class Diagnoser:
         """Run the full pipeline; one report per anomaly window."""
         self._spans.clear()
         with self._probe.span(self._spans, "analysis.run") as run_span:
+            window_start, window_stop = (
+                self.window_us if self.window_us is not None else (None, None)
+            )
             with self._probe.span(
                 self._spans, "analysis.completions", source_path=self.front_table
             ) as span:
                 completions = completions_from_warehouse(
-                    self.db, self.front_table, self.epoch_us
+                    self.db,
+                    self.front_table,
+                    self.epoch_us,
+                    start=window_start,
+                    stop=window_stop,
                 )
                 span.add(records=len(completions))
             if not completions:
@@ -354,6 +386,7 @@ class Diagnoser:
                     self.tier_tables,
                     self.front_table,
                     self.epoch_us,
+                    self.window_us,
                 ),
             ) as pool:
                 return list(
@@ -622,13 +655,25 @@ def _init_window_worker(
     tier_tables: dict[str, str],
     front_table: str,
     epoch_us: int,
+    window_us: "tuple[Micros | None, Micros | None] | None" = None,
 ) -> None:
     global _WORKER
-    db = MScopeDB(db_path)
+    from repro.warehouse.sharded import open_warehouse
+
+    # Monolithic or sharded — the worker reopens whatever layout the
+    # parent diagnosed, with the same query window.
+    db = open_warehouse(db_path)
     diagnoser = Diagnoser(
-        db, tier_tables=tier_tables, front_table=front_table, epoch_us=epoch_us
+        db,
+        tier_tables=tier_tables,
+        front_table=front_table,
+        epoch_us=epoch_us,
+        window_us=window_us,
     )
-    completions = completions_from_warehouse(db, front_table, epoch_us)
+    start, stop = window_us if window_us is not None else (None, None)
+    completions = completions_from_warehouse(
+        db, front_table, epoch_us, start=start, stop=stop
+    )
     skew = _interaction_inputs(completions)
     candidates = discover_candidates(db)
     horizon = max(c.completed_at for c in completions)

@@ -36,25 +36,41 @@ def metric_series(
     start: int | None = None,
     stop: int | None = None,
 ) -> Series:
-    """A series summing one or more numeric columns of a resource table."""
+    """A series summing one or more numeric columns of a resource table.
+
+    ``start``/``stop`` are simulation-time bounds on the load.  Metric
+    tables partition on ``timestamp_us``, the very column bounded
+    here, so on a sharded warehouse the read prunes exactly to the
+    overlapping shards; when columnar sidecars are built the series
+    comes straight from the numpy arrays, no SQL at all.
+    """
     if not columns:
         raise AnalysisError("metric_series needs at least one column")
+    wh_start = start + epoch_us if start is not None else None
+    wh_stop = stop + epoch_us if stop is not None else None
+    columnar = getattr(db, "columnar_series", None)
+    if columnar is not None:
+        arrays = columnar(table, columns, wh_start, wh_stop)
+        if arrays is not None:
+            times, values = arrays
+            return Series._from_sorted(times - epoch_us, values)
     summed = " + ".join(
         f"COALESCE({quote_identifier(c)}, 0)" for c in columns
     )
     sql = f"SELECT timestamp_us, {summed} FROM {quote_identifier(table)}"
     conditions = []
     params: list = []
-    if start is not None:
+    if wh_start is not None:
         conditions.append("timestamp_us >= ?")
-        params.append(start + epoch_us)
-    if stop is not None:
+        params.append(wh_start)
+    if wh_stop is not None:
         conditions.append("timestamp_us < ?")
-        params.append(stop + epoch_us)
+        params.append(wh_stop)
     if conditions:
         sql += " WHERE " + " AND ".join(conditions)
     sql += " ORDER BY timestamp_us"
-    rows = db.query(sql, params)
+    with db.pruned(wh_start, wh_stop):
+        rows = db.query(sql, params)
     return Series.from_pairs((t - epoch_us, float(v)) for t, v in rows)
 
 

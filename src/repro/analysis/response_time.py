@@ -18,12 +18,21 @@ from repro.warehouse.db import MScopeDB, quote_identifier
 
 __all__ = [
     "CompletionSample",
+    "IN_FLIGHT_SLACK_US",
     "PointInTimeWindow",
     "completions_from_traces",
     "completions_from_warehouse",
     "point_in_time_response_times",
     "sampled_average_response_times",
 ]
+
+#: How far before a query window a request may have *arrived* (or been
+#: stored, on a sharded warehouse that partitions by arrival time) and
+#: still matter to it — the assumed bound on request duration.
+#: Windowed reads widen their partition-pruning hint by this much so a
+#: request spanning a shard boundary is never missed; 30 s is orders
+#: of magnitude above any response time the n-tier scenarios produce.
+IN_FLIGHT_SLACK_US: Micros = 30_000_000
 
 
 class CompletionSample(NamedTuple):
@@ -76,6 +85,8 @@ def completions_from_warehouse(
     db: MScopeDB,
     table: str = "apache_events_web1",
     epoch_us: int = 0,
+    start: Micros | None = None,
+    stop: Micros | None = None,
 ) -> list[CompletionSample]:
     """Completion samples from a first-tier event table in mScopeDB.
 
@@ -83,19 +94,37 @@ def completions_from_warehouse(
     ``departure - arrival`` is the server-side response time.
     ``epoch_us`` rebases warehouse epoch timestamps onto simulation
     time (pass the experiment's epoch).
+
+    ``start``/``stop`` (simulation time) restrict the load to requests
+    *completing* in ``[start, stop)`` — the windowed-diagnosis path.
+    On a sharded warehouse the read is partition-pruned: only shards
+    overlapping the window (widened by :data:`IN_FLIGHT_SLACK_US`, so
+    boundary-spanning requests are kept) are opened.
     """
     # Rebase/derive in SQL and build tuples via ``_make``: one sample
     # per warehouse request makes the per-row Python work visible in
     # whole-run profiles.
-    rows = db.query(
+    sql = (
         f"SELECT upstream_departure_us - ?, "
         f"upstream_departure_us - upstream_arrival_us, "
         f"COALESCE(request_id, ''), COALESCE(interaction, '') "
         f"FROM {quote_identifier(table)} "
-        f"WHERE upstream_departure_us IS NOT NULL "
-        f"ORDER BY upstream_departure_us",
-        (epoch_us,),
+        f"WHERE upstream_departure_us IS NOT NULL"
     )
+    params: list = [epoch_us]
+    if start is not None:
+        sql += " AND upstream_departure_us >= ?"
+        params.append(start + epoch_us)
+    if stop is not None:
+        sql += " AND upstream_departure_us < ?"
+        params.append(stop + epoch_us)
+    sql += " ORDER BY upstream_departure_us"
+    hint_start = (
+        start + epoch_us - IN_FLIGHT_SLACK_US if start is not None else None
+    )
+    hint_stop = stop + epoch_us if stop is not None else None
+    with db.pruned(hint_start, hint_stop):
+        rows = db.query(sql, params)
     return list(map(CompletionSample._make, rows))
 
 

@@ -38,6 +38,7 @@ from repro.telemetry.spans import TelemetryCollector
 from repro.transformer.errorpolicy import ERROR_MODES, QUARANTINE, ErrorPolicy
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
+from repro.warehouse.sharded import ShardedMScopeDB, open_warehouse
 
 __all__ = ["main", "build_parser"]
 
@@ -111,6 +112,21 @@ def build_parser() -> argparse.ArgumentParser:
         "fails; 0 = unlimited (lenient modes only)",
     )
     transform.add_argument(
+        "--shard",
+        action="store_true",
+        help="build a host-partitioned shard directory instead of one "
+        "database file (--db then names the directory); importers "
+        "write their host's shards in parallel",
+    )
+    transform.add_argument(
+        "--shard-window-s",
+        type=float,
+        default=None,
+        help="also partition each host's shards into time windows of "
+        "this many seconds (implies --shard); windowed reads then "
+        "open only the overlapping shards",
+    )
+    transform.add_argument(
         "--no-stats",
         action="store_true",
         help="disable pipeline telemetry (the warehouse then stays "
@@ -167,6 +183,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip recording analysis-stage telemetry into the "
         "warehouse",
+    )
+    diagnose.add_argument(
+        "--window",
+        default=None,
+        metavar="START:STOP",
+        help="diagnose only requests completing in this simulation-"
+        "time window (seconds; either side may be empty) — on a "
+        "sharded warehouse only the overlapping shards are read",
+    )
+
+    shards = subparsers.add_parser(
+        "shards", help="inspect and manage a sharded warehouse"
+    )
+    shards.add_argument("--db", type=Path, required=True)
+    shards.add_argument(
+        "--drop-before",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="retention: delete shards entirely before this warehouse "
+        "timestamp (seconds)",
+    )
+    shards.add_argument(
+        "--compact-before",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="merge each host's shards before this warehouse "
+        "timestamp (seconds) into one rollup shard",
+    )
+    shards.add_argument(
+        "--columnar",
+        action="store_true",
+        help="build numpy columnar sidecars next to each shard "
+        "(windowed metric reads then skip SQL entirely)",
     )
 
     figures = subparsers.add_parser(
@@ -251,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         "diagnose": _cmd_diagnose,
         "figures": _cmd_figures,
         "report": _cmd_report,
+        "shards": _cmd_shards,
         "validate": _cmd_validate,
     }[args.command]
     return handler(args)
@@ -328,7 +380,7 @@ def _run_from_config(config_path: Path, log_dir: Path):
 def _cmd_report(args) -> int:
     from repro.analysis.report import write_markdown_report
 
-    db = MScopeDB(args.db)
+    db = open_warehouse(args.db)
     epoch = args.epoch_us
     if epoch is None:
         recorded = db.get_experiment_meta("epoch_us")
@@ -349,7 +401,17 @@ def _cmd_transform(args) -> int:
         quarantine_dir=quarantine_dir if args.on_error == QUARANTINE else None,
     )
     telemetry = None if args.no_stats else TelemetryCollector()
-    db = MScopeDB(args.db)
+    if args.shard or args.shard_window_s is not None:
+        window_us = (
+            seconds(args.shard_window_s)
+            if args.shard_window_s is not None
+            else None
+        )
+        db: MScopeDB | ShardedMScopeDB = ShardedMScopeDB(
+            args.db, window_us=window_us
+        )
+    else:
+        db = MScopeDB(args.db)
     transformer = MScopeDataTransformer(
         db, workdir=args.workdir, jobs=args.jobs, policy=policy,
         telemetry=telemetry,
@@ -414,7 +476,7 @@ def _cmd_stats(args) -> int:
         render_text,
     )
 
-    with MScopeDB(args.db) as db:
+    with open_warehouse(args.db) as db:
         telemetry = RunTelemetry.from_db(db)
         if telemetry is None:
             print(
@@ -432,7 +494,7 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_errors(args) -> int:
-    with MScopeDB(args.db) as db:
+    with open_warehouse(args.db) as db:
         rows = db.ingest_errors()
         if not rows:
             print("no ingest errors recorded")
@@ -456,14 +518,34 @@ def _cmd_errors(args) -> int:
 def _cmd_diagnose(args) -> int:
     from repro.telemetry.spans import NULL_TELEMETRY, TelemetryCollector
 
-    db = MScopeDB(args.db)
+    db = open_warehouse(args.db)
     epoch = args.epoch_us
     if epoch is None:
         recorded = db.get_experiment_meta("epoch_us")
         epoch = int(recorded) if recorded is not None else 0
+    window = None
+    if args.window is not None:
+        try:
+            raw_start, raw_stop = args.window.split(":", 1)
+            window = (
+                seconds(float(raw_start)) if raw_start else None,
+                seconds(float(raw_stop)) if raw_stop else None,
+            )
+        except ValueError:
+            print(
+                f"bad --window {args.window!r}: expected START:STOP "
+                f"seconds, e.g. 120:180 or 120: (open-ended)",
+                file=sys.stderr,
+            )
+            db.close()
+            return 2
     telemetry = NULL_TELEMETRY if args.no_stats else TelemetryCollector()
     reports = Diagnoser(
-        db, epoch_us=epoch, telemetry=telemetry, jobs=args.jobs
+        db,
+        epoch_us=epoch,
+        telemetry=telemetry,
+        jobs=args.jobs,
+        window_us=window,
     ).diagnose()
     # Analysis spans land next to the ingest stages, so `mscope stats`
     # shows one end-to-end latency breakdown.
@@ -475,6 +557,45 @@ def _cmd_diagnose(args) -> int:
     for report in reports:
         print(report.to_text())
         print()
+    db.close()
+    return 0
+
+
+def _cmd_shards(args) -> int:
+    db = open_warehouse(args.db)
+    if not getattr(db, "is_sharded", False):
+        print(f"{args.db} is a monolithic warehouse (no shards)")
+        db.close()
+        return 1
+    assert isinstance(db, ShardedMScopeDB)
+    # Cutoffs and spans are simulation-time seconds (rebased by the
+    # recorded epoch), matching diagnose --window.
+    recorded = db.get_experiment_meta("epoch_us")
+    epoch = int(recorded) if recorded is not None else 0
+    if args.drop_before is not None:
+        dropped = db.drop_shards_before(seconds(args.drop_before) + epoch)
+        print(f"dropped {dropped} shards before {args.drop_before:g}s")
+    if args.compact_before is not None:
+        merged = db.compact_shards_before(
+            seconds(args.compact_before) + epoch
+        )
+        print(f"compacted {merged} shards before {args.compact_before:g}s")
+    if args.columnar:
+        arrays = db.build_columnar()
+        print(f"columnar sidecars: {arrays} arrays")
+    window = db.window_us
+    label = f"{window / 1_000_000:g}s windows" if window else "host-only"
+    print(f"{args.db}: {label}")
+    for info in sorted(db.shard_manifest(), key=lambda i: i.sort_key()):
+        if info.start_us is None and info.stop_us is None:
+            span = "all time" if info.window_index == 0 else "no timestamp"
+        else:
+            span = (
+                f"{(info.start_us - epoch) / 1_000_000:g}s-"
+                f"{(info.stop_us - epoch) / 1_000_000:g}s"
+            )
+        tables = ", ".join(sorted(info.tables)) or "-"
+        print(f"  {info.relpath}  [{span}]  {tables}")
     db.close()
     return 0
 

@@ -18,8 +18,14 @@ from __future__ import annotations
 from repro.common.errors import DataImportError
 from repro.transformer.xml_to_csv import CsvTable
 from repro.warehouse.db import MScopeDB
+from repro.warehouse.sharded import ShardedMScopeDB, WorkerShardDB
 
 __all__ = ["MScopeDataImporter"]
+
+#: Anything the importer can load into: the monolithic warehouse, the
+#: sharded one (serial path), or a worker-private shard facade
+#: (parallel sharded path).
+WarehouseTarget = MScopeDB | ShardedMScopeDB | WorkerShardDB
 
 _WIDER = {"INTEGER": 0, "REAL": 1, "TEXT": 2}
 
@@ -27,7 +33,7 @@ _WIDER = {"INTEGER": 0, "REAL": 1, "TEXT": 2}
 class MScopeDataImporter:
     """Loads converted tables into mScopeDB."""
 
-    def __init__(self, db: MScopeDB) -> None:
+    def __init__(self, db: WarehouseTarget) -> None:
         self.db = db
         self._known_tables: set[str] | None = None
 

@@ -70,6 +70,12 @@ from repro.transformer.parsers import create_parser
 from repro.transformer.xml_to_csv import CsvTable, XmlToCsvConverter
 from repro.transformer.xmlmodel import XmlDocument
 from repro.warehouse.db import MScopeDB
+from repro.warehouse.sharded import (
+    ShardHostWriter,
+    ShardInfo,
+    ShardedMScopeDB,
+    WorkerShardDB,
+)
 
 __all__ = ["TransformOutcome", "MScopeDataTransformer"]
 
@@ -216,6 +222,69 @@ def _parse_convert_task(
     )
 
 
+def _host_shard_task(
+    root_str: str,
+    host: str,
+    window_us: int | None,
+    file_specs: list[tuple[str, ParserBinding]],
+    workdir_str: str | None,
+    policy: ErrorPolicy,
+    probe: SpanProbe = NULL_PROBE,
+) -> tuple[list[tuple], tuple[tuple, ...], list[ShardInfo]]:
+    """Worker entry point for the sharded fan-out: one host, end to end.
+
+    Unlike :func:`_parse_convert_task`, this worker owns the *write*
+    stage too: it parses, converts, and imports every one of its
+    host's files straight into a host-private
+    :class:`~repro.warehouse.sharded.ShardHostWriter` — no table data
+    ever crosses back to the parent, which removes the single-writer
+    drain entirely.  Metadata side effects (schema catalog, load
+    catalog, monitor registry, ingest errors) are buffered and
+    returned for the parent to replay into the manifest in
+    deterministic host order.
+
+    Returns ``(file_results, meta_ops, shard_records)`` where each
+    file result is ``(table_name, rows, columns, failed, xml, csv,
+    errors, spans)`` in input file order.
+    """
+    workdir = Path(workdir_str) if workdir_str is not None else None
+    if probe.enabled:
+        probe = probe.relabel(f"pid-{os.getpid()}")
+    writer = ShardHostWriter(Path(root_str), host, window_us)
+    facade = WorkerShardDB(writer)
+    importer = MScopeDataImporter(facade)
+    results: list[tuple] = []
+    for path_str, binding in file_specs:
+        path = Path(path_str)
+        table, xml_artifact, csv_artifact, errors, spans = _parse_convert(
+            path, host, binding, workdir, policy, probe
+        )
+        import_spans: list[SpanData] = []
+        rows = 0
+        with probe.span(
+            import_spans, "import", host, path_str, parent="file"
+        ) as span:
+            span.add(errors=len(errors))
+            if table is not None:
+                rows = importer.import_table(
+                    table, host, binding.parser_name, span=span
+                )
+        results.append(
+            (
+                table.name if table is not None else "",
+                rows,
+                len(table.columns) if table is not None else 0,
+                table is None,
+                xml_artifact,
+                csv_artifact,
+                errors,
+                tuple(spans) + tuple(import_spans),
+            )
+        )
+    records = writer.close()
+    return results, facade.drain_meta_ops(), records
+
+
 class MScopeDataTransformer:
     """Transforms native monitor logs into warehouse tables.
 
@@ -250,7 +319,7 @@ class MScopeDataTransformer:
 
     def __init__(
         self,
-        db: MScopeDB,
+        db: MScopeDB | ShardedMScopeDB,
         declaration: ParsingDeclaration | None = None,
         workdir: Path | str | None = None,
         jobs: int | None = None,
@@ -375,6 +444,17 @@ class MScopeDataTransformer:
         warehouse is identical to a ``jobs=1`` run, including on
         partial failure (files ordered before the first failing file
         are fully loaded, later ones are not).
+
+        When the target warehouse is sharded
+        (:class:`~repro.warehouse.sharded.ShardedMScopeDB`), ``jobs >
+        1`` instead fans out whole *hosts*: each worker parses,
+        converts, **and imports** its host's files into a private
+        shard writer, eliminating the single-writer drain.  The loaded
+        warehouse is content-identical to a serial run (held by the
+        ``warehouse-sharded`` conformance pair); the one traded
+        guarantee is partial-failure shape — on a mid-run error,
+        *which* files were already loaded depends on worker timing,
+        not file order.
         """
         root = Path(root)
         if not root.is_dir():
@@ -409,6 +489,8 @@ class MScopeDataTransformer:
                         errors, spans,
                     )
                 )
+        elif getattr(self.db, "is_sharded", False):
+            outcomes = self._transform_parallel_sharded(work, jobs)
         else:
             outcomes = self._transform_parallel(work, jobs)
         self._finish_run(outcomes)
@@ -431,6 +513,96 @@ class MScopeDataTransformer:
             ]
         )
         telemetry.persist(self.db)
+
+    def _transform_parallel_sharded(
+        self, work: list[tuple[Path, str, ParserBinding]], jobs: int
+    ) -> list[TransformOutcome]:
+        """Per-host parallel shard writers (see :meth:`transform_directory`).
+
+        The parent's job shrinks to metadata: it drains host results
+        in sorted host order, records each file's ingest errors and
+        spans, replays the buffered catalog/registry ops into the
+        manifest, and adopts the workers' shard records.
+        """
+        db = self.db
+        assert isinstance(db, ShardedMScopeDB)  # dispatch guarantees it
+        groups: dict[str, list[tuple[Path, ParserBinding]]] = {}
+        for path, host, binding in work:
+            groups.setdefault(host, []).append((path, binding))
+        workdir_str = str(self.workdir) if self.workdir is not None else None
+        telemetry = self.telemetry
+        probe = telemetry.probe()
+        outcomes: list[TransformOutcome] = []
+        hosts = sorted(groups)
+        workers = max(1, min(jobs, len(hosts)))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = {
+                host: pool.submit(
+                    _host_shard_task,
+                    str(db.root),
+                    host,
+                    db.window_us,
+                    [(str(path), binding) for path, binding in groups[host]],
+                    workdir_str,
+                    self.policy,
+                    probe,
+                )
+                for host in hosts
+            }
+            try:
+                for index, host in enumerate(hosts):
+                    if telemetry.enabled:
+                        telemetry.record_queue_depth(
+                            sum(
+                                1
+                                for h in hosts[index:]
+                                if futures[h].done()
+                            )
+                        )
+                    results, meta_ops, records = futures[host].result()
+                    for (path, binding), result in zip(groups[host], results):
+                        (
+                            table_name,
+                            rows,
+                            columns,
+                            failed,
+                            xml_artifact,
+                            csv_artifact,
+                            errors,
+                            spans,
+                        ) = result
+                        telemetry.ingest(spans)
+                        for error in errors:
+                            self.db.record_ingest_error(
+                                error.path,
+                                error.line_number,
+                                error.parser,
+                                error.reason,
+                                error.excerpt,
+                            )
+                        outcomes.append(
+                            TransformOutcome(
+                                source=path,
+                                table_name=table_name,
+                                rows_loaded=rows,
+                                columns=columns,
+                                parser_name=binding.parser_name,
+                                xml_artifact=xml_artifact,
+                                csv_artifact=csv_artifact,
+                                error_count=len(errors),
+                                failed=failed,
+                            )
+                        )
+                    for op in meta_ops:
+                        db.apply_meta_op(op)
+                    db.register_shards(records)
+            except BaseException:
+                for future in futures.values():
+                    future.cancel()
+                raise
+        return outcomes
 
     def _transform_parallel(
         self, work: list[tuple[Path, str, ParserBinding]], jobs: int

@@ -19,7 +19,9 @@ is the ingest path's fault, never the simulator's.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from pathlib import Path
+from typing import Iterable
 
 from repro.validation.runner import ScenarioOutcome, ScenarioRunner
 
@@ -38,9 +40,11 @@ class ConformancePair:
     key: str
     baseline_mode: str
     variant_mode: str
-    #: ``"warehouse"`` compares full SQL dumps; ``"report"`` compares
-    #: rendered diagnosis reports (modes that only change analysis
-    #: fan-out leave the warehouse identical by construction).
+    #: ``"warehouse"`` compares full SQL dumps; ``"content"`` compares
+    #: the canonical content lines (layout-independent — how a sharded
+    #: warehouse is held equal to a monolithic one); ``"report"``
+    #: compares rendered diagnosis reports (modes that only change
+    #: analysis fan-out leave the warehouse identical by construction).
     compare: str
     claim: str
 
@@ -89,6 +93,14 @@ CONFORMANCE_PAIRS: tuple[ConformancePair, ...] = (
         claim="reconstruct_paths_bulk hop-for-hop equals scalar "
         "reconstruct_path",
     ),
+    ConformancePair(
+        key="warehouse-sharded",
+        baseline_mode="batch",
+        variant_mode="sharded",
+        compare="content",
+        claim="a host-partitioned sharded warehouse holds exactly the "
+        "monolith's content",
+    ),
 )
 
 
@@ -115,21 +127,41 @@ class ConformanceResult:
         }
 
 
-def _first_dump_divergence(baseline: str, variant: str) -> str | None:
-    if baseline == variant:
-        return None
-    base_lines = baseline.splitlines()
-    var_lines = variant.splitlines()
-    for index, (expected, got) in enumerate(zip(base_lines, var_lines)):
+_END = object()
+
+
+def _first_dump_divergence(
+    baseline: Iterable[str] | str, variant: Iterable[str] | str
+) -> str | None:
+    """First differing line between two dump line streams.
+
+    Accepts any line iterables (e.g. the streaming
+    :meth:`~repro.validation.runner.ScenarioOutcome.dump_lines`) and
+    compares them lockstep, so diffing two multi-gigabyte warehouse
+    dumps holds one *line* of each in memory, not two full dumps.
+    Plain strings are accepted for convenience and split lazily.
+    """
+    if isinstance(baseline, str):
+        baseline = iter(baseline.splitlines())
+    if isinstance(variant, str):
+        variant = iter(variant.splitlines())
+    for index, (expected, got) in enumerate(
+        itertools.zip_longest(baseline, variant, fillvalue=_END)
+    ):
+        if expected is _END or got is _END:
+            side, length = (
+                ("baseline", index) if expected is _END else ("variant", index)
+            )
+            return (
+                f"warehouse dump length: {side} ends after {length} lines, "
+                f"the other side continues"
+            )
         if expected != got:
             return (
                 f"warehouse dump line {index + 1}: "
                 f"baseline {expected!r} != variant {got!r}"
             )
-    return (
-        f"warehouse dump length: baseline {len(base_lines)} lines, "
-        f"variant {len(var_lines)} lines"
-    )
+    return None
 
 
 def _report_divergence(
@@ -205,10 +237,15 @@ def run_conformance_pair(
             divergence=divergence,
         )
     variant = runner.run(scenario, seed=seed, mode=pair.variant_mode)
-    if pair.compare == "warehouse":
-        divergence = _first_dump_divergence(
-            baseline.warehouse_dump, variant.warehouse_dump
-        )
+    if pair.compare in ("warehouse", "content"):
+        if pair.compare == "warehouse":
+            divergence = _first_dump_divergence(
+                baseline.dump_lines(), variant.dump_lines()
+            )
+        else:
+            divergence = _first_dump_divergence(
+                baseline.content_lines(), variant.content_lines()
+            )
         # Equal warehouses must also diagnose equally; check both so a
         # pair failure always names the earliest layer that diverged.
         if divergence is None:

@@ -52,6 +52,7 @@ from repro.validation.scoring import (
     score_reports,
 )
 from repro.warehouse.db import MScopeDB
+from repro.warehouse.sharded import ShardedMScopeDB, open_warehouse
 
 __all__ = [
     "MODES",
@@ -65,7 +66,9 @@ SCHEDULE_FILE = "fault_schedule.json"
 
 #: Warehouse-construction modes the pipeline claims equivalent.  Every
 #: mode ends in the same diagnosis; ``diagnose-jobs2`` additionally
-#: fans anomaly windows across worker processes.
+#: fans anomaly windows across worker processes, and ``sharded``
+#: builds a host-partitioned :class:`ShardedMScopeDB` through the
+#: parallel per-host shard writers instead of a monolithic file.
 MODES = (
     "batch",
     "transform-jobs2",
@@ -73,6 +76,7 @@ MODES = (
     "diagnose-jobs2",
     "policy-skip",
     "policy-quarantine",
+    "sharded",
 )
 
 
@@ -133,7 +137,13 @@ SCENARIOS: dict[str, ScenarioSpec] = {
 
 @dataclasses.dataclass(slots=True)
 class ScenarioOutcome:
-    """Everything one validated scenario run produced."""
+    """Everything one validated scenario run produced.
+
+    The built warehouse stays on disk at :attr:`db_path`; dump
+    accessors reopen it lazily and *stream*, so conformance can diff
+    two warehouses line-by-line without ever holding a full dump in
+    memory.
+    """
 
     scenario: str
     seed: int
@@ -141,9 +151,31 @@ class ScenarioOutcome:
     score: ValidationScore
     reports: list[DiagnosisReport]
     schedule: FaultSchedule
-    #: Full warehouse SQL dump — what conformance compares.
-    warehouse_dump: str
     db_path: Path
+
+    def dump_lines(self):
+        """The warehouse SQL dump, streamed line by line."""
+        db = open_warehouse(self.db_path)
+        try:
+            yield from db.iterdump()
+        finally:
+            db.close()
+
+    def content_lines(self):
+        """Canonical *content* lines — layout-independent, so a sharded
+        and a monolithic warehouse built from the same logs compare
+        equal (what the ``warehouse-sharded`` pair diffs)."""
+        db = open_warehouse(self.db_path)
+        try:
+            yield from db.iterdump_content()
+        finally:
+            db.close()
+
+    @property
+    def warehouse_dump(self) -> str:
+        """Full warehouse SQL dump as one string (materialized —
+        prefer :meth:`dump_lines` for comparisons)."""
+        return "\n".join(self.dump_lines())
 
     @property
     def report_texts(self) -> list[str]:
@@ -284,10 +316,15 @@ class ScenarioRunner:
         else:
             run, schedule = cached
 
-        db_path = mode_dir / "mscope.db"
-        # Always build from scratch: appending to a leftover warehouse
-        # (a reused --workdir, say) would silently double every table.
-        db_path.unlink(missing_ok=True)
+        if mode == "sharded":
+            db_path = mode_dir / "mscope.shards"
+            # Always build from scratch: appending to a leftover
+            # warehouse (a reused --workdir, say) would silently
+            # double every table.
+            shutil.rmtree(db_path, ignore_errors=True)
+        else:
+            db_path = mode_dir / "mscope.db"
+            db_path.unlink(missing_ok=True)
         db = self._build_warehouse(run, db_path, mode, mode_dir)
         try:
             jobs = 2 if mode == "diagnose-jobs2" else None
@@ -299,7 +336,6 @@ class ScenarioRunner:
             )
             reports = diagnoser.diagnose()
             self.telemetry.persist_stages(db)
-            dump = "\n".join(db.iterdump())
         finally:
             db.close()
         score = score_reports(schedule, reports, slack_us=slack_us)
@@ -310,7 +346,6 @@ class ScenarioRunner:
             score=score,
             reports=reports,
             schedule=schedule,
-            warehouse_dump=dump,
             db_path=db_path,
         )
         self._outcomes[(scenario, seed, mode)] = outcome
@@ -318,8 +353,20 @@ class ScenarioRunner:
 
     def _build_warehouse(
         self, run: ScenarioRun, db_path: Path, mode: str, rundir: Path
-    ) -> MScopeDB:
+    ) -> MScopeDB | ShardedMScopeDB:
         assert run.log_dir is not None  # every spec passes a log_dir
+        if mode == "sharded":
+            # Host-partitioned warehouse built through the parallel
+            # per-host shard writers.  Host-only sharding (no time
+            # window) keeps per-table row order identical to a serial
+            # batch build, so even diagnosis-report equality holds.
+            sharded = ShardedMScopeDB(db_path)
+            transformer = MScopeDataTransformer(
+                sharded, jobs=2, telemetry=self.telemetry
+            )
+            transformer.transform_directory(run.log_dir)
+            record_run_metadata(run, sharded)
+            return sharded
         db = MScopeDB(db_path)
         if mode == "live":
             # One catch-up refresh over the finished logs; incremental

@@ -7,13 +7,21 @@ from repro.warehouse.explorer import (
     SlowRequest,
     WarehouseExplorer,
 )
+from repro.warehouse.sharded import (
+    ShardedMScopeDB,
+    ShardHostWriter,
+    open_warehouse,
+)
 
 __all__ = [
     "IngestErrorSummary",
     "InteractionStats",
     "MScopeDB",
     "STATIC_TABLES",
+    "ShardHostWriter",
+    "ShardedMScopeDB",
     "SlowRequest",
     "WarehouseExplorer",
+    "open_warehouse",
     "quote_identifier",
 ]

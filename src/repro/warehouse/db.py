@@ -26,7 +26,13 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import QueryError, WarehouseError
 
-__all__ = ["MScopeDB", "RESPONSE_TIME_SQL", "STATIC_TABLES", "quote_identifier"]
+__all__ = [
+    "MScopeDB",
+    "RESPONSE_TIME_SQL",
+    "STATIC_TABLES",
+    "quote_identifier",
+    "table_content_lines",
+]
 
 #: The four static metadata tables (Section III-C), plus the internal
 #: schema catalog backing dynamic-column type widening, the ingest
@@ -48,9 +54,15 @@ STATIC_TABLES = (
 #: Rows per ``executemany`` batch during bulk inserts.
 _INSERT_BATCH_SIZE = 5000
 
-#: Ids per chunk in :meth:`MScopeDB.query_in_chunks` — safely under
-#: sqlite's default SQLITE_MAX_VARIABLE_NUMBER of 999.
-_IN_CHUNK_SIZE = 900
+#: Bound variables held back from :meth:`MScopeDB.max_variables` when
+#: deriving the ``query_in_chunks`` chunk size, leaving room for the
+#: query's own non-chunk parameters (epoch offsets, window bounds).
+_IN_CHUNK_HEADROOM = 32
+
+#: The variable limit assumed when the connection cannot report one
+#: (``sqlite3.Connection.getlimit`` arrived in Python 3.11): sqlite's
+#: historical SQLITE_MAX_VARIABLE_NUMBER compile-time default.
+_FALLBACK_MAX_VARIABLES = 999
 
 #: The expression the explorer's response-time queries sort and
 #: aggregate on; :meth:`MScopeDB.create_response_time_index` indexes
@@ -68,6 +80,47 @@ def quote_identifier(name: str) -> str:
     if not _IDENTIFIER_RE.match(name):
         raise WarehouseError(f"invalid SQL identifier {name!r}")
     return f'"{name}"'
+
+
+def _content_sort_key(row: Sequence[Any]) -> list[tuple]:
+    """A total, storage-independent sort key for one table row.
+
+    Ranks NULL < numeric < text < other (matching sqlite collation
+    between storage classes), compares numerics as floats so an
+    INTEGER-affinity ``2`` and a REAL ``2.0`` land adjacently, and
+    breaks every remaining tie on ``repr`` so the order never depends
+    on which warehouse layout produced the rows.
+    """
+    key = []
+    for value in row:
+        if value is None:
+            key.append((0, 0.0, "", ""))
+        elif isinstance(value, (int, float)):
+            key.append((1, float(value), "", repr(value)))
+        elif isinstance(value, str):
+            key.append((2, 0.0, value, repr(value)))
+        else:
+            key.append((3, 0.0, "", repr(value)))
+    return key
+
+
+def table_content_lines(
+    table: str,
+    schema: Sequence[tuple[str, str]],
+    rows: Iterable[Sequence[Any]],
+) -> Iterator[str]:
+    """Canonical content lines for one table: schema, then sorted rows.
+
+    The layout-independent counterpart of a raw SQL dump — row order is
+    canonicalized (see :func:`_content_sort_key`), so a partitioned
+    warehouse and a monolithic one holding the same data render the
+    same lines.  Conformance's shard≡monolith pair streams these
+    line-by-line; memory stays bounded by one table's rows.
+    """
+    rendered = ", ".join(f"{column} {sql_type}" for column, sql_type in schema)
+    yield f"TABLE {table} ({rendered})"
+    for row in sorted(rows, key=_content_sort_key):
+        yield repr(tuple(row))
 
 
 class MScopeDB:
@@ -155,14 +208,35 @@ class MScopeDB:
             if self._bulk_depth == 0:
                 self._commit()
 
-    def iterdump(self) -> list[str]:
+    def iterdump(self) -> Iterator[str]:
         """The SQL dump of the whole warehouse (schema + rows).
 
         Deterministic for a given sequence of DDL/DML statements, so
         two warehouses loaded identically dump identically — the
-        parallel/serial equivalence tests compare exactly this.
+        parallel/serial equivalence tests compare exactly this.  A
+        *generator*: conformance diffs two dumps line-by-line without
+        ever holding either one whole in memory (wrap in ``list`` to
+        materialize).
         """
-        return list(self._require_conn().iterdump())
+        yield from self._require_conn().iterdump()
+
+    def iterdump_content(self) -> Iterator[str]:
+        """Canonical *content* lines: every table's schema plus its
+        rows in a storage-independent order.
+
+        Unlike :meth:`iterdump` this ignores physical layout (rowids,
+        insert order, page structure), so it is the dump a partitioned
+        warehouse can be compared against — see
+        :meth:`repro.warehouse.sharded.ShardedMScopeDB.iterdump_content`.
+        """
+        conn = self._require_conn()
+        for table in self.tables():
+            schema = self.table_schema(table)
+            columns = ", ".join(quote_identifier(c) for c, _ in schema)
+            rows = conn.execute(
+                f"SELECT {columns} FROM {quote_identifier(table)}"
+            )
+            yield from table_content_lines(table, schema, rows)
 
     # ------------------------------------------------------------------
     # static tables
@@ -653,21 +727,47 @@ class MScopeDB:
         except sqlite3.Error as exc:
             raise QueryError(f"query failed: {exc}") from exc
 
+    def max_variables(self) -> int:
+        """The connection's actual bound-variable limit.
+
+        Read from ``SQLITE_LIMIT_VARIABLE_NUMBER`` where the runtime
+        exposes it (Python 3.11+); otherwise sqlite's historical
+        compile-time default of 999.  Modern builds allow 250k
+        variables, so chunked ``IN (...)`` queries sized from this run
+        orders of magnitude fewer statements than the old hardcoded
+        900-id chunks.
+        """
+        conn = self._require_conn()
+        getlimit = getattr(conn, "getlimit", None)
+        if getlimit is None:
+            return _FALLBACK_MAX_VARIABLES
+        return int(getlimit(sqlite3.SQLITE_LIMIT_VARIABLE_NUMBER))
+
+    def in_chunk_size(self) -> int:
+        """Ids per :meth:`query_in_chunks` statement, derived from the
+        connection's variable limit (with headroom for the query's own
+        non-chunk parameters)."""
+        return max(1, self.max_variables() - _IN_CHUNK_HEADROOM)
+
     def query_in_chunks(
         self,
         sql: str,
         values: Sequence[Any],
-        chunk_size: int = _IN_CHUNK_SIZE,
+        chunk_size: int | None = None,
     ) -> list[tuple]:
         """Run an ``IN (...)``-style query over ``values`` in chunks.
 
         ``sql`` must contain one ``{placeholders}`` slot that expands
         to the chunk's ``?`` list; chunking keeps each statement under
-        sqlite's bound-variable limit (999 by default).  Results are
+        the connection's bound-variable limit (:meth:`max_variables`,
+        queried rather than assumed — the default chunk size follows
+        the build's actual SQLITE_MAX_VARIABLE_NUMBER).  Results are
         concatenated in chunk order, so per-value row groups keep their
         within-chunk ``ORDER BY`` (each value lands in exactly one
         chunk).
         """
+        if chunk_size is None:
+            chunk_size = self.in_chunk_size()
         if chunk_size <= 0:
             raise QueryError(f"chunk size must be positive: {chunk_size}")
         rows: list[tuple] = []
@@ -676,6 +776,19 @@ class MScopeDB:
             placeholders = ", ".join("?" for _ in chunk)
             rows.extend(self.query(sql.format(placeholders=placeholders), chunk))
         return rows
+
+    @contextlib.contextmanager
+    def pruned(
+        self, start: int | None = None, stop: int | None = None
+    ) -> Iterator["MScopeDB"]:
+        """Partition-pruning hint for reads inside the context.
+
+        The monolithic warehouse has no partitions, so this is a no-op
+        — it exists so windowed analysis code can hint its time bounds
+        uniformly; ``ShardedMScopeDB`` overrides it to open only the
+        shards overlapping ``[start, stop)`` (warehouse timestamps).
+        """
+        yield self
 
     def query_plan(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
         """The ``EXPLAIN QUERY PLAN`` detail lines for a query.

@@ -1,0 +1,1774 @@
+"""ShardedMScopeDB — the scale-out, host/time-partitioned warehouse.
+
+The monolithic :class:`~repro.warehouse.db.MScopeDB` funnels every
+monitor's rows through one sqlite file and one writer — the last
+single-writer drain in an otherwise parallel pipeline.  This module
+partitions the warehouse into per-``(host, time-window)`` **shard**
+databases behind the same API:
+
+* **Writes** route by the dynamic table's host (milliScope tables are
+  named ``<monitor>_<hostname>``) and each row's timestamp window, so
+  ``transform_directory(jobs=N)`` gives every worker its *own*
+  :class:`ShardHostWriter` — N writers proceed in parallel with no
+  shared lock.
+* **Reads** federate transparently: queries naming a dynamic table get
+  a ``TEMP VIEW`` that ``UNION ALL``s the shards holding it (attached
+  read-side via sqlite ``ATTACH``), with a synthetic per-branch
+  ``rowid`` preserving the tie-break ordering the causal joins rely
+  on.  A :meth:`ShardedMScopeDB.pruned` window hint restricts the view
+  to overlapping shards — windowed analysis never opens cold data, and
+  :attr:`ShardedMScopeDB.shard_opens` counts exactly what was opened.
+* **Metadata** (the paper's static tables, the schema catalog, ingest
+  errors, pipeline telemetry) lives in one small ``manifest.db`` next
+  to the shards, alongside the shard manifest itself.
+
+Layout on disk::
+
+    <root>/manifest.db                  static tables + shard manifest
+    <root>/shards/<host>/all.db         host-only sharding (window_us=None)
+    <root>/shards/<host>/w<k>.db        time window k (k = ts // window_us)
+    <root>/shards/<host>/w<k>.db.cols/  optional columnar sidecars (.npy)
+
+Retention: :meth:`ShardedMScopeDB.drop_shards_before` deletes cold
+windows outright; :meth:`ShardedMScopeDB.compact_shards_before` rolls
+them up into one shard per host (same rows, fewer files to attach).
+The optional columnar backend (:meth:`ShardedMScopeDB.build_columnar`)
+materializes numeric columns as numpy sidecar files that the bulk
+analysis engine's :class:`~repro.analysis.cache.SeriesCache` reads in
+place of SQL full scans.
+
+Equivalence is held by the conformance suite: a sharded warehouse's
+:meth:`ShardedMScopeDB.iterdump_content` must equal the monolith's
+line-for-line (the ``warehouse-sharded`` pair).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import shutil
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.common.errors import QueryError, WarehouseError
+from repro.warehouse.db import (
+    _ALLOWED_TYPES,
+    _INSERT_BATCH_SIZE,
+    MScopeDB,
+    RESPONSE_TIME_SQL,
+    STATIC_TABLES,
+    quote_identifier,
+    table_content_lines,
+)
+
+__all__ = [
+    "MANIFEST_FILE",
+    "ShardHostWriter",
+    "ShardInfo",
+    "ShardedMScopeDB",
+    "host_for_table",
+    "open_warehouse",
+]
+
+#: The metadata database inside a shard root (its presence is how
+#: :func:`open_warehouse` recognizes a sharded warehouse).
+MANIFEST_FILE = "manifest.db"
+
+_SHARD_DIR = "shards"
+
+#: Internal manifest-only tables, excluded from dynamic listings and
+#: from the canonical content dump (the monolith has no counterpart).
+_INTERNAL_TABLES = frozenset(
+    {"shard_config", "shard_manifest", "shard_schema", "shard_tables"}
+)
+
+#: window_index of the single shard when sharding by host only.
+_WHOLE_WINDOW = 0
+#: window_index for rows carrying no routable timestamp.
+_MISC_WINDOW = -1
+
+#: Shard-open budget for ``ATTACH`` federation: sqlite's default
+#: SQLITE_MAX_ATTACHED is 10; keeping two in reserve leaves room for
+#: unrelated attachments.  Queries needing more shards than this fall
+#: back to materializing a TEMP table (correct, just not zero-copy).
+_DEFAULT_ATTACH_BUDGET = 8
+
+#: Per-branch rowid offset shift in federated views: shard-local
+#: rowids stay below 2**44, so ``(branch << 44) + rowid`` is unique and
+#: orders rows window-major — equal-timestamp ties keep shard-insert
+#: order, matching the monolith's ``ORDER BY ..., rowid`` tie-breaks.
+_ROWID_SHIFT = 44
+
+#: Columns that route a row into a time window, in priority order.
+_TIME_COLUMNS = ("timestamp_us", "upstream_arrival_us")
+
+_META_KEYS = ("key", "value")
+
+
+def host_for_table(table: str, known_hosts: Iterable[str] = ()) -> str:
+    """The owning host of a dynamic table.
+
+    milliScope names dynamic tables ``<monitor>_<hostname>``; the
+    longest known-host suffix wins (hostnames may contain ``_``), then
+    the last ``_``-separated token, then the table name itself.  The
+    result only needs to be *consistent* per table — routing and
+    federation agree as long as both use the same mapping.
+    """
+    for host in sorted(known_hosts, key=len, reverse=True):
+        if table == host or table.endswith(f"_{host}"):
+            return host
+    if "_" in table:
+        return table.rsplit("_", 1)[1]
+    return table
+
+
+def _window_bounds(
+    window_index: int, window_us: int | None
+) -> tuple[int | None, int | None]:
+    if window_us is None or window_index == _MISC_WINDOW:
+        return None, None
+    return window_index * window_us, (window_index + 1) * window_us
+
+
+class ShardInfo:
+    """One shard database in the manifest."""
+
+    __slots__ = (
+        "host",
+        "window_index",
+        "start_us",
+        "stop_us",
+        "relpath",
+        "alias",
+        "tables",
+    )
+
+    def __init__(
+        self,
+        host: str,
+        window_index: int,
+        start_us: int | None,
+        stop_us: int | None,
+        relpath: str,
+        tables: Iterable[str] = (),
+    ) -> None:
+        self.host = host
+        self.window_index = window_index
+        self.start_us = start_us
+        self.stop_us = stop_us
+        self.relpath = relpath
+        self.alias: str | None = None
+        self.tables: set[str] = set(tables)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.host, self.window_index)
+
+    def overlaps(self, start: int | None, stop: int | None) -> bool:
+        """Whether this shard may hold rows in ``[start, stop)``.
+
+        Unbounded shards (host-only, or the misc window for rows with
+        no routable timestamp) always overlap — pruning must never
+        drop rows a monolithic query would return.
+        """
+        if self.start_us is None or self.stop_us is None:
+            return True
+        if start is not None and self.stop_us <= start:
+            return False
+        if stop is not None and self.start_us >= stop:
+            return False
+        return True
+
+    def sort_key(self) -> tuple[int, int]:
+        # Window order (misc last): branch order in federated views
+        # must be deterministic and time-major.
+        if self.window_index == _MISC_WINDOW:
+            return (1, 0)
+        return (0, self.window_index)
+
+
+class ShardHostWriter:
+    """One host's parallel shard writer.
+
+    Owns every shard file of ``host`` under ``root``; routes inserted
+    rows into per-window shard databases by their timestamp column
+    (``timestamp_us``, else ``upstream_arrival_us``; rows with neither
+    land in a catch-all shard that pruning never skips).  Safe to use
+    from a worker process — it touches only its host's files, so N
+    hosts ingest through N writers with no shared lock.
+
+    The writer handles measurement *data* only; static-table metadata
+    goes to the manifest (directly when driven in-process by
+    :class:`ShardedMScopeDB`, buffered and replayed by the parent when
+    driven from a transform worker — see :class:`WorkerShardDB`).
+    """
+
+    def __init__(
+        self, root: Path | str, host: str, window_us: int | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.host = host
+        self.window_us = window_us
+        self.dir = self.root / _SHARD_DIR / host
+        self.dir.mkdir(parents=True, exist_ok=True)
+        #: window_index -> open connection
+        self._conns: dict[int, sqlite3.Connection] = {}
+        #: window_index -> tables materialized in that shard
+        self._shard_tables: dict[int, set[str]] = {}
+        #: table -> declared (column, type) pairs, creation order.  The
+        #: DDL truth: shard tables are always created with *declared*
+        #: types, never widened ones, so sqlite's column affinity
+        #: matches the monolith's (which also never re-declares).
+        self._declared: dict[str, list[tuple[str, str]]] = {}
+        #: table -> {column: catalog type} (declared + widenings) —
+        #: what table_schema() reports.
+        self._catalog: dict[str, dict[str, str]] = {}
+        #: index specs applied to each shard holding the table.
+        self._index_specs: dict[str, list[tuple]] = {}
+        self._bulk = False
+
+    # -- shard files ---------------------------------------------------
+
+    def _shard_name(self, window_index: int) -> str:
+        if self.window_us is None:
+            return "all.db"
+        if window_index == _MISC_WINDOW:
+            return "misc.db"
+        return f"w{window_index}.db"
+
+    def shard_path(self, window_index: int) -> Path:
+        return self.dir / self._shard_name(window_index)
+
+    def _conn(self, window_index: int) -> sqlite3.Connection:
+        conn = self._conns.get(window_index)
+        if conn is None:
+            conn = sqlite3.connect(self.shard_path(window_index))
+            # Same durability trade as the monolith's file-backed mode.
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+            self._conns[window_index] = conn
+            self._shard_tables.setdefault(window_index, set())
+        return conn
+
+    def _window_of(self, value: Any) -> int:
+        if self.window_us is None:
+            return _WHOLE_WINDOW
+        if not isinstance(value, (int, float)):
+            return _MISC_WINDOW
+        return int(value // self.window_us)
+
+    def _materialize(self, window_index: int, table: str) -> None:
+        """Create ``table`` (and its pending indexes) in one shard."""
+        conn = self._conn(window_index)
+        tables = self._shard_tables[window_index]
+        if table in tables:
+            return
+        rendered = ", ".join(
+            f"{quote_identifier(column)} {sql_type}"
+            for column, sql_type in self._declared[table]
+        )
+        conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(table)} ({rendered})"
+        )
+        for spec in self._index_specs.get(table, []):
+            self._apply_index(conn, table, spec)
+        tables.add(table)
+
+    @staticmethod
+    def _apply_index(
+        conn: sqlite3.Connection, table: str, spec: tuple
+    ) -> None:
+        kind = spec[0]
+        if kind == "plain":
+            column = spec[1]
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{quote_identifier(f'idx_{table}_{column}')} "
+                f"ON {quote_identifier(table)} ({quote_identifier(column)})"
+            )
+        elif kind == "response_time":
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{quote_identifier(f'idx_{table}_response_time')} "
+                f"ON {quote_identifier(table)} ({RESPONSE_TIME_SQL} DESC)"
+            )
+        else:  # covering
+            _, columns, name = spec
+            rendered = ", ".join(quote_identifier(c) for c in columns)
+            conn.execute(
+                f"CREATE INDEX IF NOT EXISTS "
+                f"{quote_identifier(f'idx_{table}_{name}')} "
+                f"ON {quote_identifier(table)} ({rendered})"
+            )
+
+    # -- schema --------------------------------------------------------
+
+    def ensure_table(
+        self, table: str, columns: Sequence[tuple[str, str]]
+    ) -> None:
+        """Register a dynamic table's declared schema (idempotent)."""
+        if not columns:
+            raise WarehouseError(f"table {table!r} needs at least one column")
+        for column, sql_type in columns:
+            if sql_type not in _ALLOWED_TYPES:
+                raise WarehouseError(
+                    f"column {column!r} has unsupported type {sql_type!r}"
+                )
+        if table in self._declared:
+            return
+        self._declared[table] = list(columns)
+        self._catalog[table] = dict(columns)
+
+    def add_column(self, table: str, column: str, sql_type: str) -> None:
+        """Add a column (NULL backfill) to every shard holding it."""
+        if sql_type not in _ALLOWED_TYPES:
+            raise WarehouseError(f"unsupported type {sql_type!r}")
+        self._declared[table].append((column, sql_type))
+        self._catalog[table][column] = sql_type
+        for window_index, tables in self._shard_tables.items():
+            if table in tables:
+                self._conns[window_index].execute(
+                    f"ALTER TABLE {quote_identifier(table)} "
+                    f"ADD COLUMN {quote_identifier(column)} {sql_type}"
+                )
+
+    def record_column_type(
+        self, table: str, column: str, sql_type: str
+    ) -> None:
+        """Record a catalog-level type widening (no DDL — matching the
+        monolith, where sqlite affinity absorbs wider values)."""
+        if sql_type not in _ALLOWED_TYPES:
+            raise WarehouseError(f"unsupported type {sql_type!r}")
+        self._catalog[table][column] = sql_type
+
+    def table_schema(self, table: str) -> list[tuple[str, str]]:
+        declared = self._declared.get(table)
+        if declared is None:
+            raise QueryError(f"no such table {table!r}")
+        catalog = self._catalog[table]
+        return [(column, catalog[column]) for column, _ in declared]
+
+    def tables(self) -> list[str]:
+        return sorted(self._declared)
+
+    # -- indexes -------------------------------------------------------
+
+    def _add_index_spec(self, table: str, spec: tuple) -> None:
+        specs = self._index_specs.setdefault(table, [])
+        if spec in specs:
+            return
+        specs.append(spec)
+        for window_index, tables in self._shard_tables.items():
+            if table in tables:
+                self._apply_index(self._conns[window_index], table, spec)
+
+    def create_index(self, table: str, column: str) -> None:
+        self._add_index_spec(table, ("plain", column))
+
+    def create_response_time_index(self, table: str) -> None:
+        self._add_index_spec(table, ("response_time",))
+
+    def create_covering_index(
+        self, table: str, columns: Sequence[str], name: str
+    ) -> None:
+        self._add_index_spec(table, ("covering", tuple(columns), name))
+
+    # -- rows ----------------------------------------------------------
+
+    def insert_rows(
+        self,
+        table: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> int:
+        """Route rows into window shards; returns the inserted count.
+
+        Rows are routed per-row on the timestamp column, preserving
+        input order within each shard — so a shard's rowid order is
+        the monolith's insert order restricted to its window.
+        """
+        if table not in self._declared:
+            raise QueryError(f"no such table {table!r}")
+        time_index: int | None = None
+        if self.window_us is not None:
+            for candidate in _TIME_COLUMNS:
+                if candidate in columns:
+                    time_index = list(columns).index(candidate)
+                    break
+        column_sql = ", ".join(quote_identifier(c) for c in columns)
+        placeholders = ", ".join("?" for _ in columns)
+        sql = (
+            f"INSERT INTO {quote_identifier(table)} ({column_sql}) "
+            f"VALUES ({placeholders})"
+        )
+        inserted = 0
+        iterator = iter(rows)
+        while True:
+            batch = list(itertools.islice(iterator, _INSERT_BATCH_SIZE))
+            if not batch:
+                break
+            if time_index is None and self.window_us is None:
+                groups: dict[int, list] = {_WHOLE_WINDOW: batch}
+            elif time_index is None:
+                groups = {_MISC_WINDOW: batch}
+            else:
+                groups = {}
+                for row in batch:
+                    groups.setdefault(
+                        self._window_of(row[time_index]), []
+                    ).append(row)
+            for window_index in sorted(groups):
+                self._materialize(window_index, table)
+                cursor = self._conns[window_index].executemany(
+                    sql, groups[window_index]
+                )
+                inserted += cursor.rowcount
+        if not self._bulk:
+            self.commit()
+        return inserted
+
+    # -- transactions & lifecycle --------------------------------------
+
+    def begin_bulk(self) -> None:
+        self._bulk = True
+
+    def end_bulk(self, *, rollback: bool = False) -> None:
+        self._bulk = False
+        if rollback:
+            for conn in self._conns.values():
+                conn.rollback()
+        else:
+            self.commit()
+
+    def commit(self) -> None:
+        for conn in self._conns.values():
+            conn.commit()
+
+    def records(self) -> list[ShardInfo]:
+        """Manifest records for every shard this writer touched."""
+        out = []
+        for window_index, tables in sorted(self._shard_tables.items()):
+            start_us, stop_us = _window_bounds(window_index, self.window_us)
+            relpath = str(
+                Path(_SHARD_DIR) / self.host / self._shard_name(window_index)
+            )
+            out.append(
+                ShardInfo(
+                    self.host, window_index, start_us, stop_us, relpath,
+                    tables,
+                )
+            )
+        return out
+
+    def close(self) -> list[ShardInfo]:
+        """Commit and close every shard; returns the manifest records."""
+        records = self.records()
+        for conn in self._conns.values():
+            conn.commit()
+            conn.close()
+        self._conns.clear()
+        return records
+
+
+class WorkerShardDB:
+    """The importer-facing facade a transform worker writes through.
+
+    Implements the slice of the :class:`MScopeDB` API that
+    :class:`~repro.transformer.importer.MScopeDataImporter` touches:
+    measurement DDL/DML goes straight to the worker-owned
+    :class:`ShardHostWriter`; static-table metadata (schema catalog,
+    load catalog, monitor registry) is *buffered* as ``(op, args)``
+    tuples the parent replays into the manifest in deterministic drain
+    order — the exact split that removes the single-writer drain for
+    row data while keeping metadata writes serialized.
+    """
+
+    def __init__(self, writer: ShardHostWriter) -> None:
+        self.writer = writer
+        self.meta_ops: list[tuple] = []
+
+    @contextlib.contextmanager
+    def bulk_load(self) -> Iterator["WorkerShardDB"]:
+        self.writer.begin_bulk()
+        try:
+            yield self
+        except BaseException:
+            self.writer.end_bulk(rollback=True)
+            raise
+        else:
+            self.writer.end_bulk()
+
+    def create_table(
+        self, name: str, columns: Sequence[tuple[str, str]]
+    ) -> None:
+        if name in STATIC_TABLES:
+            raise WarehouseError(f"{name!r} is a reserved static table")
+        self.writer.ensure_table(name, columns)
+        self.meta_ops.append(
+            ("create_table_meta", name, tuple(columns), self.writer.host)
+        )
+
+    def add_column(self, table: str, column: str, sql_type: str) -> None:
+        self.writer.add_column(table, column, sql_type)
+        self.meta_ops.append(("add_column_meta", table, column, sql_type))
+
+    def record_column_type(
+        self, table: str, column: str, sql_type: str
+    ) -> None:
+        self.writer.record_column_type(table, column, sql_type)
+        self.meta_ops.append(("record_column_type", table, column, sql_type))
+
+    def insert_rows(
+        self,
+        table: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> int:
+        return self.writer.insert_rows(table, columns, rows)
+
+    def create_index(self, table: str, column: str) -> None:
+        self.writer.create_index(table, column)
+
+    def create_response_time_index(self, table: str) -> None:
+        self.writer.create_response_time_index(table)
+
+    def create_covering_index(
+        self, table: str, columns: Sequence[str], name: str
+    ) -> None:
+        self.writer.create_covering_index(table, columns, name)
+
+    def record_load(
+        self, table_name: str, source_path: str, rows: int, columns: int
+    ) -> None:
+        self.meta_ops.append(
+            ("record_load", table_name, source_path, rows, columns)
+        )
+
+    def register_monitor(
+        self,
+        monitor: str,
+        hostname: str,
+        source_path: str,
+        parser: str,
+        table_name: str,
+    ) -> None:
+        self.meta_ops.append(
+            (
+                "register_monitor",
+                monitor,
+                hostname,
+                source_path,
+                parser,
+                table_name,
+            )
+        )
+
+    def dynamic_tables(self) -> list[str]:
+        return self.writer.tables()
+
+    def table_schema(self, table: str) -> list[tuple[str, str]]:
+        return self.writer.table_schema(table)
+
+    def drain_meta_ops(self) -> tuple[tuple, ...]:
+        ops = tuple(self.meta_ops)
+        self.meta_ops.clear()
+        return ops
+
+
+class ShardedMScopeDB:
+    """A host/time-partitioned warehouse behind the ``MScopeDB`` API.
+
+    Parameters
+    ----------
+    root:
+        The warehouse directory (created if missing).  Holds
+        ``manifest.db`` plus one subdirectory of shard databases per
+        host.
+    window_us:
+        Time-partition width in microseconds.  ``None`` (the default)
+        shards by host only — one shard per host, rows in pure insert
+        order, which keeps per-table row order identical to the
+        monolith's.  A previously created warehouse remembers its
+        width; passing a conflicting value raises.
+
+    Reads and writes go through the same methods as
+    :class:`~repro.warehouse.db.MScopeDB`; see the module docstring
+    for how they route.  :attr:`shard_opens` / :attr:`shard_open_log`
+    count every shard database actually opened (attached or scanned),
+    which is what the partition-pruning benchmark asserts on.
+    """
+
+    #: Duck-typing marker (e.g. the transformer picks the parallel
+    #: shard-writer path on this).
+    is_sharded = True
+
+    def __init__(
+        self, root: Path | str, window_us: int | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = str(self.root)
+        self._manifest = MScopeDB(self.root / MANIFEST_FILE)
+        self._create_shard_tables()
+        self.window_us = self._resolve_window(window_us)
+        #: logical dynamic table -> declared (column, type) order
+        self._registry: dict[str, list[tuple[str, str]]] = {}
+        self._table_host: dict[str, str] = {}
+        self._shards: dict[tuple[str, int], ShardInfo] = {}
+        self._writers: dict[str, ShardHostWriter] = {}
+        #: table -> ("view"|"mat", signature) of the current TEMP object
+        self._views: dict[str, tuple] = {}
+        self._attached: dict[tuple[str, int], str] = {}
+        self._alias_counter = 0
+        self._write_gen = 0
+        self._bulk_depth = 0
+        self._prune_hint: tuple[int | None, int | None] | None = None
+        self.attach_budget = _DEFAULT_ATTACH_BUDGET
+        #: Shard databases opened for reading (ATTACH or direct scan).
+        self.shard_opens = 0
+        self.shard_open_log: list[str] = []
+        self._columnar = self._get_config("columnar") == "1"
+        self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        self._manifest.close()
+
+    def __enter__(self) -> "ShardedMScopeDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _create_shard_tables(self) -> None:
+        conn = self._manifest._require_conn()
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS shard_manifest (
+                host TEXT NOT NULL,
+                window_index INTEGER NOT NULL,
+                start_us INTEGER,
+                stop_us INTEGER,
+                path TEXT NOT NULL,
+                PRIMARY KEY (host, window_index)
+            );
+            CREATE TABLE IF NOT EXISTS shard_tables (
+                host TEXT NOT NULL,
+                window_index INTEGER NOT NULL,
+                table_name TEXT NOT NULL,
+                PRIMARY KEY (host, window_index, table_name)
+            );
+            CREATE TABLE IF NOT EXISTS shard_schema (
+                table_name TEXT NOT NULL,
+                position INTEGER NOT NULL,
+                column_name TEXT NOT NULL,
+                declared_type TEXT NOT NULL,
+                PRIMARY KEY (table_name, position)
+            );
+            CREATE TABLE IF NOT EXISTS shard_config (
+                key TEXT PRIMARY KEY,
+                value TEXT NOT NULL
+            );
+            """
+        )
+        conn.commit()
+
+    def _get_config(self, key: str) -> str | None:
+        row = self._manifest._require_conn().execute(
+            "SELECT value FROM shard_config WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def _set_config(self, key: str, value: str) -> None:
+        conn = self._manifest._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO shard_config VALUES (?, ?)", (key, value)
+        )
+        self._manifest._commit()
+
+    def _resolve_window(self, window_us: int | None) -> int | None:
+        recorded = self._get_config("window_us")
+        if recorded is None:
+            # Fresh warehouse: the creation-time choice is permanent.
+            self._set_config(
+                "window_us", "" if window_us is None else str(window_us)
+            )
+            return window_us
+        existing = None if recorded == "" else int(recorded)
+        if window_us is not None and window_us != existing:
+            raise WarehouseError(
+                f"warehouse {self.path} was created with window_us="
+                f"{existing}; cannot reopen with window_us={window_us}"
+            )
+        return existing
+
+    def _load_manifest(self) -> None:
+        conn = self._manifest._require_conn()
+        for host, window_index, start_us, stop_us, relpath in conn.execute(
+            "SELECT host, window_index, start_us, stop_us, path "
+            "FROM shard_manifest"
+        ):
+            self._shards[(host, window_index)] = ShardInfo(
+                host, window_index, start_us, stop_us, relpath
+            )
+        for host, window_index, table in conn.execute(
+            "SELECT host, window_index, table_name FROM shard_tables"
+        ):
+            info = self._shards.get((host, window_index))
+            if info is not None:
+                info.tables.add(table)
+                self._table_host.setdefault(table, host)
+        for table, column, declared in conn.execute(
+            "SELECT table_name, column_name, declared_type FROM shard_schema "
+            "ORDER BY table_name, position"
+        ):
+            self._registry.setdefault(table, []).append((column, declared))
+
+    # ------------------------------------------------------------------
+    # metadata delegation (static tables live in the manifest)
+
+    def set_experiment_meta(self, key: str, value: str) -> None:
+        self._manifest.set_experiment_meta(key, value)
+
+    def get_experiment_meta(self, key: str) -> str | None:
+        return self._manifest.get_experiment_meta(key)
+
+    def register_host(
+        self, hostname: str, tier: str, cores: int, disk_bandwidth: int
+    ) -> None:
+        self._manifest.register_host(hostname, tier, cores, disk_bandwidth)
+
+    def register_monitor(self, *args, **kwargs) -> None:
+        self._manifest.register_monitor(*args, **kwargs)
+
+    def record_load(self, *args, **kwargs) -> None:
+        self._manifest.record_load(*args, **kwargs)
+
+    def record_ingest_error(self, *args, **kwargs) -> None:
+        self._manifest.record_ingest_error(*args, **kwargs)
+
+    def ingest_errors(self, source_path: str | None = None) -> list[tuple]:
+        return self._manifest.ingest_errors(source_path)
+
+    def ingest_error_count(self) -> int:
+        return self._manifest.ingest_error_count()
+
+    def replace_pipeline_metrics(self, rows: Iterable[Sequence[Any]]) -> int:
+        return self._manifest.replace_pipeline_metrics(rows)
+
+    def append_pipeline_metrics(
+        self,
+        rows: Iterable[Sequence[Any]],
+        replace_prefix: str | None = None,
+    ) -> int:
+        return self._manifest.append_pipeline_metrics(rows, replace_prefix)
+
+    def replace_pipeline_workers(self, rows: Iterable[Sequence[Any]]) -> int:
+        return self._manifest.replace_pipeline_workers(rows)
+
+    def has_pipeline_metrics(self) -> bool:
+        return self._manifest.has_pipeline_metrics()
+
+    def pipeline_metrics(self) -> list[tuple]:
+        return self._manifest.pipeline_metrics()
+
+    def pipeline_workers(self) -> list[tuple]:
+        return self._manifest.pipeline_workers()
+
+    # ------------------------------------------------------------------
+    # write routing
+
+    def _known_hosts(self) -> set[str]:
+        hosts = {info.host for info in self._shards.values()}
+        hosts.update(self._writers)
+        hosts.update(
+            row[0]
+            for row in self._manifest.query("SELECT hostname FROM host_config")
+        )
+        return hosts
+
+    def writer(self, host: str) -> ShardHostWriter:
+        """The (lazily created) shard writer owning ``host``."""
+        writer = self._writers.get(host)
+        if writer is None:
+            writer = ShardHostWriter(self.root, host, self.window_us)
+            # Late-joining writers must see schemas created earlier
+            # (e.g. a warehouse reopened for further loads).
+            for table, columns in self._registry.items():
+                if self._table_host.get(table) == host:
+                    writer.ensure_table(table, columns)
+            if self._bulk_depth > 0:
+                writer.begin_bulk()
+            self._writers[host] = writer
+        return writer
+
+    def _writer_for_table(self, table: str) -> ShardHostWriter:
+        host = self._table_host.get(table)
+        if host is None:
+            raise QueryError(f"no such table {table!r}")
+        return self.writer(host)
+
+    @contextlib.contextmanager
+    def bulk_load(self) -> Iterator["ShardedMScopeDB"]:
+        """Defer commits across manifest and every shard writer."""
+        self._bulk_depth += 1
+        if self._bulk_depth == 1:
+            for writer in self._writers.values():
+                writer.begin_bulk()
+        try:
+            with self._manifest.bulk_load():
+                yield self
+        except BaseException:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                for writer in self._writers.values():
+                    writer.end_bulk(rollback=True)
+            raise
+        else:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                for writer in self._writers.values():
+                    writer.end_bulk()
+
+    def apply_meta_op(self, op: tuple) -> None:
+        """Replay one buffered metadata op (see :class:`WorkerShardDB`)."""
+        name, args = op[0], op[1:]
+        if name == "create_table_meta":
+            table, columns, host = args
+            self._register_table_meta(table, list(columns), host)
+        elif name == "add_column_meta":
+            self._register_column_meta(*args)
+        elif name == "record_column_type":
+            self._record_column_type_meta(*args)
+        elif name == "record_load":
+            self._manifest.record_load(*args)
+        elif name == "register_monitor":
+            self._manifest.register_monitor(*args)
+        else:
+            raise WarehouseError(f"unknown metadata op {name!r}")
+
+    def _register_table_meta(
+        self, table: str, columns: list[tuple[str, str]], host: str
+    ) -> None:
+        if table in self._registry:
+            return
+        self._registry[table] = list(columns)
+        self._table_host[table] = host
+        conn = self._manifest._require_conn()
+        conn.executemany(
+            "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
+            [(table, column, sql_type) for column, sql_type in columns],
+        )
+        conn.executemany(
+            "INSERT OR REPLACE INTO shard_schema VALUES (?, ?, ?, ?)",
+            [
+                (table, position, column, sql_type)
+                for position, (column, sql_type) in enumerate(columns)
+            ],
+        )
+        self._manifest._commit()
+        self._invalidate(table)
+
+    def _register_column_meta(
+        self, table: str, column: str, sql_type: str
+    ) -> None:
+        self._registry[table].append((column, sql_type))
+        conn = self._manifest._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
+            (table, column, sql_type),
+        )
+        conn.execute(
+            "INSERT OR REPLACE INTO shard_schema VALUES (?, ?, ?, ?)",
+            (table, len(self._registry[table]) - 1, column, sql_type),
+        )
+        self._manifest._commit()
+        self._invalidate(table)
+
+    def _record_column_type_meta(
+        self, table: str, column: str, sql_type: str
+    ) -> None:
+        conn = self._manifest._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO schema_catalog VALUES (?, ?, ?)",
+            (table, column, sql_type),
+        )
+        self._manifest._commit()
+
+    def register_shards(self, records: Iterable[ShardInfo]) -> None:
+        """Adopt shard records (from a writer, possibly in a worker)."""
+        conn = self._manifest._require_conn()
+        for record in records:
+            existing = self._shards.get(record.key)
+            if existing is None:
+                self._shards[record.key] = existing = ShardInfo(
+                    record.host,
+                    record.window_index,
+                    record.start_us,
+                    record.stop_us,
+                    record.relpath,
+                )
+                conn.execute(
+                    "INSERT OR REPLACE INTO shard_manifest VALUES "
+                    "(?, ?, ?, ?, ?)",
+                    (
+                        record.host,
+                        record.window_index,
+                        record.start_us,
+                        record.stop_us,
+                        record.relpath,
+                    ),
+                )
+            new_tables = record.tables - existing.tables
+            if new_tables:
+                existing.tables.update(new_tables)
+                conn.executemany(
+                    "INSERT OR REPLACE INTO shard_tables VALUES (?, ?, ?)",
+                    [
+                        (record.host, record.window_index, table)
+                        for table in sorted(new_tables)
+                    ],
+                )
+                for table in new_tables:
+                    self._table_host.setdefault(table, record.host)
+                    self._invalidate(table)
+        self._manifest._commit()
+
+    def _touch_write(self, host: str) -> None:
+        self._write_gen += 1
+        self._columnar_invalidate()
+        writer = self._writers.get(host)
+        if writer is not None:
+            self.register_shards(writer.records())
+
+    # -- MScopeDB-compatible write API ---------------------------------
+
+    def create_table(
+        self, name: str, columns: Sequence[tuple[str, str]]
+    ) -> None:
+        if name in STATIC_TABLES:
+            raise WarehouseError(f"{name!r} is a reserved static table")
+        if name in self._registry:
+            return
+        host = host_for_table(name, self._known_hosts())
+        self.writer(host).ensure_table(name, columns)
+        self._register_table_meta(name, list(columns), host)
+
+    def add_column(self, table: str, column: str, sql_type: str) -> None:
+        writer = self._writer_for_table(table)
+        writer.add_column(table, column, sql_type)
+        self._register_column_meta(table, column, sql_type)
+        self._touch_write(writer.host)
+
+    def record_column_type(
+        self, table: str, column: str, sql_type: str
+    ) -> None:
+        if table in self._registry:
+            self._writer_for_table(table).record_column_type(
+                table, column, sql_type
+            )
+        self._record_column_type_meta(table, column, sql_type)
+
+    def insert_rows(
+        self,
+        table: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> int:
+        writer = self._writer_for_table(table)
+        inserted = writer.insert_rows(table, columns, rows)
+        self._touch_write(writer.host)
+        return inserted
+
+    def create_index(self, table: str, column: str) -> None:
+        self._writer_for_table(table).create_index(table, column)
+
+    def create_response_time_index(self, table: str) -> None:
+        self._writer_for_table(table).create_response_time_index(table)
+
+    def create_covering_index(
+        self, table: str, columns: Sequence[str], name: str
+    ) -> None:
+        self._writer_for_table(table).create_covering_index(
+            table, columns, name
+        )
+
+    def indexes(self, table: str) -> list[str]:
+        """Index names on ``table`` (union across its shards)."""
+        names: set[str] = set()
+        for info in self._shards_for(table, pruned=False):
+            conn, direct = self._read_conn(info)
+            try:
+                names.update(
+                    row[0]
+                    for row in conn.execute(
+                        "SELECT name FROM sqlite_master WHERE type='index' "
+                        "AND tbl_name = ?",
+                        (table,),
+                    )
+                )
+            finally:
+                if direct:
+                    conn.close()
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # read federation
+
+    def flush(self) -> None:
+        """Commit every writer so attached readers see the data."""
+        for writer in self._writers.values():
+            if self._bulk_depth == 0:
+                writer.commit()
+
+    @contextlib.contextmanager
+    def pruned(
+        self, start: int | None = None, stop: int | None = None
+    ) -> Iterator["ShardedMScopeDB"]:
+        """Scope reads to shards overlapping ``[start, stop)``.
+
+        Bounds are warehouse timestamps.  Queries inside the context
+        build federated views over only the overlapping shards (plus
+        any unbounded catch-all shard); shards wholly outside the
+        window are never opened.  Correctness note: the *rows* are not
+        filtered — callers still apply their own WHERE bounds; the
+        hint only prunes which partitions back the view.
+        """
+        previous = self._prune_hint
+        self._prune_hint = (start, stop)
+        try:
+            yield self
+        finally:
+            self._prune_hint = previous
+
+    def _shards_for(self, table: str, pruned: bool = True) -> list[ShardInfo]:
+        host = self._table_host.get(table)
+        if host is None:
+            return []
+        hint = self._prune_hint if pruned else None
+        infos = [
+            info
+            for info in self._shards.values()
+            if info.host == host and table in info.tables
+        ]
+        if hint is not None:
+            infos = [info for info in infos if info.overlaps(*hint)]
+        infos.sort(key=ShardInfo.sort_key)
+        return infos
+
+    def _shard_abspath(self, info: ShardInfo) -> Path:
+        return self.root / info.relpath
+
+    def _count_open(self, info: ShardInfo) -> None:
+        self.shard_opens += 1
+        self.shard_open_log.append(info.relpath)
+
+    def _read_conn(
+        self, info: ShardInfo
+    ) -> tuple[sqlite3.Connection, bool]:
+        """A connection that can read one shard: the writer's own (not
+        counted as a shard open) or a fresh direct one (counted)."""
+        writer = self._writers.get(info.host)
+        if writer is not None:
+            conn = writer._conns.get(info.window_index)
+            if conn is not None:
+                if self._bulk_depth == 0:
+                    conn.commit()
+                return conn, False
+        self._count_open(info)
+        return sqlite3.connect(self._shard_abspath(info)), True
+
+    def _drop_views(self) -> None:
+        conn = self._manifest._require_conn()
+        for table, (kind, *_rest) in list(self._views.items()):
+            if kind == "view":
+                conn.execute(
+                    f"DROP VIEW IF EXISTS temp.{quote_identifier(table)}"
+                )
+                del self._views[table]
+
+    def _detach(self, key: tuple[str, int]) -> None:
+        alias = self._attached.pop(key, None)
+        if alias is None:
+            return
+        info = self._shards.get(key)
+        if info is not None:
+            info.alias = None
+        self._manifest._require_conn().execute(f"DETACH {alias}")
+
+    def _attach(
+        self, info: ShardInfo, pinned: set[tuple[str, int]]
+    ) -> str | None:
+        """Attach one shard, evicting cold attachments as needed.
+
+        Returns the alias, or ``None`` when the attach budget cannot
+        accommodate it (caller falls back to materializing).
+        """
+        if info.alias is not None:
+            # Move-to-back: dict preserves insertion order, so popping
+            # and re-adding keeps eviction LRU-ish.
+            alias = self._attached.pop(info.key)
+            self._attached[info.key] = alias
+            return alias
+        conn = self._manifest._require_conn()
+        while len(self._attached) >= self.attach_budget:
+            victim = next(
+                (key for key in self._attached if key not in pinned), None
+            )
+            if victim is None:
+                return None
+            # Views may reference the victim's alias; rebuild lazily.
+            self._drop_views()
+            self._detach(victim)
+        self.flush()
+        alias = f"sh{self._alias_counter}"
+        self._alias_counter += 1
+        try:
+            conn.execute(
+                f"ATTACH ? AS {alias}", (str(self._shard_abspath(info)),)
+            )
+        except sqlite3.Error:
+            self._drop_views()
+            while self._attached:
+                victim = next(
+                    (key for key in self._attached if key not in pinned),
+                    None,
+                )
+                if victim is None:
+                    return None
+                self._detach(victim)
+                try:
+                    conn.execute(
+                        f"ATTACH ? AS {alias}",
+                        (str(self._shard_abspath(info)),),
+                    )
+                    break
+                except sqlite3.Error:
+                    continue
+            else:
+                return None
+        info.alias = alias
+        self._attached[info.key] = alias
+        self._count_open(info)
+        return alias
+
+    def _ensure_view(self, table: str) -> None:
+        infos = self._shards_for(table)
+        signature = tuple(info.key for info in infos)
+        current = self._views.get(table)
+        if current is not None:
+            kind = current[0]
+            if kind == "view" and current[1] == signature:
+                return
+            if (
+                kind == "mat"
+                and current[1] == signature
+                and current[2] == self._write_gen
+            ):
+                return
+        conn = self._manifest._require_conn()
+        conn.execute(f"DROP VIEW IF EXISTS temp.{quote_identifier(table)}")
+        conn.execute(f"DROP TABLE IF EXISTS temp.{quote_identifier(table)}")
+        self._views.pop(table, None)
+        columns = [column for column, _ in self._registry[table]]
+        column_sql = ", ".join(quote_identifier(c) for c in columns)
+        if not infos:
+            nulls = ", ".join(
+                f"NULL AS {quote_identifier(c)}" for c in columns
+            )
+            conn.execute(
+                f"CREATE TEMP VIEW {quote_identifier(table)} AS "
+                f"SELECT {nulls}, NULL AS rowid WHERE 0"
+            )
+            self._views[table] = ("view", signature)
+            return
+        if len(infos) > self.attach_budget:
+            self._materialize_view(table, infos, signature)
+            return
+        branches = []
+        for branch, info in enumerate(infos):
+            alias = self._attach(info, pinned={i.key for i in infos})
+            if alias is None:
+                self._materialize_view(table, infos, signature)
+                return
+            offset = branch << _ROWID_SHIFT
+            branches.append(
+                f"SELECT {column_sql}, rowid + {offset} AS rowid "
+                f"FROM {alias}.{quote_identifier(table)}"
+            )
+        conn.execute(
+            f"CREATE TEMP VIEW {quote_identifier(table)} AS "
+            + " UNION ALL ".join(branches)
+        )
+        self._views[table] = ("view", signature)
+
+    def _materialize_view(
+        self, table: str, infos: list[ShardInfo], signature: tuple
+    ) -> None:
+        """Over-budget fallback: copy the shards into one TEMP table.
+
+        Correct for every query shape (GROUP BY, aggregates, ORDER BY
+        rowid) where chunked query execution would not be; costs one
+        pass over the participating shards.
+        """
+        conn = self._manifest._require_conn()
+        columns = self._registry[table]
+        column_sql = ", ".join(quote_identifier(c) for c, _ in columns)
+        rendered = ", ".join(
+            f"{quote_identifier(c)} {t}" for c, t in columns
+        )
+        conn.execute(
+            f"CREATE TEMP TABLE {quote_identifier(table)} "
+            f"({rendered}, rowid INTEGER)"
+        )
+        insert_sql = (
+            f"INSERT INTO temp.{quote_identifier(table)} VALUES "
+            f"({', '.join('?' for _ in range(len(columns) + 1))})"
+        )
+        for branch, info in enumerate(infos):
+            offset = branch << _ROWID_SHIFT
+            reader, direct = self._read_conn(info)
+            try:
+                rows = reader.execute(
+                    f"SELECT {column_sql}, rowid + {offset} "
+                    f"FROM {quote_identifier(table)}"
+                )
+                while True:
+                    batch = rows.fetchmany(_INSERT_BATCH_SIZE)
+                    if not batch:
+                        break
+                    conn.executemany(insert_sql, batch)
+            finally:
+                if direct:
+                    reader.close()
+        conn.commit()
+        self._views[table] = ("mat", signature, self._write_gen)
+
+    def _invalidate(self, table: str) -> None:
+        current = self._views.get(table)
+        if current is None:
+            return
+        conn = self._manifest._require_conn()
+        if current[0] == "view":
+            conn.execute(f"DROP VIEW IF EXISTS temp.{quote_identifier(table)}")
+        else:
+            conn.execute(
+                f"DROP TABLE IF EXISTS temp.{quote_identifier(table)}"
+            )
+        del self._views[table]
+
+    def _prepare_sql(self, sql: str) -> None:
+        for table in self._referenced_tables(sql):
+            self._ensure_view(table)
+
+    def _referenced_tables(self, sql: str) -> list[str]:
+        # Word-boundary containment is enough: dynamic table names are
+        # valid identifiers, and a false positive only builds a view
+        # that goes unused.
+        found = []
+        for table in self._registry:
+            index = sql.find(table)
+            while index != -1:
+                before = sql[index - 1] if index > 0 else " "
+                after_index = index + len(table)
+                after = sql[after_index] if after_index < len(sql) else " "
+                if not (before.isalnum() or before == "_") and not (
+                    after.isalnum() or after == "_"
+                ):
+                    found.append(table)
+                    break
+                index = sql.find(table, index + 1)
+        return found
+
+    # ------------------------------------------------------------------
+    # MScopeDB-compatible read API
+
+    def tables(self) -> list[str]:
+        names = set(self._manifest.tables()) - _INTERNAL_TABLES
+        names.update(self._registry)
+        return sorted(names)
+
+    def dynamic_tables(self) -> list[str]:
+        return sorted(self._registry)
+
+    def table_schema(self, table: str) -> list[tuple[str, str]]:
+        declared = self._registry.get(table)
+        if declared is None:
+            return self._manifest.table_schema(table)
+        overrides = dict(
+            self._manifest.query(
+                "SELECT column_name, sql_type FROM schema_catalog "
+                "WHERE table_name = ?",
+                (table,),
+            )
+        )
+        return [
+            (column, overrides.get(column, sql_type))
+            for column, sql_type in declared
+        ]
+
+    def row_count(self, table: str) -> int:
+        if table in self._registry:
+            total = 0
+            for info in self._shards_for(table, pruned=False):
+                conn, direct = self._read_conn(info)
+                try:
+                    total += conn.execute(
+                        f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+                    ).fetchone()[0]
+                finally:
+                    if direct:
+                        conn.close()
+            return total
+        return self._manifest.row_count(table)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
+        self.flush()
+        self._prepare_sql(sql)
+        return self._manifest.query(sql, params)
+
+    def max_variables(self) -> int:
+        return self._manifest.max_variables()
+
+    def in_chunk_size(self) -> int:
+        return self._manifest.in_chunk_size()
+
+    def query_in_chunks(
+        self,
+        sql: str,
+        values: Sequence[Any],
+        chunk_size: int | None = None,
+    ) -> list[tuple]:
+        if chunk_size is None:
+            chunk_size = self.in_chunk_size()
+        if chunk_size <= 0:
+            raise QueryError(f"chunk size must be positive: {chunk_size}")
+        rows: list[tuple] = []
+        for start in range(0, len(values), chunk_size):
+            chunk = values[start : start + chunk_size]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows.extend(
+                self.query(sql.format(placeholders=placeholders), chunk)
+            )
+        return rows
+
+    def query_plan(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
+        self.flush()
+        self._prepare_sql(sql)
+        return self._manifest.query_plan(sql, params)
+
+    def fetch_series(
+        self,
+        table: str,
+        time_column: str,
+        value_column: str,
+        start: int | None = None,
+        stop: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """A windowed series read — pruned to overlapping shards."""
+        sql = (
+            f"SELECT {quote_identifier(time_column)}, "
+            f"{quote_identifier(value_column)} FROM {quote_identifier(table)}"
+        )
+        conditions = []
+        params: list[Any] = []
+        if start is not None:
+            conditions.append(f"{quote_identifier(time_column)} >= ?")
+            params.append(start)
+        if stop is not None:
+            conditions.append(f"{quote_identifier(time_column)} < ?")
+            params.append(stop)
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        sql += f" ORDER BY {quote_identifier(time_column)}"
+        with self.pruned(start, stop):
+            return self.query(sql, params)
+
+    # ------------------------------------------------------------------
+    # dumps
+
+    def iterdump(self) -> Iterator[str]:
+        """Alias of :meth:`iterdump_content`.
+
+        A partitioned warehouse has no meaningful *physical* SQL dump
+        — the canonical content lines are its dump.
+        """
+        return self.iterdump_content()
+
+    def iterdump_content(self) -> Iterator[str]:
+        """Canonical content lines, comparable to the monolith's.
+
+        Same table order (sorted), same schema rendering, same
+        canonical row order — so a sharded warehouse loaded from the
+        same logs as a monolithic one yields identical lines (the
+        ``warehouse-sharded`` conformance pair).  Streams one table at
+        a time; memory is bounded by the largest table.
+        """
+        self.flush()
+        for table in self.tables():
+            schema = self.table_schema(table)
+            if table in self._registry:
+                rows = self._logical_rows(table, schema)
+            else:
+                columns = ", ".join(quote_identifier(c) for c, _ in schema)
+                rows = iter(
+                    self._manifest.query(
+                        f"SELECT {columns} FROM {quote_identifier(table)}"
+                    )
+                )
+            yield from table_content_lines(table, schema, rows)
+
+    def _logical_rows(
+        self, table: str, schema: Sequence[tuple[str, str]]
+    ) -> Iterator[tuple]:
+        columns = ", ".join(quote_identifier(c) for c, _ in schema)
+        for info in self._shards_for(table, pruned=False):
+            conn, direct = self._read_conn(info)
+            try:
+                yield from conn.execute(
+                    f"SELECT {columns} FROM {quote_identifier(table)} "
+                    f"ORDER BY rowid"
+                )
+            finally:
+                if direct:
+                    conn.close()
+
+    # ------------------------------------------------------------------
+    # shard management: manifest, retention, compaction
+
+    def shard_manifest(self) -> list[ShardInfo]:
+        """Every shard, ordered by (host, window)."""
+        return sorted(
+            self._shards.values(), key=lambda i: (i.host, i.sort_key())
+        )
+
+    def _remove_shard(self, info: ShardInfo) -> None:
+        self._drop_views()
+        self._detach(info.key)
+        writer = self._writers.get(info.host)
+        if writer is not None:
+            conn = writer._conns.pop(info.window_index, None)
+            if conn is not None:
+                conn.close()
+            writer._shard_tables.pop(info.window_index, None)
+        path = self._shard_abspath(info)
+        for suffix in ("", "-wal", "-shm"):
+            Path(f"{path}{suffix}").unlink(missing_ok=True)
+        shutil.rmtree(f"{path}.cols", ignore_errors=True)
+        conn = self._manifest._require_conn()
+        conn.execute(
+            "DELETE FROM shard_manifest WHERE host = ? AND window_index = ?",
+            info.key,
+        )
+        conn.execute(
+            "DELETE FROM shard_tables WHERE host = ? AND window_index = ?",
+            info.key,
+        )
+        self._manifest._commit()
+        del self._shards[info.key]
+
+    def drop_shards_before(self, cutoff_us: int) -> int:
+        """Retention: delete every shard wholly before ``cutoff_us``.
+
+        Only bounded (time-windowed) shards qualify — the catch-all
+        and host-only shards have no upper bound and are never cold.
+        Returns the number of shards dropped.
+        """
+        victims = [
+            info
+            for info in list(self._shards.values())
+            if info.stop_us is not None and info.stop_us <= cutoff_us
+        ]
+        for info in victims:
+            self._remove_shard(info)
+        if victims:
+            self._write_gen += 1
+            self._columnar_invalidate()
+        return len(victims)
+
+    def compact_shards_before(self, cutoff_us: int) -> int:
+        """Roll every host's cold windows up into one shard apiece.
+
+        Shards wholly before ``cutoff_us`` merge (in window order, so
+        row order is preserved) into a single ``roll<first>-<last>.db``
+        per host.  Content is unchanged — only the partition count
+        drops, keeping the attach budget comfortable as a long run
+        accumulates history.  Returns the number of shards merged away.
+        """
+        by_host: dict[str, list[ShardInfo]] = {}
+        for info in self._shards.values():
+            if info.stop_us is not None and info.stop_us <= cutoff_us:
+                by_host.setdefault(info.host, []).append(info)
+        merged = 0
+        for host, infos in sorted(by_host.items()):
+            if len(infos) < 2:
+                continue
+            infos.sort(key=ShardInfo.sort_key)
+            merged += self._compact_host(host, infos)
+        if merged:
+            self._write_gen += 1
+            self._columnar_invalidate()
+        return merged
+
+    def _compact_host(self, host: str, infos: list[ShardInfo]) -> int:
+        first, last = infos[0], infos[-1]
+        name = f"roll{first.window_index}-{last.window_index}.db"
+        relpath = str(Path(_SHARD_DIR) / host / name)
+        target_path = self.root / relpath
+        target_path.unlink(missing_ok=True)
+        target = sqlite3.connect(target_path)
+        target.execute("PRAGMA journal_mode = WAL")
+        tables: set[str] = set()
+        for info in infos:
+            tables.update(info.tables)
+        for table in sorted(tables):
+            declared = self._registry[table]
+            rendered = ", ".join(
+                f"{quote_identifier(c)} {t}" for c, t in declared
+            )
+            target.execute(
+                f"CREATE TABLE {quote_identifier(table)} ({rendered})"
+            )
+            column_sql = ", ".join(quote_identifier(c) for c, _ in declared)
+            insert_sql = (
+                f"INSERT INTO {quote_identifier(table)} ({column_sql}) "
+                f"VALUES ({', '.join('?' for _ in declared)})"
+            )
+            for info in infos:
+                if table not in info.tables:
+                    continue
+                source, direct = self._read_conn(info)
+                try:
+                    # The source shard may predate later add_column
+                    # calls; select only the columns it has.
+                    have = {
+                        row[1]
+                        for row in source.execute(
+                            f"PRAGMA table_info({quote_identifier(table)})"
+                        )
+                    }
+                    selects = ", ".join(
+                        quote_identifier(c) if c in have else "NULL"
+                        for c, _ in declared
+                    )
+                    rows = source.execute(
+                        f"SELECT {selects} FROM {quote_identifier(table)} "
+                        f"ORDER BY rowid"
+                    )
+                    while True:
+                        batch = rows.fetchmany(_INSERT_BATCH_SIZE)
+                        if not batch:
+                            break
+                        target.executemany(insert_sql, batch)
+                finally:
+                    if direct:
+                        source.close()
+        target.commit()
+        target.close()
+        for info in infos:
+            self._remove_shard(info)
+        record = ShardInfo(
+            host,
+            first.window_index,
+            first.start_us,
+            last.stop_us,
+            relpath,
+            tables,
+        )
+        self.register_shards([record])
+        return len(infos)
+
+    # ------------------------------------------------------------------
+    # columnar sidecars (the bulk-analysis fast path)
+
+    def _columnar_invalidate(self) -> None:
+        if self._columnar:
+            self._columnar = False
+            self._set_config("columnar", "0")
+
+    def build_columnar(self) -> int:
+        """Materialize numeric columns as ``.npy`` sidecars per shard.
+
+        For each shard and table, every INTEGER/REAL column is dumped
+        (in rowid order, NULL → NaN) into ``<shard>.cols/<table>.<col>
+        .npy``.  :meth:`columnar_series` / :meth:`columnar_spans` then
+        serve the bulk-analysis full scans from memory-mapped arrays
+        instead of SQL.  Any subsequent write invalidates the sidecars
+        (they are rebuilt on demand).  Returns the number of arrays
+        written.
+        """
+        import numpy as np
+
+        self.flush()
+        written = 0
+        for info in self.shard_manifest():
+            cols_dir = Path(f"{self._shard_abspath(info)}.cols")
+            shutil.rmtree(cols_dir, ignore_errors=True)
+            if not info.tables:
+                continue
+            cols_dir.mkdir(parents=True)
+            conn, direct = self._read_conn(info)
+            try:
+                for table in sorted(info.tables):
+                    numeric = [
+                        column
+                        for column, sql_type in self.table_schema(table)
+                        if sql_type in ("INTEGER", "REAL")
+                    ]
+                    have = {
+                        row[1]
+                        for row in conn.execute(
+                            f"PRAGMA table_info({quote_identifier(table)})"
+                        )
+                    }
+                    for column in numeric:
+                        if column not in have:
+                            continue
+                        values = [
+                            row[0]
+                            for row in conn.execute(
+                                f"SELECT {quote_identifier(column)} "
+                                f"FROM {quote_identifier(table)} "
+                                f"ORDER BY rowid"
+                            )
+                        ]
+                        array = np.array(
+                            [
+                                float("nan") if v is None else float(v)
+                                for v in values
+                            ],
+                            dtype=np.float64,
+                        )
+                        np.save(cols_dir / f"{table}.{column}.npy", array)
+                        written += 1
+            finally:
+                if direct:
+                    conn.close()
+        self._columnar = True
+        self._set_config("columnar", "1")
+        return written
+
+    def _columnar_arrays(
+        self,
+        table: str,
+        columns: Sequence[str],
+        time_column: str,
+        start: int | None,
+        stop: int | None,
+    ):
+        import numpy as np
+
+        if not self._columnar or table not in self._registry:
+            return None
+        times_parts = []
+        value_parts: list[list] = [[] for _ in columns]
+        with self.pruned(start, stop):
+            infos = self._shards_for(table)
+        for info in infos:
+            cols_dir = Path(f"{self._shard_abspath(info)}.cols")
+            time_file = cols_dir / f"{table}.{time_column}.npy"
+            if not time_file.exists():
+                return None
+            times = np.load(time_file)
+            loaded = []
+            for column in columns:
+                col_file = cols_dir / f"{table}.{column}.npy"
+                if not col_file.exists():
+                    return None
+                loaded.append(np.load(col_file))
+            self.shard_open_log.append(f"{info.relpath}.cols")
+            times_parts.append(times)
+            for part, array in zip(value_parts, loaded):
+                part.append(array)
+        if not times_parts:
+            empty = np.array([], dtype=np.float64)
+            return empty, [np.array([], dtype=np.float64) for _ in columns]
+        times = np.concatenate(times_parts)
+        values = [np.concatenate(part) for part in value_parts]
+        return times, values
+
+    def columnar_series(
+        self,
+        table: str,
+        columns: Sequence[str],
+        start: int | None = None,
+        stop: int | None = None,
+    ):
+        """``(times, summed_values)`` arrays for a metric table, or
+        ``None`` when sidecars are absent/stale (caller falls back to
+        SQL).  Matches ``metric_series`` semantics: values are the
+        NULL-as-zero sum of ``columns``, rows with a NULL timestamp are
+        dropped, output is sorted by time; ``start``/``stop`` are
+        warehouse timestamps.
+        """
+        import numpy as np
+
+        arrays = self._columnar_arrays(
+            table, columns, "timestamp_us", start, stop
+        )
+        if arrays is None:
+            return None
+        times, value_arrays = arrays
+        summed = np.zeros_like(times)
+        for array in value_arrays:
+            summed = summed + np.nan_to_num(array, nan=0.0)
+        mask = ~np.isnan(times)
+        if start is not None:
+            mask &= times >= start
+        if stop is not None:
+            mask &= times < stop
+        times, summed = times[mask], summed[mask]
+        order = np.argsort(times, kind="stable")
+        return times[order].astype(np.int64), summed[order]
+
+    def columnar_spans(
+        self,
+        table: str,
+        start: int | None = None,
+        stop: int | None = None,
+    ):
+        """Sorted ``(arrivals, departures)`` arrays for an event table
+        (completed rows only, optionally bounded on arrival), or
+        ``None`` when sidecars are absent/stale."""
+        import numpy as np
+
+        arrays = self._columnar_arrays(
+            table,
+            ("upstream_departure_us",),
+            "upstream_arrival_us",
+            start,
+            stop,
+        )
+        if arrays is None:
+            return None
+        arrivals, (departures,) = arrays
+        mask = ~np.isnan(departures) & ~np.isnan(arrivals)
+        if start is not None:
+            mask &= arrivals >= start
+        if stop is not None:
+            mask &= arrivals < stop
+        arrivals, departures = arrivals[mask], departures[mask]
+        return (
+            np.sort(arrivals).astype(np.int64),
+            np.sort(departures).astype(np.int64),
+        )
+
+
+def open_warehouse(path: Path | str) -> MScopeDB | ShardedMScopeDB:
+    """Open a warehouse by path, monolithic or sharded.
+
+    A directory containing ``manifest.db`` is a sharded warehouse;
+    anything else is treated as a monolithic sqlite file.  Every
+    read-side consumer (CLI subcommands, diagnosis workers) goes
+    through this, so both layouts are interchangeable downstream.
+    """
+    path = Path(path)
+    if path.is_dir() and (path / MANIFEST_FILE).exists():
+        return ShardedMScopeDB(path)
+    return MScopeDB(path)

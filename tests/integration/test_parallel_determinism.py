@@ -32,7 +32,7 @@ def test_parallel_matches_serial(scenario_a_run):
     for table in serial_db.dynamic_tables():
         assert serial_db.table_schema(table) == parallel_db.table_schema(table)
 
-    assert serial_db.iterdump() == parallel_db.iterdump()
+    assert list(serial_db.iterdump()) == list(parallel_db.iterdump())
 
 
 def test_parallel_with_workdir_matches_serial(scenario_a_run, tmp_path):
@@ -42,7 +42,7 @@ def test_parallel_with_workdir_matches_serial(scenario_a_run, tmp_path):
     parallel_db, _ = _transform(
         scenario_a_run.log_dir, jobs=4, workdir=tmp_path / "parallel"
     )
-    assert serial_db.iterdump() == parallel_db.iterdump()
+    assert list(serial_db.iterdump()) == list(parallel_db.iterdump())
 
 
 def test_artifact_free_run_matches_artifact_run(scenario_a_run, tmp_path):
@@ -51,7 +51,7 @@ def test_artifact_free_run_matches_artifact_run(scenario_a_run, tmp_path):
     artifact_db, _ = _transform(
         scenario_a_run.log_dir, jobs=4, workdir=tmp_path / "work"
     )
-    assert bare_db.iterdump() == artifact_db.iterdump()
+    assert list(bare_db.iterdump()) == list(artifact_db.iterdump())
 
 
 def _dump_sans_worker_rollup(db):
@@ -117,4 +117,4 @@ def test_telemetry_off_run_is_byte_identical_to_pre_telemetry(scenario_a_run):
     )
     assert "pipeline_metrics" not in default_db.tables()
     assert "pipeline_workers" not in default_db.tables()
-    assert default_db.iterdump() == explicit_off_db.iterdump()
+    assert list(default_db.iterdump()) == list(explicit_off_db.iterdump())

@@ -72,7 +72,7 @@ def test_any_line_split_matches_batch(cuts):
 
         batch_db = MScopeDB()
         MScopeDataTransformer(batch_db).transform_directory(log_dir)
-        assert live.db.iterdump() == batch_db.iterdump()
+        assert list(live.db.iterdump()) == list(batch_db.iterdump())
 
 
 @settings(max_examples=15, deadline=None)
@@ -95,4 +95,4 @@ def test_redundant_refreshes_are_idempotent(repeats):
 
         batch_db = MScopeDB()
         MScopeDataTransformer(batch_db).transform_directory(log_dir)
-        assert live.db.iterdump() == batch_db.iterdump()
+        assert list(live.db.iterdump()) == list(batch_db.iterdump())

@@ -29,6 +29,7 @@ def test_catalogue_covers_the_claimed_pairs():
         "policy-skip-clean",
         "policy-quarantine-clean",
         "causal-bulk",
+        "warehouse-sharded",
     } <= keys
     assert len(CONFORMANCE_PAIRS) >= 5
     assert len(keys) == len(CONFORMANCE_PAIRS), "duplicate pair keys"
@@ -67,3 +68,26 @@ def test_divergence_is_localized(validation_runner, db_log_flush_outcome):
     assert divergence is not None and "length" in divergence
 
     assert _first_dump_divergence(baseline, baseline) is None
+
+
+def test_divergence_streams_line_iterables(db_log_flush_outcome):
+    """The comparison is lockstep over line *streams* — generators go
+    in directly, no materialized dumps required."""
+    from repro.validation.conformance import _first_dump_divergence
+
+    assert (
+        _first_dump_divergence(
+            db_log_flush_outcome.dump_lines(),
+            db_log_flush_outcome.dump_lines(),
+        )
+        is None
+    )
+
+    def tampered():
+        for index, line in enumerate(db_log_flush_outcome.dump_lines()):
+            yield line + " tampered" if index == 10 else line
+
+    divergence = _first_dump_divergence(
+        db_log_flush_outcome.dump_lines(), tampered()
+    )
+    assert divergence is not None and "line 11" in divergence
