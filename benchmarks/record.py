@@ -1,0 +1,53 @@
+"""Schema'd JSON records for the benchmark CI jobs.
+
+Every non-gating bench job sets ``MSCOPE_BENCH_JSON`` (the artifact
+path) and ``MSCOPE_BENCH_NAME`` (the job's name); benchmarks then call
+:func:`record` with the numbers they measured.  All benches share one
+record shape so downstream tooling can diff runs without knowing which
+job produced which file::
+
+    {
+      "schema": "mscope-bench-record/v1",
+      "bench": "warehouse-bench",
+      "sections": {
+        "ingest": {"rows": 200000, "speedup": 2.7, ...},
+        "pruned_read": {...}
+      }
+    }
+
+Multiple ``record`` calls merge into the same file (section by
+section), so a bench module with several tests accumulates one
+artifact.  Without ``MSCOPE_BENCH_JSON`` in the environment, recording
+is a no-op — local runs just print their report blocks as before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = ["SCHEMA", "record"]
+
+SCHEMA = "mscope-bench-record/v1"
+
+
+def record(section: str, **fields: Any) -> None:
+    """Merge one measured section into the bench-record artifact."""
+    target = os.environ.get("MSCOPE_BENCH_JSON")
+    if not target:
+        return
+    payload: dict[str, Any] = {
+        "schema": SCHEMA,
+        "bench": os.environ.get("MSCOPE_BENCH_NAME", "unknown"),
+        "sections": {},
+    }
+    if os.path.exists(target):
+        with open(target) as handle:
+            existing = json.load(handle)
+        if existing.get("schema") == SCHEMA:
+            payload["sections"] = existing.get("sections", {})
+    payload["sections"][section] = fields
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -33,6 +33,7 @@ from repro.common.timebase import ms
 from repro.warehouse.db import MScopeDB, quote_identifier
 
 from conftest import report
+from record import record
 
 EPOCH = 1_000_000_000
 MS = 1_000
@@ -315,6 +316,16 @@ def test_bulk_engine_speedup(big_warehouse):
         f"series-cache hits/misses:    "
         f"{bulk_diagnoser.cache.hits}/{bulk_diagnoser.cache.misses}",
     )
+    record(
+        "bulk_engine_speedup",
+        requests=N_REQUESTS,
+        anomaly_windows=expected_windows,
+        scalar_s=round(scalar_s, 3),
+        bulk_s=round(bulk_s, 3),
+        speedup=round(speedup, 1),
+        cache_hits=bulk_diagnoser.cache.hits,
+        cache_misses=bulk_diagnoser.cache.misses,
+    )
     assert speedup >= 10.0, f"bulk engine only {speedup:.1f}x faster"
 
 
@@ -332,4 +343,10 @@ def test_parallel_windows_match_serial(big_warehouse):
         "Parallel window fan-out (jobs=4)",
         f"serial:   {serial_s:6.2f} s\nparallel: {parallel_s:6.2f} s\n"
         f"(identical reports either way)",
+    )
+    record(
+        "parallel_windows",
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        jobs=4,
     )

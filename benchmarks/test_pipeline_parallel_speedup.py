@@ -15,6 +15,7 @@ import time
 import pytest
 
 from conftest import report
+from record import record
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
 
@@ -73,6 +74,16 @@ def test_pipeline_parallel_speedup(scenario_a_run, tmp_path):
         f"{serial_rows} rows on {_CORES} cores, jobs=1: {serial_s:.2f}s, "
         f"jobs={jobs}: {parallel_s:.2f}s, speedup {speedup:.2f}x "
         f"(floor {_SPEEDUP_FLOOR}x)",
+    )
+    record(
+        "parallel_speedup",
+        rows=serial_rows,
+        cores=_CORES,
+        jobs=jobs,
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        speedup=round(speedup, 2),
+        floor=_SPEEDUP_FLOOR,
     )
     assert speedup >= _SPEEDUP_FLOOR
 

@@ -7,6 +7,7 @@ mScopeDB, and checks the load is complete.
 """
 
 from conftest import report
+from record import record
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
 
@@ -25,6 +26,16 @@ def test_pipeline_throughput(benchmark, scenario_a_run):
         "Pipeline (Figure 3)",
         f"{len(outcomes)} log files -> {len(db.dynamic_tables())} tables, "
         f"{rows} rows loaded",
+    )
+    stats = benchmark.stats.stats
+    record(
+        "pipeline_throughput",
+        files=len(outcomes),
+        tables=len(db.dynamic_tables()),
+        rows=rows,
+        min_s=round(stats.min, 4),
+        mean_s=round(stats.mean, 4),
+        rows_per_s=round(rows / stats.min, 1),
     )
     assert rows > 1_000
     assert len(db.dynamic_tables()) >= 16

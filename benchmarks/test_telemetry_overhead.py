@@ -16,6 +16,7 @@ import time
 import pytest
 
 from conftest import report
+from record import record
 from repro.telemetry.spans import TelemetryCollector
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
@@ -67,6 +68,15 @@ def test_telemetry_overhead_within_budget(scenario_a_run):
         f"{on_rows} rows, telemetry off: {off_s:.3f}s, "
         f"on: {on_s:.3f}s, overhead {overhead:.3f}x "
         f"(budget {_MAX_OVERHEAD}x)",
+    )
+    record(
+        "telemetry_overhead",
+        rows=on_rows,
+        rounds=_ROUNDS,
+        off_s=round(off_s, 4),
+        on_s=round(on_s, 4),
+        overhead=round(overhead, 4),
+        budget=_MAX_OVERHEAD,
     )
     assert overhead <= _MAX_OVERHEAD
 

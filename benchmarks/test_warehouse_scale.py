@@ -15,11 +15,11 @@ Two measurements back the sharded warehouse's performance claims:
 The default tier loads 1M rows; set ``MSCOPE_SCALE_ROWS=10000000``
 for the 10M-row tier (nightly-scale, minutes not seconds).  When
 ``MSCOPE_BENCH_JSON`` names a file, the measured numbers are written
-there as JSON — the CI ``warehouse-bench`` job uploads it as an
-artifact, so throughput is a recorded curve over time, not a one-off.
+there in the shared bench-record schema (see ``benchmarks/record.py``)
+— the CI ``warehouse-bench`` job uploads it as an artifact, so
+throughput is a recorded curve over time, not a one-off.
 """
 
-import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from conftest import report
+from record import record
 from repro.warehouse.db import MScopeDB
 from repro.warehouse.sharded import ShardedMScopeDB, ShardHostWriter
 
@@ -140,14 +141,14 @@ def test_sharded_ingest_throughput(tmp_path):
         f"writers {shard_s:.2f}s ({total / shard_s:,.0f} rows/s), "
         f"speedup {speedup:.2f}x (floor 2.0x)",
     )
-    _record_json(
-        ingest={
-            "rows": total,
-            "hosts": len(HOSTS),
-            "single_writer_s": round(mono_s, 3),
-            "shard_writers_s": round(shard_s, 3),
-            "speedup": round(speedup, 2),
-        }
+    record(
+        "ingest",
+        rows=total,
+        rows_tier=ROWS,
+        hosts=len(HOSTS),
+        single_writer_s=round(mono_s, 3),
+        shard_writers_s=round(shard_s, 3),
+        speedup=round(speedup, 2),
     )
     assert speedup >= 2.0
 
@@ -189,29 +190,13 @@ def test_pruned_window_read_speedup(tmp_path):
         f"{pruned_opens} in {pruned_s * 1000:.1f}ms "
         f"(speedup {speedup:.1f}x)",
     )
-    _record_json(
-        pruned_read={
-            "rows_per_host": rows_per_host,
-            "unpruned_opens": full_opens,
-            "pruned_opens": pruned_opens,
-            "unpruned_s": round(full_s, 4),
-            "pruned_s": round(pruned_s, 4),
-            "speedup": round(speedup, 2),
-        }
+    record(
+        "pruned_read",
+        rows_per_host=rows_per_host,
+        rows_tier=ROWS,
+        unpruned_opens=full_opens,
+        pruned_opens=pruned_opens,
+        unpruned_s=round(full_s, 4),
+        pruned_s=round(pruned_s, 4),
+        speedup=round(speedup, 2),
     )
-
-
-def _record_json(**sections) -> None:
-    """Merge measured sections into the MSCOPE_BENCH_JSON artifact."""
-    target = os.environ.get("MSCOPE_BENCH_JSON")
-    if not target:
-        return
-    payload = {}
-    if os.path.exists(target):
-        with open(target) as handle:
-            payload = json.load(handle)
-    payload.update(sections)
-    payload["rows_tier"] = ROWS
-    with open(target, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")

@@ -13,6 +13,10 @@ Four subcommands mirror the framework's workflow:
   as text, JSON, or Prometheus exposition format;
 * ``mscope diagnose``   — run the VSB diagnosis engine over a
   warehouse and print the reports;
+* ``mscope serve``      — run the always-on daemon: continuous
+  tail-ingest of a growing log tree, incremental diagnosis, and an
+  HTTP API (``/healthz``, ``/stats``, ``/reports``, ``/paths``, SSE
+  ``/events``);
 * ``mscope figures``    — regenerate the paper's figures.
 
 Example session::
@@ -33,6 +37,7 @@ from pathlib import Path
 
 from repro.analysis.diagnosis import Diagnoser
 from repro.common.timebase import seconds
+from repro.common.windows import WindowParseError, parse_window
 from repro.experiments.scenarios import baseline_run, scenario_a, scenario_b
 from repro.telemetry.spans import TelemetryCollector
 from repro.transformer.errorpolicy import ERROR_MODES, QUARANTINE, ErrorPolicy
@@ -193,6 +198,73 @@ def build_parser() -> argparse.ArgumentParser:
         "sharded warehouse only the overlapping shards are read",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the always-on daemon: tail-ingest, incremental "
+        "diagnosis, HTTP API",
+    )
+    serve.add_argument(
+        "--logs", type=Path, required=True,
+        help="log tree to tail (host directories underneath; may "
+        "still be growing)",
+    )
+    serve.add_argument(
+        "--db", type=Path, default=None,
+        help="warehouse path (file or shard root); omitted = "
+        "in-memory, lost at exit",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--port-file", type=Path, default=None,
+        help="write the bound port here once listening (for scripts "
+        "using --port 0)",
+    )
+    serve.add_argument(
+        "--refresh-interval", type=float, default=0.5, metavar="SECONDS",
+        help="delay between ingest cycles",
+    )
+    serve.add_argument(
+        "--diagnose-interval", type=float, default=2.0, metavar="SECONDS",
+        help="delay between incremental diagnosis cycles",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bounded ingest queue size; reaching it downshifts to "
+        "sampled ingest",
+    )
+    serve.add_argument(
+        "--sample-fraction", type=float, default=0.25,
+        help="fraction of the queue imported per cycle while degraded",
+    )
+    serve.add_argument(
+        "--diagnosis-window", type=float, default=10.0, metavar="SECONDS",
+        help="width of one cached diagnosis window",
+    )
+    serve.add_argument(
+        "--vlrt-floor", type=int, default=0,
+        help="VLRT count a window may carry before a floor-breach "
+        "event is published",
+    )
+    serve.add_argument(
+        "--on-error", choices=["fail-fast", "skip"], default="fail-fast",
+        help="damaged-line policy for live ingest (quarantine is "
+        "batch-only)",
+    )
+    serve.add_argument(
+        "--shard-window-s", type=float, default=None,
+        help="build a sharded warehouse with this time window instead "
+        "of a monolith",
+    )
+    serve.add_argument(
+        "--epoch-us", type=int, default=None,
+        help="epoch offset; defaults to run_meta.json next to the "
+        "log tree, then 0",
+    )
+
     shards = subparsers.add_parser(
         "shards", help="inspect and manage a sharded warehouse"
     )
@@ -300,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         "errors": _cmd_errors,
         "stats": _cmd_stats,
         "diagnose": _cmd_diagnose,
+        "serve": _cmd_serve,
         "figures": _cmd_figures,
         "report": _cmd_report,
         "shards": _cmd_shards,
@@ -526,17 +599,9 @@ def _cmd_diagnose(args) -> int:
     window = None
     if args.window is not None:
         try:
-            raw_start, raw_stop = args.window.split(":", 1)
-            window = (
-                seconds(float(raw_start)) if raw_start else None,
-                seconds(float(raw_stop)) if raw_stop else None,
-            )
-        except ValueError:
-            print(
-                f"bad --window {args.window!r}: expected START:STOP "
-                f"seconds, e.g. 120:180 or 120: (open-ended)",
-                file=sys.stderr,
-            )
+            window = parse_window(args.window)
+        except WindowParseError as exc:
+            print(f"bad --window: {exc}", file=sys.stderr)
             db.close()
             return 2
     telemetry = NULL_TELEMETRY if args.no_stats else TelemetryCollector()
@@ -558,6 +623,48 @@ def _cmd_diagnose(args) -> int:
         print(report.to_text())
         print()
     db.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.daemon import MScopeServeDaemon, ServeConfig
+
+    config = ServeConfig(
+        logs=args.logs,
+        db=args.db,
+        host=args.host,
+        port=args.port,
+        refresh_interval_s=args.refresh_interval,
+        diagnose_interval_s=args.diagnose_interval,
+        queue_capacity=args.queue_capacity,
+        sample_fraction=args.sample_fraction,
+        diagnosis_window_s=args.diagnosis_window,
+        vlrt_floor=args.vlrt_floor,
+        on_error=args.on_error,
+        shard_window_s=args.shard_window_s,
+        epoch_us=args.epoch_us,
+    )
+    daemon = MScopeServeDaemon(config)
+
+    async def _serve() -> None:
+        ready = asyncio.Event()
+        runner = asyncio.ensure_future(daemon.run(ready))
+        await ready.wait()
+        print(
+            f"listening on http://{config.host}:{daemon.bound_port}",
+            flush=True,
+        )
+        if args.port_file is not None:
+            args.port_file.write_text(f"{daemon.bound_port}\n")
+        await runner
+
+    asyncio.run(_serve())
+    print(
+        f"drained: {daemon.state.rows} rows over {daemon.state.cycles} "
+        f"cycles, {daemon.state.cached_windows} diagnosis windows cached"
+    )
     return 0
 
 

@@ -1,0 +1,70 @@
+"""Parsing of ``START:STOP`` simulation-time windows.
+
+One grammar, two consumers: ``mscope diagnose --window`` and the serve
+API's ``?window=`` query parameter both accept a colon-separated pair
+of simulation-time seconds, either side optional (open-ended).  The
+parser rejects malformed, negative, and reversed ranges with a message
+naming the offending part — previously a reversed window silently fell
+through to an empty diagnosis report.
+"""
+
+from __future__ import annotations
+
+from repro.common.timebase import Micros, seconds
+
+__all__ = ["WindowParseError", "parse_window", "format_window"]
+
+
+class WindowParseError(ValueError):
+    """A ``START:STOP`` window string that cannot mean anything."""
+
+
+def parse_window(text: str) -> tuple[Micros | None, Micros | None]:
+    """Parse ``START:STOP`` seconds into a ``(start_us, stop_us)`` pair.
+
+    Either side may be empty for an open end (``120:``, ``:180``), but
+    not both; values must be non-negative numbers and the range must
+    run forward (``start < stop``).  Raises :class:`WindowParseError`
+    with a self-explanatory message otherwise.
+    """
+    if ":" not in text:
+        raise WindowParseError(
+            f"bad window {text!r}: expected START:STOP seconds, "
+            f"e.g. 120:180 or 120: (open-ended)"
+        )
+    raw_start, raw_stop = text.split(":", 1)
+    if not raw_start and not raw_stop:
+        raise WindowParseError(
+            f"bad window {text!r}: at least one side must be given"
+        )
+    start = _parse_side(text, "start", raw_start)
+    stop = _parse_side(text, "stop", raw_stop)
+    if start is not None and stop is not None and start >= stop:
+        raise WindowParseError(
+            f"bad window {text!r}: start must be before stop "
+            f"(a reversed or empty range selects nothing)"
+        )
+    return start, stop
+
+
+def _parse_side(text: str, side: str, raw: str) -> Micros | None:
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise WindowParseError(
+            f"bad window {text!r}: {side} {raw!r} is not a number"
+        ) from None
+    if value < 0:
+        raise WindowParseError(
+            f"bad window {text!r}: {side} must be >= 0 seconds"
+        )
+    return seconds(value)
+
+
+def format_window(start_us: Micros | None, stop_us: Micros | None) -> str:
+    """Render a window back into the ``START:STOP`` seconds grammar."""
+    left = f"{start_us / 1_000_000:g}" if start_us is not None else ""
+    right = f"{stop_us / 1_000_000:g}" if stop_us is not None else ""
+    return f"{left}:{right}"

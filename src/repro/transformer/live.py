@@ -112,6 +112,11 @@ class LiveTransformer:
         Callback invoked with the fresh :class:`Heartbeat` at the end
         of every :meth:`refresh_directory` cycle — the streaming
         health signal for a supervising process.
+    on_ingest_error:
+        Callback invoked with ``(source_path, reason)`` for every
+        damaged line a lenient policy records — the serve daemon
+        forwards these onto its SSE event stream as they happen,
+        instead of polling the ``ingest_errors`` ledger.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class LiveTransformer:
         telemetry: TelemetryCollector | None = None,
         clock: Callable[[], float] = time.monotonic,
         on_heartbeat: Callable[[Heartbeat], None] | None = None,
+        on_ingest_error: Callable[[str, str], None] | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
@@ -137,6 +143,7 @@ class LiveTransformer:
         self.telemetry = telemetry or NULL_TELEMETRY
         self._clock = clock
         self.on_heartbeat = on_heartbeat
+        self.on_ingest_error = on_ingest_error
         self._refreshes = 0
         self._last_error: str | None = None
         self._heartbeat: Heartbeat | None = None
@@ -226,9 +233,30 @@ class LiveTransformer:
                 error.reason,
                 error.excerpt,
             )
+            if self.on_ingest_error is not None:
+                self.on_ingest_error(error.path, error.reason)
         if sink.errors:
             # Lenient damage feeds the heartbeat's last-error signal.
             self._last_error = sink.errors[-1].reason
+
+    def declared_files(self, root: Path | str) -> list[tuple[str, Path]]:
+        """The ``(hostname, path)`` pairs a refresh of ``root`` would
+        visit, in the deterministic (host, file) scan order.
+
+        The serve daemon's per-host ingest loop uses this to enqueue
+        file-granular work items; :meth:`refresh_directory` walks the
+        same list, so both paths agree on what a log tree contains.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise DeclarationError(f"log directory {root} does not exist")
+        pairs: list[tuple[str, Path]] = []
+        for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for log_file in sorted(host_dir.glob("*.log")):
+                if self.declaration.try_resolve(log_file) is None:
+                    continue
+                pairs.append((host_dir.name, log_file))
+        return pairs
 
     def refresh_directory(self, root: Path | str) -> RefreshOutcome:
         """Refresh every declared log under ``root``.
@@ -239,9 +267,7 @@ class LiveTransformer:
         the retries is skipped this round and picked up again on the
         next refresh.
         """
-        root = Path(root)
-        if not root.is_dir():
-            raise DeclarationError(f"log directory {root} does not exist")
+        pairs = self.declared_files(root)
         started = self._clock()
         new_rows = 0
         refreshed = 0
@@ -249,29 +275,24 @@ class LiveTransformer:
         retries = 0
         spans: list[SpanData] = []
         with self.telemetry.probe().span(spans, "refresh") as span:
-            for host_dir in sorted(p for p in root.iterdir() if p.is_dir()):
-                for log_file in sorted(host_dir.glob("*.log")):
-                    if self.declaration.try_resolve(log_file) is None:
-                        continue
-                    imported = None
-                    for attempt in range(self.max_retries + 1):
-                        try:
-                            imported = self.refresh_file(
-                                log_file, host_dir.name
-                            )
+            for hostname, log_file in pairs:
+                imported = None
+                for attempt in range(self.max_retries + 1):
+                    try:
+                        imported = self.refresh_file(log_file, hostname)
+                        break
+                    except ParseError as exc:
+                        self._last_error = str(exc)
+                        if attempt == self.max_retries:
                             break
-                        except ParseError as exc:
-                            self._last_error = str(exc)
-                            if attempt == self.max_retries:
-                                break
-                            self._sleep(self.backoff_s * (2**attempt))
-                            retries += 1
-                    if imported is None:
-                        skipped += 1
-                        continue
-                    if imported:
-                        refreshed += 1
-                        new_rows += imported
+                        self._sleep(self.backoff_s * (2**attempt))
+                        retries += 1
+                if imported is None:
+                    skipped += 1
+                    continue
+                if imported:
+                    refreshed += 1
+                    new_rows += imported
             span.add(records=new_rows, errors=skipped)
         self.telemetry.ingest(spans)
         self._beat(started, refreshed, new_rows)

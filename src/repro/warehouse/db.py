@@ -131,6 +131,12 @@ class MScopeDB:
     path:
         Database file path, or ``":memory:"`` (the default) for an
         in-memory warehouse.
+    threadsafe:
+        Open the connection with ``check_same_thread=False`` so a
+        long-lived owner (the ``mscope serve`` daemon) can use it from
+        executor threads.  Python's sqlite3 serializes access at the
+        connection level; the *caller* still must not interleave
+        transactions from concurrent threads.
 
     Examples
     --------
@@ -142,9 +148,14 @@ class MScopeDB:
     1
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self, path: str | Path = ":memory:", threadsafe: bool = False
+    ) -> None:
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        self.threadsafe = threadsafe
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=not threadsafe
+        )
         self._bulk_depth = 0
         #: table → resolved (column, type) pairs; every DDL path and
         #: catalog widening invalidates its table's entry, so a cached

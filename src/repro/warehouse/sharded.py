@@ -604,12 +604,16 @@ class ShardedMScopeDB:
     is_sharded = True
 
     def __init__(
-        self, root: Path | str, window_us: int | None = None
+        self,
+        root: Path | str,
+        window_us: int | None = None,
+        threadsafe: bool = False,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = str(self.root)
-        self._manifest = MScopeDB(self.root / MANIFEST_FILE)
+        self.threadsafe = threadsafe
+        self._manifest = MScopeDB(self.root / MANIFEST_FILE, threadsafe=threadsafe)
         self._create_shard_tables()
         self.window_us = self._resolve_window(window_us)
         #: logical dynamic table -> declared (column, type) order
@@ -1082,7 +1086,13 @@ class ShardedMScopeDB:
                     conn.commit()
                 return conn, False
         self._count_open(info)
-        return sqlite3.connect(self._shard_abspath(info)), True
+        return (
+            sqlite3.connect(
+                self._shard_abspath(info),
+                check_same_thread=not self.threadsafe,
+            ),
+            True,
+        )
 
     def _drop_views(self) -> None:
         conn = self._manifest._require_conn()
@@ -1760,15 +1770,19 @@ class ShardedMScopeDB:
         )
 
 
-def open_warehouse(path: Path | str) -> MScopeDB | ShardedMScopeDB:
+def open_warehouse(
+    path: Path | str, threadsafe: bool = False
+) -> MScopeDB | ShardedMScopeDB:
     """Open a warehouse by path, monolithic or sharded.
 
     A directory containing ``manifest.db`` is a sharded warehouse;
     anything else is treated as a monolithic sqlite file.  Every
-    read-side consumer (CLI subcommands, diagnosis workers) goes
-    through this, so both layouts are interchangeable downstream.
+    read-side consumer (CLI subcommands, diagnosis workers, the serve
+    daemon) goes through this, so both layouts are interchangeable
+    downstream.  ``threadsafe`` opens every underlying connection with
+    ``check_same_thread=False`` for single-owner, multi-thread use.
     """
     path = Path(path)
     if path.is_dir() and (path / MANIFEST_FILE).exists():
-        return ShardedMScopeDB(path)
-    return MScopeDB(path)
+        return ShardedMScopeDB(path, threadsafe=threadsafe)
+    return MScopeDB(path, threadsafe=threadsafe)

@@ -1,0 +1,64 @@
+"""Tests for the shared START:STOP window grammar."""
+
+import pytest
+
+from repro.common.windows import WindowParseError, format_window, parse_window
+
+
+def test_full_window():
+    assert parse_window("120:180") == (120_000_000, 180_000_000)
+
+
+def test_fractional_seconds():
+    assert parse_window("0.5:1.25") == (500_000, 1_250_000)
+
+
+def test_open_start():
+    assert parse_window(":180") == (None, 180_000_000)
+
+
+def test_open_stop():
+    assert parse_window("120:") == (120_000_000, None)
+
+
+def test_zero_start_is_allowed():
+    assert parse_window("0:10") == (0, 10_000_000)
+
+
+@pytest.mark.parametrize("text", ["120", "", "abc"])
+def test_missing_colon_rejected(text):
+    with pytest.raises(WindowParseError, match="expected START:STOP"):
+        parse_window(text)
+
+
+def test_both_sides_empty_rejected():
+    with pytest.raises(WindowParseError, match="at least one side"):
+        parse_window(":")
+
+
+def test_reversed_range_rejected():
+    with pytest.raises(WindowParseError, match="start must be before stop"):
+        parse_window("180:120")
+
+
+def test_empty_range_rejected():
+    with pytest.raises(WindowParseError, match="start must be before stop"):
+        parse_window("120:120")
+
+
+@pytest.mark.parametrize("text", ["-5:10", "5:-10"])
+def test_negative_values_rejected(text):
+    with pytest.raises(WindowParseError, match="must be >= 0"):
+        parse_window(text)
+
+
+def test_non_numeric_side_names_the_side():
+    with pytest.raises(WindowParseError, match="start 'x' is not a number"):
+        parse_window("x:10")
+    with pytest.raises(WindowParseError, match="stop 'y' is not a number"):
+        parse_window("10:y")
+
+
+def test_format_round_trips():
+    for text in ["120:180", "120:", ":180", "0.5:1.25"]:
+        assert format_window(*parse_window(text)) == text

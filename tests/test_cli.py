@@ -208,3 +208,33 @@ def test_transform_no_stats_leaves_no_telemetry(tmp_path, capsys):
     # stats on a telemetry-free warehouse explains itself and fails.
     assert main(["stats", "--db", str(db_path)]) == 1
     assert "no pipeline telemetry" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "window, message",
+    [
+        ("180:120", "start must be before stop"),
+        ("120:120", "start must be before stop"),
+        ("-5:10", "must be >= 0"),
+        (":", "at least one side"),
+        ("abc", "expected START:STOP"),
+    ],
+)
+def test_diagnose_rejects_bad_windows(tmp_path, capsys, window, message):
+    db_path = tmp_path / "m.db"
+    MScopeDB(db_path).close()
+    code = main(
+        ["diagnose", "--db", str(db_path), f"--window={window}"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "bad --window" in err and message in err
+
+
+def test_serve_parser_defaults(tmp_path):
+    args = build_parser().parse_args(["serve", "--logs", str(tmp_path)])
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.queue_capacity == 64
+    assert args.on_error == "fail-fast"
+    assert args.db is None
