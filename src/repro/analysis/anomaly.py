@@ -47,6 +47,7 @@ def detect_vlrt(
     samples: list[CompletionSample],
     threshold_factor: float = 10.0,
     min_response_ms: float = 50.0,
+    baseline_us: Micros | None = None,
 ) -> list[VlrtRequest]:
     """Completions whose response time is anomalously long.
 
@@ -57,23 +58,33 @@ def detect_vlrt(
     large anomaly, while the median tracks what a normal request
     costs.  The absolute floor keeps a fast, idle system from
     flagging noise.
+
+    ``baseline_us`` overrides the median estimation entirely — the
+    Diagnoser passes a ledger-corrected baseline when a tail-sampling
+    policy skewed the surviving population toward slow requests (a
+    raw median over that population would inflate the cutoff and hide
+    the anomaly).
     """
     if threshold_factor <= 1.0:
         raise AnalysisError("threshold factor must exceed 1")
     if not samples:
         return []
-    ordered = sorted(s.response_time_us for s in samples)
-    median_rt = ordered[len(ordered) // 2]
-    # When the anomaly dominates the snapshot — a fault in the first
-    # 100 ms of a short run can make VLRTs the *majority* of logged
-    # completions — the median itself is inflated by an order of
-    # magnitude and the window silently vanishes from diagnosis.  The
-    # lower quartile still tracks normal-request cost in that regime:
-    # fall back to it whenever the median sits implausibly far above
-    # it (the same factor that defines "anomalous" in the first place).
-    lower_quartile = ordered[len(ordered) // 4]
-    if lower_quartile > 0 and median_rt > threshold_factor * lower_quartile:
-        median_rt = lower_quartile
+    if baseline_us is not None:
+        median_rt = baseline_us
+    else:
+        ordered = sorted(s.response_time_us for s in samples)
+        median_rt = ordered[len(ordered) // 2]
+        # When the anomaly dominates the snapshot — a fault in the
+        # first 100 ms of a short run can make VLRTs the *majority* of
+        # logged completions — the median itself is inflated by an
+        # order of magnitude and the window silently vanishes from
+        # diagnosis.  The lower quartile still tracks normal-request
+        # cost in that regime: fall back to it whenever the median
+        # sits implausibly far above it (the same factor that defines
+        # "anomalous" in the first place).
+        lower_quartile = ordered[len(ordered) // 4]
+        if lower_quartile > 0 and median_rt > threshold_factor * lower_quartile:
+            median_rt = lower_quartile
     cutoff = max(median_rt * threshold_factor, ms(min_response_ms))
     return [
         VlrtRequest(s.request_id, s.completed_at, s.response_time_us)

@@ -84,6 +84,13 @@ class DiagnosisReport:
     affected_interactions: dict[str, tuple[int, float]] = dataclasses.field(
         default_factory=dict
     )
+    #: Present when the warehouse's ``sampling_ledger`` shows a
+    #: log-volume-reduction policy thinned the evidence: the policy
+    #: spec(s), cumulative seen/kept rows, and the context-widening
+    #: factor the diagnosis applied to compensate.  ``None`` for an
+    #: unsampled warehouse, keeping its reports byte-identical to
+    #: pre-sampling ones.
+    sampling: dict | None = None
 
     def primary_cause(self) -> RootCause | None:
         """The top-ranked root cause, if any evidence survived."""
@@ -133,6 +140,13 @@ class DiagnosisReport:
                 )
         else:
             lines.append("  No saturated resource found (inconclusive).")
+        if self.sampling is not None:
+            lines.append(
+                f"  Evidence sampled ({self.sampling['policy']}): kept "
+                f"{self.sampling['rows_kept']}/{self.sampling['rows_seen']} "
+                f"rows; analysis context widened "
+                f"x{self.sampling['widen']:.1f}"
+            )
         return "\n".join(lines)
 
 
@@ -161,8 +175,9 @@ class _InteractionInputs:
 
 def _interaction_inputs(
     completions: list[CompletionSample],
+    baseline_us: Micros | None = None,
 ) -> _InteractionInputs:
-    vlrts = detect_vlrt(completions)
+    vlrts = detect_vlrt(completions, baseline_us=baseline_us)
     vlrt_ids = {v.request_id for v in vlrts}
     totals: dict[str, int] = {}
     id_counts: dict[str, dict[str, int]] = {}
@@ -278,6 +293,30 @@ class Diagnoser:
                 raise AnalysisError(
                     f"tier table {table!r} has no upstream_arrival_us column"
                 )
+        # When a log-volume-reduction policy thinned the event streams
+        # (the ledger says so — measured, not estimated), widen every
+        # analysis context window by the inverse keep ratio (capped)
+        # instead of silently correlating over thinner evidence.  The
+        # widening is a pure function of warehouse state, so parallel
+        # window workers rebuilding from the db path derive the exact
+        # same context as the serial path.
+        summary = getattr(db, "sampling_summary", lambda: None)()
+        self.evidence_widen = 1.0
+        self.sampling_note: dict | None = None
+        if summary is not None and summary["rows_seen"] > summary["rows_kept"]:
+            keep = summary["rows_kept"] / summary["rows_seen"]
+            self.evidence_widen = min(4.0, 1.0 / max(keep, 1e-9))
+            self.window_pad_us = Micros(
+                int(self.window_pad_us * self.evidence_widen)
+            )
+            self.sampling_note = {
+                "policy": ",".join(summary["policies"]),
+                "rows_seen": summary["rows_seen"],
+                "rows_kept": summary["rows_kept"],
+                "widen": round(self.evidence_widen, 4),
+            }
+        self.queue_context_us = Micros(int(ms(1_000) * self.evidence_widen))
+        self.resource_context_us = Micros(int(ms(500) * self.evidence_widen))
         self.window_us = window_us
         bounds: tuple[Micros | None, Micros | None] | None = None
         if window_us is not None:
@@ -297,6 +336,45 @@ class Diagnoser:
         )
 
     # ------------------------------------------------------------------
+
+    def sampled_baseline_us(
+        self, completions: "list[CompletionSample]"
+    ) -> Micros | None:
+        """Ledger-corrected response-time baseline under tail sampling.
+
+        Tail sampling keeps every slow request but only ``base_rate``
+        of the fast ones, so the surviving completion population is
+        skewed toward the anomaly — a raw median over it inflates the
+        VLRT cutoff until the anomaly hides itself.  Each kept fast
+        completion represents ``1/base_rate`` originals (the policy's
+        keep decision is exactly known), so the inverse-probability
+        weighted median recovers the true population baseline.  Pure
+        function of warehouse state + completions: parallel window
+        workers derive the identical value.  ``None`` when no tail
+        policy governed the warehouse (detection then estimates its
+        own baseline, unchanged).
+        """
+        if self.sampling_note is None or not completions:
+            return None
+        base_rate = threshold_us = None
+        for spec in self.sampling_note["policy"].split(","):
+            parts = spec.split(":")
+            if parts[0] == "tail" and len(parts) >= 3:
+                base_rate = float(parts[1])
+                threshold_us = ms(float(parts[2]))
+        if not base_rate or threshold_us is None:
+            return None
+        ordered = sorted(c.response_time_us for c in completions)
+        weights = [
+            1.0 if rt >= threshold_us else 1.0 / base_rate for rt in ordered
+        ]
+        half = sum(weights) / 2.0
+        acc = 0.0
+        for rt, weight in zip(ordered, weights):
+            acc += weight
+            if acc >= half:
+                return rt
+        return ordered[-1]
 
     def diagnose(
         self,
@@ -323,7 +401,11 @@ class Diagnoser:
                 span.add(records=len(completions))
             if not completions:
                 raise AnalysisError(f"no completions in {self.front_table!r}")
-            vlrts = detect_vlrt(completions, threshold_factor, min_response_ms)
+            baseline_us = self.sampled_baseline_us(completions)
+            vlrts = detect_vlrt(
+                completions, threshold_factor, min_response_ms,
+                baseline_us=baseline_us,
+            )
             windows = cluster_anomaly_windows(vlrts)
             with self._probe.span(
                 self._spans, "analysis.candidates"
@@ -331,7 +413,7 @@ class Diagnoser:
                 candidates = discover_candidates(self.db)
                 span.add(records=len(candidates))
             with self._probe.span(self._spans, "analysis.skew") as span:
-                skew = _interaction_inputs(completions)
+                skew = _interaction_inputs(completions, baseline_us)
                 span.add(records=len(skew.vlrts))
             horizon = max(c.completed_at for c in completions)
             if self.jobs is not None and self.jobs > 1 and len(windows) > 1:
@@ -418,6 +500,7 @@ class Diagnoser:
             pushback_tiers=pushback,
             causes=causes,
             affected_interactions=self._interaction_analysis(window, skew),
+            sampling=self.sampling_note,
         )
 
     def _interaction_analysis(
@@ -455,8 +538,8 @@ class Diagnoser:
     def _queue_analysis(
         self, window: AnomalyWindow, horizon: Micros, step: Micros
     ) -> tuple[list[QueueFinding], list[str], Series]:
-        context_start = max(0, window.start - ms(1_000))
-        context_stop = min(horizon, window.stop + ms(1_000))
+        context_start = max(0, window.start - self.queue_context_us)
+        context_stop = min(horizon, window.stop + self.queue_context_us)
         findings: list[QueueFinding] = []
         front_queue: Series | None = None
         for tier, tables in self.tier_tables.items():
@@ -526,8 +609,8 @@ class Diagnoser:
             series = self.cache.window(
                 candidate.table,
                 candidate.columns,
-                window.start - ms(500),
-                window.stop + ms(500),
+                window.start - self.resource_context_us,
+                window.stop + self.resource_context_us,
             )
             if series.is_empty():
                 continue
@@ -674,7 +757,9 @@ def _init_window_worker(
     completions = completions_from_warehouse(
         db, front_table, epoch_us, start=start, stop=stop
     )
-    skew = _interaction_inputs(completions)
+    skew = _interaction_inputs(
+        completions, diagnoser.sampled_baseline_us(completions)
+    )
     candidates = discover_candidates(db)
     horizon = max(c.completed_at for c in completions)
     _WORKER = (diagnoser, skew, candidates, horizon)

@@ -18,6 +18,7 @@ from repro.analysis.anomaly import detect_vlrt
 from repro.analysis.response_time import CompletionSample
 from repro.analysis.series import Series
 from repro.common.errors import AnalysisError
+from repro.common.rng import RngStreams
 from repro.common.timebase import Micros, seconds
 
 __all__ = ["CoarseAveragingMonitor", "SamplingTracer"]
@@ -69,13 +70,38 @@ class SamplingTracer:
     Mirrors the head-based sampling of production tracers: the keep
     decision is made per request, so an entire VLRT either appears or
     vanishes from the data.
+
+    Parameters
+    ----------
+    rate:
+        Keep probability per trace, in (0, 1].
+    seed:
+        Seed for a private generator when no ``rng`` is given.
+    rng:
+        An :class:`~repro.common.rng.RngStreams` family (the tracer
+        draws from its own named substream, so the ablation shares the
+        experiment master seed without perturbing other consumers) or
+        a ready :class:`random.Random`.
     """
 
-    def __init__(self, rate: float, seed: int = 0) -> None:
+    #: Substream name used when an :class:`RngStreams` family is given.
+    RNG_STREAM = "baselines.sampling_tracer"
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        rng: RngStreams | random.Random | None = None,
+    ) -> None:
         if not 0.0 < rate <= 1.0:
             raise AnalysisError(f"sampling rate out of (0, 1]: {rate}")
         self.rate = rate
-        self._rng = random.Random(seed)
+        if isinstance(rng, RngStreams):
+            self._rng = rng.stream(self.RNG_STREAM)
+        elif rng is not None:
+            self._rng = rng
+        else:
+            self._rng = random.Random(seed)
 
     def sample(self, samples: list[CompletionSample]) -> list[CompletionSample]:
         """The subset of completions this tracer would have kept."""

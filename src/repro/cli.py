@@ -132,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
         "open only the overlapping shards",
     )
     transform.add_argument(
+        "--sampling",
+        default=None,
+        metavar="POLICY",
+        help="log-volume-reduction policy: head:RATE (coherent "
+        "per-request), tail:BASE:THRESHOLD_MS (always keep VLRTs), or "
+        "conflate:RATE (per-class exemplars + aggregates); sampled-out "
+        "rows are counted in the sampling_ledger table",
+    )
+    transform.add_argument(
         "--no-stats",
         action="store_true",
         help="disable pipeline telemetry (the warehouse then stays "
@@ -264,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="epoch offset; defaults to run_meta.json next to the "
         "log tree, then 0",
     )
+    serve.add_argument(
+        "--sampling", default=None, metavar="POLICY",
+        help="log-volume-reduction policy for live ingest (as for "
+        "transform --sampling); deferred tail records commit during "
+        "the shutdown drain, before the final diagnosis",
+    )
 
     shards = subparsers.add_parser(
         "shards", help="inspect and manage a sharded warehouse"
@@ -360,6 +375,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep run artifacts (logs, schedules, warehouses) here "
         "(default: a temporary directory, removed afterwards)",
     )
+
+    frontier = subparsers.add_parser(
+        "frontier",
+        help="measure the sampling accuracy/volume frontier over the "
+        "labeled fault scenarios",
+    )
+    frontier.add_argument(
+        "--scenario",
+        choices=tuple(SCENARIOS) + ("fast", "all"),
+        default="all",
+        help="a registered scenario, 'fast' (the gating pair), or "
+        "'all' (the full labeled set, default)",
+    )
+    frontier.add_argument("--seed", type=int, default=7)
+    frontier.add_argument(
+        "--policies",
+        default="grid",
+        metavar="SPECS",
+        help="comma-separated policy specs to sweep, 'grid' (the "
+        "default rate grid), or 'pinned' (only the pinned operating "
+        "point — what the gating CI job runs)",
+    )
+    frontier.add_argument(
+        "--check-floors",
+        action="store_true",
+        help="exit non-zero when the pinned operating point misses a "
+        "gating floor on any swept scenario",
+    )
+    frontier.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="frontier table (default) or the full JSON document",
+    )
+    frontier.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the frontier JSON artifact to this file",
+    )
+    frontier.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="keep run artifacts here (default: a temporary "
+        "directory, removed afterwards)",
+    )
     return parser
 
 
@@ -377,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "shards": _cmd_shards,
         "validate": _cmd_validate,
+        "frontier": _cmd_frontier,
     }[args.command]
     return handler(args)
 
@@ -487,7 +550,7 @@ def _cmd_transform(args) -> int:
         db = MScopeDB(args.db)
     transformer = MScopeDataTransformer(
         db, workdir=args.workdir, jobs=args.jobs, policy=policy,
-        telemetry=telemetry,
+        telemetry=telemetry, sampling=args.sampling,
     )
     outcomes = transformer.transform_directory(args.logs)
     meta_path = args.logs.parent / _META_FILE
@@ -512,6 +575,15 @@ def _cmd_transform(args) -> int:
                 f" ({outcome.rows_loaded} rows)"
             )
     print(f"{len(outcomes)} logs, {rows} rows -> {args.db}")
+    if args.sampling:
+        summary = db.sampling_summary()
+        if summary is not None:
+            print(
+                f"sampling {args.sampling}: kept "
+                f"{summary['rows_kept']}/{summary['rows_seen']} governed "
+                f"rows ({summary['row_reduction']:.1f}x rows, "
+                f"{summary['byte_reduction']:.1f}x bytes)"
+            )
     errors = sum(o.error_count for o in outcomes)
     if errors:
         failed = sum(1 for o in outcomes if o.failed)
@@ -645,6 +717,7 @@ def _cmd_serve(args) -> int:
         on_error=args.on_error,
         shard_window_s=args.shard_window_s,
         epoch_us=args.epoch_us,
+        sampling=args.sampling,
     )
     daemon = MScopeServeDaemon(config)
 
@@ -795,6 +868,104 @@ def _cmd_validate(args) -> int:
         if cleanup:
             shutil.rmtree(workdir, ignore_errors=True)
     return 1 if failures else 0
+
+
+def _bench_recorder():
+    """The benchmarks/record.py recorder, when the CI bench env asks
+    for it (``MSCOPE_BENCH_JSON``); ``None`` otherwise.  Loaded by
+    path — ``benchmarks/`` is repo tooling, not part of the package."""
+    import importlib.util
+    import os
+
+    if not os.environ.get("MSCOPE_BENCH_JSON"):
+        return None
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "record.py"
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("_mscope_bench_record", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.record
+
+
+def _cmd_frontier(args) -> int:
+    import shutil
+    import tempfile
+
+    from repro.sampling.frontier import (
+        DEFAULT_POLICY_GRID,
+        PINNED_POLICY,
+        check_frontier_floors,
+        run_frontier,
+    )
+    from repro.validation.runner import SCENARIOS
+
+    if args.scenario == "fast":
+        names = [name for name, spec in SCENARIOS.items() if spec.fast]
+    elif args.scenario == "all":
+        names = sorted(SCENARIOS)
+    else:
+        names = [args.scenario]
+    if args.policies == "grid":
+        policies = list(DEFAULT_POLICY_GRID)
+    elif args.policies == "pinned":
+        policies = [PINNED_POLICY]
+    else:
+        policies = [spec for spec in args.policies.split(",") if spec]
+
+    workdir = args.workdir
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="mscope-frontier-"))
+    try:
+        frontier = run_frontier(
+            workdir,
+            policies=policies,
+            scenarios=names,
+            seed=args.seed,
+            record=_bench_recorder(),
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+    violations = (
+        check_frontier_floors(frontier) if args.check_floors else []
+    )
+    frontier["violations"] = violations
+    rendered = json.dumps(frontier, indent=2, sort_keys=True)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(rendered + "\n")
+    if args.format == "json":
+        print(rendered)
+    else:
+        header = (
+            f"{'policy':14s} {'scenario':18s} {'recall':>6s} "
+            f"{'rank1':>6s} {'rows':>7s} {'bytes':>7s}"
+        )
+        print(header)
+        for policy in policies:
+            cells = frontier["policies"][policy]["scenarios"]
+            for name in names:
+                cell = cells[name]
+                pin = " <- pinned" if policy == frontier["pinned_policy"] else ""
+                print(
+                    f"{policy:14s} {name:18s} {cell['recall']:6.3f} "
+                    f"{cell['rank1_attribution']:6.3f} "
+                    f"{cell['row_reduction']:6.1f}x "
+                    f"{cell['byte_reduction']:6.1f}x{pin}"
+                )
+        if args.check_floors:
+            if violations:
+                print()
+                for violation in violations:
+                    print(f"FAIL: {violation}")
+            else:
+                print(
+                    f"\npinned operating point {frontier['pinned_policy']} "
+                    "holds every gating floor"
+                )
+    return 1 if violations else 0
 
 
 def _cmd_figures(args) -> int:

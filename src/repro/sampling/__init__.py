@@ -1,0 +1,47 @@
+"""Adaptive log-volume reduction policies.
+
+The paper concedes that fine-grained monitoring can double disk write
+volume (four timestamps per request per tier).  This package holds the
+pluggable sampling policies the transformer layer threads through
+batch, live, and sharded ingest, plus the measured accuracy/volume
+frontier (`mscope frontier`) that proves the reduced logs still
+diagnose correctly.
+"""
+
+from repro.sampling.frontier import (
+    DEFAULT_POLICY_GRID,
+    FRONTIER_FLOORS,
+    PINNED_POLICY,
+    check_frontier_floors,
+    run_frontier,
+)
+from repro.sampling.policy import (
+    ConflationPolicy,
+    FlushTable,
+    HeadSamplingPolicy,
+    SampleCounts,
+    SamplingPolicy,
+    TailSamplingPolicy,
+    coherent_keep,
+    commit_flush,
+    parse_policy,
+    row_bytes,
+)
+
+__all__ = [
+    "ConflationPolicy",
+    "commit_flush",
+    "DEFAULT_POLICY_GRID",
+    "FlushTable",
+    "FRONTIER_FLOORS",
+    "HeadSamplingPolicy",
+    "PINNED_POLICY",
+    "SampleCounts",
+    "SamplingPolicy",
+    "TailSamplingPolicy",
+    "check_frontier_floors",
+    "coherent_keep",
+    "parse_policy",
+    "row_bytes",
+    "run_frontier",
+]

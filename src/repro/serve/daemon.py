@@ -48,6 +48,7 @@ from typing import Any, Callable
 from repro.analysis.causal import CausalPath, reconstruct_paths_bulk
 from repro.analysis.diagnosis import Diagnoser
 from repro.common.errors import AnalysisError, DeclarationError, ParseError
+from repro.sampling.policy import parse_policy
 from repro.common.timebase import Micros, seconds
 from repro.common.windows import format_window
 from repro.serve import events as ev
@@ -107,6 +108,9 @@ class ServeConfig:
     drain_rounds: int = 20
     #: In-memory telemetry span cap (rolling window for ``/stats``).
     telemetry_span_cap: int = 20_000
+    #: Log-volume-reduction policy spec (e.g. ``tail:0.05:50``);
+    #: ``None`` ingests everything.
+    sampling: str | None = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -175,6 +179,10 @@ class MScopeServeDaemon:
         self.db = self._open_db()
         self.epoch_us = self._resolve_meta()
         self._policy = ErrorPolicy(mode=config.on_error)
+        # One shared policy instance across every per-host transformer:
+        # tail sampling's deferral buffer must see a request's records
+        # from *all* tiers to commit them coherently at flush.
+        self._sampling = parse_policy(config.sampling)
         self._transformers: dict[str, LiveTransformer] = {}
         self._scanner = self._make_transformer()
         #: file -> byte size at its last successful refresh.
@@ -229,6 +237,7 @@ class MScopeServeDaemon:
             max_retries=0,
             telemetry=self.telemetry,
             on_ingest_error=self._on_ingest_error,
+            sampling=self._sampling,
         )
 
     def _transformer(self, host: str) -> LiveTransformer:
@@ -320,6 +329,7 @@ class MScopeServeDaemon:
             )
         self.state.cycles += 1
         self.state.rows += new_rows
+        self._refresh_sampling_gauges()
         self.state.refreshed_files += refreshed
         self.state.skipped_files += skipped
         self.state.deferred += deferred
@@ -349,6 +359,14 @@ class MScopeServeDaemon:
             },
         )
         return outcome
+
+    def _refresh_sampling_gauges(self) -> None:
+        """Mirror the shared policy's cumulative totals into state."""
+        if self._sampling is None:
+            return
+        seen, kept = self._scanner.sampling_totals()
+        self.state.sampled_rows = seen
+        self.state.kept_rows = kept
 
     def _trim_telemetry(self) -> None:
         """Bound the in-memory span list (a rolling ``/stats`` view)."""
@@ -531,20 +549,30 @@ class MScopeServeDaemon:
         """Catch the warehouse up completely, then close it.
 
         Sampling is lifted and ingest cycles repeat until a full scan
-        imports nothing new (bounded by ``drain_rounds`` in case a log
-        writer never stops mid-record), then a final diagnosis pass
-        runs.  After this the warehouse content equals a batch
+        consumes nothing new — *takes* no files, not merely imports no
+        rows: under a tail-sampling policy a consumed file can defer
+        every row and still mean progress — (bounded by
+        ``drain_rounds`` in case a log writer never stops mid-record),
+        then a final diagnosis pass runs.  After this the warehouse content equals a batch
         transform of the same final tree.
         """
         self.state.draining = True
         for _ in range(max(1, self.config.drain_rounds)):
             outcome = self.ingest_cycle()
             if (
-                outcome.new_rows == 0
+                outcome.taken == 0
+                and outcome.new_rows == 0
                 and outcome.skipped_files == 0
                 and self.queue.depth == 0
             ):
                 break
+        # A stateful sampling policy (tail deferral) may still withhold
+        # records; commit them before the final diagnosis so deferred
+        # VLRT evidence lands in the closing warehouse.
+        flushed = self._scanner.flush_sampling()
+        if flushed:
+            self.state.rows += flushed
+        self._refresh_sampling_gauges()
         self.diagnose_cycle()
         self.broker.publish(
             ev.SHUTDOWN,

@@ -63,6 +63,7 @@ def report_to_dict(report: DiagnosisReport) -> dict[str, Any]:
             name: {"vlrt_count": count, "traffic_share": round(share, 4)}
             for name, (count, share) in report.affected_interactions.items()
         },
+        "sampling": report.sampling,
         "text": report.to_text(),
     }
 
@@ -128,6 +129,16 @@ def serve_prometheus_lines(
         "floor_breaches_total", "counter",
         "Anomaly windows that breached the VLRT floor",
         state.floor_breaches,
+    )
+    metric(
+        "sampled_total", "counter",
+        "Rows seen by the log-volume-reduction policy",
+        state.sampled_rows,
+    )
+    metric(
+        "kept_total", "counter",
+        "Rows the log-volume-reduction policy kept",
+        state.kept_rows,
     )
     name = f"{_SERVE_PREFIX}_events_total"
     lines.append(f"# HELP {name} Events published on the SSE stream")

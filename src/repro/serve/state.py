@@ -146,6 +146,10 @@ class ServeState:
     cached_windows: int = 0
     #: Anomaly windows that breached the VLRT floor.
     floor_breaches: int = 0
+    #: Rows seen by the log-volume-reduction policy (0 = no policy).
+    sampled_rows: int = 0
+    #: Rows that policy kept (committed or deferred-then-committed).
+    kept_rows: int = 0
     #: True once SIGTERM/shutdown drain has begun.
     draining: bool = False
 
@@ -168,5 +172,7 @@ class ServeState:
             "diagnose_cycles": self.diagnose_cycles,
             "cached_windows": self.cached_windows,
             "floor_breaches": self.floor_breaches,
+            "sampled_rows": self.sampled_rows,
+            "kept_rows": self.kept_rows,
             "draining": self.draining,
         }

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.common.errors import DeclarationError, ParseError
+from repro.sampling.policy import SamplingPolicy, commit_flush, parse_policy
 from repro.telemetry.spans import (
     NULL_TELEMETRY,
     SpanData,
@@ -117,6 +118,15 @@ class LiveTransformer:
         damaged line a lenient policy records — the serve daemon
         forwards these onto its SSE event stream as they happen,
         instead of polling the ``ingest_errors`` ledger.
+    sampling:
+        A log-volume-reduction policy (instance or spec string), as
+        for :class:`~repro.transformer.pipeline.MScopeDataTransformer`.
+        Each delta is filtered before import and the cumulative counts
+        re-recorded into the ``sampling_ledger`` every refresh, so a
+        caught-up sampled live warehouse converges on a sampled batch
+        one.  Stateful policies (tail deferral) hold rows back until
+        :meth:`flush_sampling` — the serve daemon calls it during
+        drain, before the final diagnosis.
     """
 
     def __init__(
@@ -131,12 +141,16 @@ class LiveTransformer:
         clock: Callable[[], float] = time.monotonic,
         on_heartbeat: Callable[[Heartbeat], None] | None = None,
         on_ingest_error: Callable[[str, str], None] | None = None,
+        sampling: SamplingPolicy | str | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
         self.policy = policy or FAIL_FAST_POLICY
         self.converter = XmlToCsvConverter()
         self.importer = MScopeDataImporter(db)
+        if isinstance(sampling, str):
+            sampling = parse_policy(sampling)
+        self.sampling = sampling
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self._sleep = sleep
@@ -208,6 +222,13 @@ class LiveTransformer:
         table = self.converter.convert(
             delta, table_name, extra_columns={"hostname": hostname}
         )
+        sampled_key: tuple[str, str] | None = None
+        if self.sampling is not None:
+            table = self.sampling.apply(table)
+            key = (table.name, table.source)
+            if key in self.sampling.counts:
+                sampled_key = key
+                self.sampling.streams[key] = (hostname, binding.parser_name)
         rows = self.importer.import_table(table, hostname, binding.parser_name)
         self._high_water[path] = len(document.records)
         # The importer just recorded *this delta's* row/column counts in
@@ -215,11 +236,27 @@ class LiveTransformer:
         # catalog row is keyed (table, source), so re-record the
         # cumulative state and the warehouses converge — a fully
         # caught-up live warehouse iterdumps identically to a one-shot
-        # batch one.
+        # batch one.  Under sampling the cumulative state is the
+        # policy's kept count (what a sampled batch transform records),
+        # and the ledger row is re-recorded the same keyed way.
+        if sampled_key is None:
+            loaded = self._high_water[path]
+        else:
+            entry = self.sampling.counts[sampled_key]
+            loaded = entry.rows_kept
+            self.db.record_sampling(
+                table.name,
+                table.source,
+                self.sampling.spec,
+                entry.rows_seen,
+                entry.rows_kept,
+                entry.bytes_seen,
+                entry.bytes_kept,
+            )
         self.db.record_load(
             table_name,
             document.source,
-            self._high_water[path],
+            loaded,
             len(self.db.table_schema(table_name)),
         )
         return rows
@@ -325,3 +362,26 @@ class LiveTransformer:
     def high_water(self, path: Path | str) -> int:
         """Records already imported from ``path``."""
         return self._high_water.get(Path(path), 0)
+
+    def flush_sampling(self) -> int:
+        """Commit rows a stateful sampling policy still withholds.
+
+        The serve daemon calls this during SIGTERM drain — deferred
+        VLRT records must land before the final diagnosis.  Idempotent;
+        returns the retroactively committed row count.
+        """
+        if self.sampling is None:
+            return 0
+        return commit_flush(self.sampling, self.importer, self.db)
+
+    def sampling_totals(self) -> tuple[int, int]:
+        """``(rows_seen, rows_kept)`` across every sampled stream.
+
+        The serve daemon surfaces these as the
+        ``mscope_serve_sampled_total`` / ``kept_total`` gauges.
+        """
+        if self.sampling is None:
+            return (0, 0)
+        seen = sum(c.rows_seen for c in self.sampling.counts.values())
+        kept = sum(c.rows_kept for c in self.sampling.counts.values())
+        return (seen, kept)

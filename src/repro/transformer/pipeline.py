@@ -65,6 +65,7 @@ from repro.telemetry.spans import (
     SpanProbe,
     TelemetryCollector,
 )
+from repro.sampling.policy import SamplingPolicy, commit_flush, parse_policy
 from repro.transformer.importer import MScopeDataImporter
 from repro.transformer.parsers import create_parser
 from repro.transformer.xml_to_csv import CsvTable, XmlToCsvConverter
@@ -230,6 +231,7 @@ def _host_shard_task(
     workdir_str: str | None,
     policy: ErrorPolicy,
     probe: SpanProbe = NULL_PROBE,
+    sampling_spec: str | None = None,
 ) -> tuple[list[tuple], tuple[tuple, ...], list[ShardInfo]]:
     """Worker entry point for the sharded fan-out: one host, end to end.
 
@@ -250,6 +252,11 @@ def _host_shard_task(
     workdir = Path(workdir_str) if workdir_str is not None else None
     if probe.enabled:
         probe = probe.relabel(f"pid-{os.getpid()}")
+    # Coherent (stateless) policies rebuild identically from their spec
+    # in every worker, so the kept set agrees with a monolith transform
+    # of the same logs; stateful policies never reach this fan-out (the
+    # transformer falls back to the serial path for them).
+    sampling = parse_policy(sampling_spec)
     writer = ShardHostWriter(Path(root_str), host, window_us)
     facade = WorkerShardDB(writer)
     importer = MScopeDataImporter(facade)
@@ -266,9 +273,23 @@ def _host_shard_task(
         ) as span:
             span.add(errors=len(errors))
             if table is not None:
+                if sampling is not None:
+                    table = sampling.apply(table)
                 rows = importer.import_table(
                     table, host, binding.parser_name, span=span
                 )
+                if sampling is not None:
+                    entry = sampling.counts.get((table.name, table.source))
+                    if entry is not None:
+                        facade.record_sampling(
+                            table.name,
+                            table.source,
+                            sampling.spec,
+                            entry.rows_seen,
+                            entry.rows_kept,
+                            entry.bytes_seen,
+                            entry.bytes_kept,
+                        )
         results.append(
             (
                 table.name if table is not None else "",
@@ -315,6 +336,15 @@ class MScopeDataTransformer:
         With a real collector, :meth:`transform_directory` persists
         the run's telemetry into the warehouse's ``pipeline_metrics``
         / ``pipeline_workers`` tables.
+    sampling:
+        A log-volume-reduction policy (an instance from
+        :mod:`repro.sampling.policy` or its spec string, e.g.
+        ``"head:0.1"``).  Applied to every converted table with a
+        ``request_id`` column at the single-writer import stage;
+        resource tables pass through untouched.  Everything the policy
+        drops is *counted* into the warehouse's ``sampling_ledger``, so
+        the volume reduction is measured, not estimated.  ``None`` (the
+        default) keeps the pipeline byte-identical to an unsampled one.
     """
 
     def __init__(
@@ -325,6 +355,7 @@ class MScopeDataTransformer:
         jobs: int | None = None,
         policy: ErrorPolicy | None = None,
         telemetry: TelemetryCollector | None = None,
+        sampling: SamplingPolicy | str | None = None,
     ) -> None:
         self.db = db
         self.declaration = declaration or default_declaration()
@@ -334,6 +365,9 @@ class MScopeDataTransformer:
         self.jobs = jobs
         self.policy = policy or FAIL_FAST_POLICY
         self.telemetry = telemetry or NULL_TELEMETRY
+        if isinstance(sampling, str):
+            sampling = parse_policy(sampling)
+        self.sampling = sampling
 
     # ------------------------------------------------------------------
 
@@ -386,9 +420,15 @@ class MScopeDataTransformer:
                     failed=True,
                 )
             else:
+                if self.sampling is not None:
+                    table = self.sampling.apply(table)
                 rows = self.importer.import_table(
                     table, hostname, binding.parser_name, span=span
                 )
+                if self.sampling is not None:
+                    self._record_sampling_stream(
+                        table, hostname, binding.parser_name
+                    )
                 outcome = TransformOutcome(
                     source=path,
                     table_name=table.name,
@@ -401,6 +441,43 @@ class MScopeDataTransformer:
                 )
         telemetry.ingest(import_spans)
         return outcome
+
+    def _record_sampling_stream(
+        self, table: CsvTable, hostname: str, parser_name: str
+    ) -> None:
+        """Ledger one sampled stream's cumulative counts (drain order)."""
+        assert self.sampling is not None
+        key = (table.name, table.source)
+        entry = self.sampling.counts.get(key)
+        if entry is None:
+            # No request_id column: the policy never governed this
+            # table, so it stays out of the ledger by design.
+            return
+        self.sampling.streams[key] = (hostname, parser_name)
+        self.db.record_sampling(
+            table.name,
+            table.source,
+            self.sampling.spec,
+            entry.rows_seen,
+            entry.rows_kept,
+            entry.bytes_seen,
+            entry.bytes_kept,
+        )
+
+    def flush_sampling(self) -> int:
+        """Commit everything a stateful policy still withholds.
+
+        Tail sampling defers each request's records until its fate is
+        known; this settles every deferred request (VLRTs and coherent
+        base-rate keeps commit, the rest drop), imports the released
+        rows, re-records the load catalog and ledger with the final
+        cumulative counts, and upserts the conflation aggregates.
+        Idempotent, and a no-op without a stateful policy.  Returns the
+        number of retroactively committed rows.
+        """
+        if self.sampling is None:
+            return 0
+        return commit_flush(self.sampling, self.importer, self.db)
 
     def transform_file(self, path: Path | str, hostname: str) -> TransformOutcome:
         """Run the full pipeline on one log file (in-process)."""
@@ -474,6 +551,14 @@ class MScopeDataTransformer:
         telemetry.ingest(resolve_spans)
 
         jobs = self._resolve_jobs(jobs, len(work))
+        sharded = getattr(self.db, "is_sharded", False)
+        if sharded and self.sampling is not None and not (
+            self.sampling.parallel_safe
+        ):
+            # Stateful policies (tail deferral, conflation aggregates)
+            # need one writer that sees every tier; host fan-out would
+            # split their state, so they ride the serial path instead.
+            jobs = 1
         if jobs <= 1:
             outcomes: list[TransformOutcome] = []
             probe = telemetry.probe()
@@ -489,10 +574,11 @@ class MScopeDataTransformer:
                         errors, spans,
                     )
                 )
-        elif getattr(self.db, "is_sharded", False):
+        elif sharded:
             outcomes = self._transform_parallel_sharded(work, jobs)
         else:
             outcomes = self._transform_parallel(work, jobs)
+        self.flush_sampling()
         self._finish_run(outcomes)
         return outcomes
 
@@ -548,6 +634,7 @@ class MScopeDataTransformer:
                     workdir_str,
                     self.policy,
                     probe,
+                    self.sampling.spec if self.sampling is not None else None,
                 )
                 for host in hosts
             }

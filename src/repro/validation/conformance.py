@@ -101,6 +101,15 @@ CONFORMANCE_PAIRS: tuple[ConformancePair, ...] = (
         claim="a host-partitioned sharded warehouse holds exactly the "
         "monolith's content",
     ),
+    ConformancePair(
+        key="sampled-sharded",
+        baseline_mode="sampled",
+        variant_mode="sampled-sharded",
+        compare="content",
+        claim="under coherent head sampling a sharded warehouse holds "
+        "exactly the sampled monolith's content, sampling ledger "
+        "included",
+    ),
 )
 
 
@@ -224,7 +233,10 @@ def run_conformance_pair(
     """
     if runner is None:
         runner = ScenarioRunner(workdir)
-    if baseline is None:
+    if baseline is None or baseline.mode != pair.baseline_mode:
+        # Sweeps hand every pair their shared batch baseline; pairs
+        # anchored elsewhere (e.g. sampled-vs-sampled-sharded) run
+        # their own — the runner's outcome cache dedups the build.
         baseline = runner.run(scenario, seed=seed, mode=pair.baseline_mode)
     if pair.compare == "paths":
         # Both "sides" read the same warehouse; no variant run needed.

@@ -77,7 +77,15 @@ MODES = (
     "policy-skip",
     "policy-quarantine",
     "sharded",
+    "sampled",
+    "sampled-sharded",
 )
+
+#: The fixed policy behind the ``sampled``/``sampled-sharded`` modes.
+#: Head sampling is coherent (pure request-id hash) and stateless, so
+#: it is deterministic under any job count and safe in the sharded
+#: per-host fan-out — exactly what a layout-conformance pair needs.
+CONFORMANCE_SAMPLING = "head:0.5"
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -263,10 +271,12 @@ class ScenarioRunner:
         # dumps (which record source paths) are directly comparable and
         # any conformance divergence is the ingest path's fault.
         self._runs: dict[tuple[str, int], tuple[ScenarioRun, FaultSchedule]] = {}
-        # One outcome per (scenario, seed, mode): re-requesting a mode
-        # (e.g. the conformance pass after a full-matrix sweep) must
-        # reuse the built warehouse, not re-ingest into it.
-        self._outcomes: dict[tuple[str, int, str], ScenarioOutcome] = {}
+        # One outcome per (scenario, seed, mode, sampling): re-requesting
+        # a mode (e.g. the conformance pass after a full-matrix sweep)
+        # must reuse the built warehouse, not re-ingest into it.
+        self._outcomes: dict[
+            tuple[str, int, str, str | None], ScenarioOutcome
+        ] = {}
 
     def run(
         self,
@@ -274,8 +284,16 @@ class ScenarioRunner:
         seed: int = 7,
         mode: str = "batch",
         slack_us: Micros = DEFAULT_SLACK_US,
+        sampling: str | None = None,
     ) -> ScenarioOutcome:
-        """Simulate, ingest (per ``mode``), diagnose, and score."""
+        """Simulate, ingest (per ``mode``), diagnose, and score.
+
+        ``sampling`` threads a log-volume-reduction policy spec into
+        the warehouse build (the frontier sweep varies it); the
+        ``sampled``/``sampled-sharded`` modes default it to
+        :data:`CONFORMANCE_SAMPLING` so the conformance runner can
+        name a fixed sampled pair.
+        """
         spec = SCENARIOS.get(scenario)
         if spec is None:
             raise ConfigError(
@@ -286,7 +304,9 @@ class ScenarioRunner:
             raise ConfigError(
                 f"unknown mode {mode!r}; expected one of {MODES}"
             )
-        done = self._outcomes.get((scenario, seed, mode))
+        if sampling is None and mode in ("sampled", "sampled-sharded"):
+            sampling = CONFORMANCE_SAMPLING
+        done = self._outcomes.get((scenario, seed, mode, sampling))
         if done is not None:
             if done.score.slack_us == slack_us:
                 return done
@@ -300,7 +320,10 @@ class ScenarioRunner:
             )
 
         rundir = self.workdir / f"{scenario}-seed{seed}"
-        mode_dir = rundir / mode
+        # Distinct policy specs build distinct warehouses; slug the
+        # spec into the directory so a frontier sweep never collides.
+        leaf = mode if sampling is None else f"{mode}+{sampling.replace(':', '_')}"
+        mode_dir = rundir / leaf
         mode_dir.mkdir(parents=True, exist_ok=True)
 
         cached = self._runs.get((scenario, seed))
@@ -316,7 +339,7 @@ class ScenarioRunner:
         else:
             run, schedule = cached
 
-        if mode == "sharded":
+        if mode in ("sharded", "sampled-sharded"):
             db_path = mode_dir / "mscope.shards"
             # Always build from scratch: appending to a leftover
             # warehouse (a reused --workdir, say) would silently
@@ -325,7 +348,7 @@ class ScenarioRunner:
         else:
             db_path = mode_dir / "mscope.db"
             db_path.unlink(missing_ok=True)
-        db = self._build_warehouse(run, db_path, mode, mode_dir)
+        db = self._build_warehouse(run, db_path, mode, mode_dir, sampling)
         try:
             jobs = 2 if mode == "diagnose-jobs2" else None
             diagnoser = Diagnoser(
@@ -348,21 +371,26 @@ class ScenarioRunner:
             schedule=schedule,
             db_path=db_path,
         )
-        self._outcomes[(scenario, seed, mode)] = outcome
+        self._outcomes[(scenario, seed, mode, sampling)] = outcome
         return outcome
 
     def _build_warehouse(
-        self, run: ScenarioRun, db_path: Path, mode: str, rundir: Path
+        self,
+        run: ScenarioRun,
+        db_path: Path,
+        mode: str,
+        rundir: Path,
+        sampling: str | None = None,
     ) -> MScopeDB | ShardedMScopeDB:
         assert run.log_dir is not None  # every spec passes a log_dir
-        if mode == "sharded":
+        if mode in ("sharded", "sampled-sharded"):
             # Host-partitioned warehouse built through the parallel
             # per-host shard writers.  Host-only sharding (no time
             # window) keeps per-table row order identical to a serial
             # batch build, so even diagnosis-report equality holds.
             sharded = ShardedMScopeDB(db_path)
             transformer = MScopeDataTransformer(
-                sharded, jobs=2, telemetry=self.telemetry
+                sharded, jobs=2, telemetry=self.telemetry, sampling=sampling
             )
             transformer.transform_directory(run.log_dir)
             record_run_metadata(run, sharded)
@@ -371,8 +399,9 @@ class ScenarioRunner:
         if mode == "live":
             # One catch-up refresh over the finished logs; incremental
             # split behaviour is covered by the live property test.
-            live = LiveTransformer(db, telemetry=self.telemetry)
+            live = LiveTransformer(db, telemetry=self.telemetry, sampling=sampling)
             live.refresh_directory(run.log_dir)
+            live.flush_sampling()
         else:
             policy = None
             if mode == "policy-skip":
@@ -383,7 +412,11 @@ class ScenarioRunner:
                 )
             jobs = 2 if mode == "transform-jobs2" else 1
             transformer = MScopeDataTransformer(
-                db, jobs=jobs, policy=policy, telemetry=self.telemetry
+                db,
+                jobs=jobs,
+                policy=policy,
+                telemetry=self.telemetry,
+                sampling=sampling,
             )
             transformer.transform_directory(run.log_dir)
         record_run_metadata(run, db)

@@ -49,6 +49,8 @@ STATIC_TABLES = (
     "ingest_errors",
     "pipeline_metrics",
     "pipeline_workers",
+    "sampling_ledger",
+    "conflated_requests",
 )
 
 #: Rows per ``executemany`` batch during bulk inserts.
@@ -400,6 +402,144 @@ class MScopeDB:
         return self._require_conn().execute(
             "SELECT COUNT(*) FROM ingest_errors"
         ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # sampling ledger
+
+    def _ensure_sampling_tables(self) -> None:
+        """Create the sampling tables on first use (lazily).
+
+        Like the telemetry tables, deliberately *not* part of
+        :meth:`_create_static_tables`: an unsampled warehouse must dump
+        byte-identically to one from before the sampling layer existed.
+        """
+        conn = self._require_conn()
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS sampling_ledger (
+                table_name TEXT NOT NULL,
+                source_path TEXT NOT NULL,
+                policy TEXT NOT NULL,
+                rows_seen INTEGER NOT NULL,
+                rows_kept INTEGER NOT NULL,
+                bytes_seen INTEGER NOT NULL,
+                bytes_kept INTEGER NOT NULL,
+                PRIMARY KEY (table_name, source_path)
+            );
+            CREATE TABLE IF NOT EXISTS conflated_requests (
+                table_name TEXT NOT NULL,
+                interaction TEXT NOT NULL,
+                requests INTEGER NOT NULL,
+                records INTEGER NOT NULL,
+                latency_sum_us INTEGER NOT NULL,
+                latency_min_us INTEGER NOT NULL,
+                latency_max_us INTEGER NOT NULL,
+                PRIMARY KEY (table_name, interaction)
+            );
+            """
+        )
+
+    def record_sampling(
+        self,
+        table_name: str,
+        source_path: str,
+        policy: str,
+        rows_seen: int,
+        rows_kept: int,
+        bytes_seen: int,
+        bytes_kept: int,
+    ) -> None:
+        """Record one stream's cumulative sampling counts in the ledger.
+
+        Keyed on ``(table_name, source_path)`` with *cumulative* counts
+        so a live transformer re-recording after every refresh is
+        idempotent and converges on the batch transform's ledger (the
+        ``load_catalog`` precedent).
+        """
+        self._ensure_sampling_tables()
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO sampling_ledger "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                table_name, source_path, policy,
+                rows_seen, rows_kept, bytes_seen, bytes_kept,
+            ),
+        )
+        self._commit()
+
+    def record_conflated(
+        self,
+        table_name: str,
+        interaction: str,
+        requests: int,
+        records: int,
+        latency_sum_us: int,
+        latency_min_us: int,
+        latency_max_us: int,
+    ) -> None:
+        """Record one request class's cumulative conflation aggregate."""
+        self._ensure_sampling_tables()
+        conn = self._require_conn()
+        conn.execute(
+            "INSERT OR REPLACE INTO conflated_requests "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                table_name, interaction, requests, records,
+                latency_sum_us, latency_min_us, latency_max_us,
+            ),
+        )
+        self._commit()
+
+    def sampling_ledger(self) -> list[tuple]:
+        """``(table_name, source_path, policy, rows_seen, rows_kept,
+        bytes_seen, bytes_kept)`` rows, ordered by table then source."""
+        if "sampling_ledger" not in self.tables():
+            return []
+        return self._require_conn().execute(
+            "SELECT table_name, source_path, policy, rows_seen, "
+            "rows_kept, bytes_seen, bytes_kept FROM sampling_ledger "
+            "ORDER BY table_name, source_path"
+        ).fetchall()
+
+    def sampling_summary(self) -> dict | None:
+        """Warehouse-wide sampling totals, or None when never sampled.
+
+        The reduction factors are *measured* over the ledger (every
+        policy counts what it drops), not estimated from the configured
+        rate.
+        """
+        rows = self.sampling_ledger()
+        if not rows:
+            return None
+        rows_seen = sum(r[3] for r in rows)
+        rows_kept = sum(r[4] for r in rows)
+        bytes_seen = sum(r[5] for r in rows)
+        bytes_kept = sum(r[6] for r in rows)
+        return {
+            "policies": sorted({r[2] for r in rows}),
+            "rows_seen": rows_seen,
+            "rows_kept": rows_kept,
+            "bytes_seen": bytes_seen,
+            "bytes_kept": bytes_kept,
+            "row_reduction": (
+                rows_seen / rows_kept if rows_kept else float(rows_seen)
+            ),
+            "byte_reduction": (
+                bytes_seen / bytes_kept if bytes_kept else float(bytes_seen)
+            ),
+        }
+
+    def conflated_requests(self) -> list[tuple]:
+        """``(table_name, interaction, requests, records, latency_sum_us,
+        latency_min_us, latency_max_us)`` rows, ordered by table, class."""
+        if "conflated_requests" not in self.tables():
+            return []
+        return self._require_conn().execute(
+            "SELECT table_name, interaction, requests, records, "
+            "latency_sum_us, latency_min_us, latency_max_us "
+            "FROM conflated_requests ORDER BY table_name, interaction"
+        ).fetchall()
 
     # ------------------------------------------------------------------
     # pipeline telemetry

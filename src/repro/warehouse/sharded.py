@@ -545,6 +545,29 @@ class WorkerShardDB:
             ("record_load", table_name, source_path, rows, columns)
         )
 
+    def record_sampling(
+        self,
+        table_name: str,
+        source_path: str,
+        policy: str,
+        rows_seen: int,
+        rows_kept: int,
+        bytes_seen: int,
+        bytes_kept: int,
+    ) -> None:
+        self.meta_ops.append(
+            (
+                "record_sampling",
+                table_name,
+                source_path,
+                policy,
+                rows_seen,
+                rows_kept,
+                bytes_seen,
+                bytes_kept,
+            )
+        )
+
     def register_monitor(
         self,
         monitor: str,
@@ -757,6 +780,21 @@ class ShardedMScopeDB:
     def record_ingest_error(self, *args, **kwargs) -> None:
         self._manifest.record_ingest_error(*args, **kwargs)
 
+    def record_sampling(self, *args, **kwargs) -> None:
+        self._manifest.record_sampling(*args, **kwargs)
+
+    def record_conflated(self, *args, **kwargs) -> None:
+        self._manifest.record_conflated(*args, **kwargs)
+
+    def sampling_ledger(self) -> list[tuple]:
+        return self._manifest.sampling_ledger()
+
+    def sampling_summary(self) -> dict | None:
+        return self._manifest.sampling_summary()
+
+    def conflated_requests(self) -> list[tuple]:
+        return self._manifest.conflated_requests()
+
     def ingest_errors(self, source_path: str | None = None) -> list[tuple]:
         return self._manifest.ingest_errors(source_path)
 
@@ -852,6 +890,8 @@ class ShardedMScopeDB:
             self._record_column_type_meta(*args)
         elif name == "record_load":
             self._manifest.record_load(*args)
+        elif name == "record_sampling":
+            self._manifest.record_sampling(*args)
         elif name == "register_monitor":
             self._manifest.register_monitor(*args)
         else:

@@ -1,0 +1,86 @@
+"""The accuracy/volume frontier: floor logic plus the gating sweep.
+
+The pinned operating point's guarantees are claimed nowhere and tested
+everywhere: ``test_pinned_policy_holds_every_floor_on_fast_scenarios``
+is the in-suite copy of the gating CI check — it runs the real
+pipeline (simulate, sample, ingest, diagnose, score) at
+:data:`~repro.sampling.frontier.PINNED_POLICY` and asserts the
+:data:`~repro.sampling.frontier.FRONTIER_FLOORS` directly.
+"""
+
+import pytest
+
+from repro.sampling.frontier import (
+    DEFAULT_POLICY_GRID,
+    FRONTIER_FLOORS,
+    PINNED_POLICY,
+    check_frontier_floors,
+    run_frontier,
+)
+
+
+def make_frontier(cells):
+    return {
+        "seed": 7,
+        "scenarios": sorted(cells),
+        "pinned_policy": PINNED_POLICY,
+        "floors": dict(FRONTIER_FLOORS),
+        "policies": {PINNED_POLICY: {"scenarios": cells}},
+    }
+
+
+PASSING_CELL = {
+    "precision": 1.0,
+    "recall": 1.0,
+    "rank1_attribution": 1.0,
+    "row_reduction": 16.0,
+    "byte_reduction": 15.5,
+}
+
+
+def test_floors_pass_on_a_clean_frontier():
+    frontier = make_frontier({"db_log_flush": dict(PASSING_CELL)})
+    assert check_frontier_floors(frontier) == []
+
+
+def test_floors_flag_every_violated_metric_per_scenario():
+    bad = dict(PASSING_CELL, recall=0.5, byte_reduction=4.0)
+    frontier = make_frontier(
+        {"db_log_flush": dict(PASSING_CELL), "jvm_gc": bad}
+    )
+    violations = check_frontier_floors(frontier)
+    assert len(violations) == 2
+    assert all(v.startswith("jvm_gc") for v in violations)
+    assert any("recall 0.500 < floor 0.900" in v for v in violations)
+    assert any("byte_reduction 4.000 < floor 10.000" in v for v in violations)
+
+
+def test_an_unswept_pinned_policy_is_itself_a_violation():
+    frontier = make_frontier({"db_log_flush": dict(PASSING_CELL)})
+    frontier["policies"] = {"head:0.5": frontier["policies"][PINNED_POLICY]}
+    assert check_frontier_floors(frontier) == [
+        f"pinned policy {PINNED_POLICY!r} was not swept"
+    ]
+
+
+def test_the_grid_brackets_the_pinned_point():
+    assert PINNED_POLICY in DEFAULT_POLICY_GRID
+    families = {spec.split(":")[0] for spec in DEFAULT_POLICY_GRID}
+    assert families == {"head", "tail", "conflate"}
+
+
+@pytest.mark.slow
+def test_pinned_policy_holds_every_floor_on_fast_scenarios(tmp_path):
+    """The gating check: ≥10x measured reduction at recall ≥ 0.9."""
+    from repro.validation.runner import SCENARIOS
+
+    fast = sorted(n for n, s in SCENARIOS.items() if s.fast)
+    frontier = run_frontier(
+        tmp_path, policies=[PINNED_POLICY], scenarios=fast
+    )
+    assert check_frontier_floors(frontier) == []
+    worst = frontier["policies"][PINNED_POLICY]["worst"]
+    assert worst["recall"] >= FRONTIER_FLOORS["recall"]
+    assert worst["rank1_attribution"] >= FRONTIER_FLOORS["rank1_attribution"]
+    assert worst["row_reduction"] >= FRONTIER_FLOORS["row_reduction"]
+    assert worst["byte_reduction"] >= FRONTIER_FLOORS["byte_reduction"]

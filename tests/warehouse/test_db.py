@@ -6,10 +6,15 @@ from repro.common.errors import QueryError, WarehouseError
 from repro.warehouse.db import MScopeDB, STATIC_TABLES, quote_identifier
 
 
-#: Static by classification, but created only on first telemetry
-#: persist — a telemetry-off warehouse must stay byte-identical to a
-#: pre-telemetry one.
-_LAZY_STATIC = ("pipeline_metrics", "pipeline_workers")
+#: Static by classification, but created only on first use — a
+#: telemetry-off (or sampling-off) warehouse must stay byte-identical
+#: to one built before those subsystems existed.
+_LAZY_STATIC = (
+    "pipeline_metrics",
+    "pipeline_workers",
+    "sampling_ledger",
+    "conflated_requests",
+)
 
 
 def test_static_tables_exist_on_creation():
@@ -29,7 +34,16 @@ def test_telemetry_tables_are_static_once_created():
     collector = TelemetryCollector(clock=zero_clock)
     collector.ingest([SpanData(stage="parse", records=1)])
     collector.persist(db)
-    for table in _LAZY_STATIC:
+    for table in ("pipeline_metrics", "pipeline_workers"):
+        assert table in db.tables()
+        assert table not in db.dynamic_tables()
+
+
+def test_sampling_tables_are_static_once_created():
+    db = MScopeDB()
+    db.record_sampling("t", "s.log", "head:0.5", 10, 5, 100, 50)
+    db.record_conflated("t", "Browse", 4, 8, 1000, 100, 400)
+    for table in ("sampling_ledger", "conflated_requests"):
         assert table in db.tables()
         assert table not in db.dynamic_tables()
 
