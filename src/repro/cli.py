@@ -39,6 +39,7 @@ from repro.analysis.diagnosis import Diagnoser
 from repro.common.timebase import seconds
 from repro.common.windows import WindowParseError, parse_window
 from repro.experiments.scenarios import baseline_run, scenario_a, scenario_b
+from repro.ntier.system import KERNELS
 from repro.telemetry.spans import TelemetryCollector
 from repro.transformer.errorpolicy import ERROR_MODES, QUARANTINE, ErrorPolicy
 from repro.transformer.pipeline import MScopeDataTransformer
@@ -72,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON scenario file (overrides --scenario)",
     )
     run.add_argument("--seed", type=int, default=3)
+    run.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="scalar",
+        help="simulator kernel: scalar per-event engine, or the "
+        "vectorized event calendar (identical logs, higher throughput)",
+    )
     run.add_argument(
         "--duration", type=float, default=None, help="simulated seconds"
     )
@@ -454,10 +462,16 @@ def _cmd_run(args) -> int:
         run = _run_from_config(args.config, log_dir)
     elif args.scenario == "a":
         duration = seconds(args.duration) if args.duration else seconds(5)
-        run = scenario_a(seed=args.seed, duration=duration, log_dir=log_dir)
+        run = scenario_a(
+            seed=args.seed, duration=duration, log_dir=log_dir,
+            kernel=args.kernel,
+        )
     elif args.scenario == "b":
         duration = seconds(args.duration) if args.duration else seconds(5)
-        run = scenario_b(seed=args.seed, duration=duration, log_dir=log_dir)
+        run = scenario_b(
+            seed=args.seed, duration=duration, log_dir=log_dir,
+            kernel=args.kernel,
+        )
     else:
         duration = seconds(args.duration) if args.duration else seconds(6)
         run = baseline_run(
@@ -466,10 +480,12 @@ def _cmd_run(args) -> int:
             duration=duration,
             log_dir=log_dir,
             resource_monitors=True,
+            kernel=args.kernel,
         )
     meta = {
         "scenario": "config" if args.config is not None else args.scenario,
         "seed": run.system.config.seed,
+        "kernel": run.system.config.kernel,
         "duration_us": run.duration,
         "epoch_us": run.epoch_us,
         "workload_users": run.system.config.workload.users,

@@ -95,11 +95,12 @@ def _build(
     with_event_monitors: bool,
     with_resource_monitors: bool,
     with_sysviz: bool,
+    kernel: str = "scalar",
 ) -> tuple[NTierSystem, EventMonitorSuite | None, ResourceMonitorSuite | None, SysVizTracer | None]:
     workload = WorkloadSpec(
         users=users, think_time_us=ms(think_ms), ramp_up_us=ms(300)
     )
-    config = SystemConfig(workload=workload, seed=seed, log_dir=log_dir)
+    config = SystemConfig(workload=workload, seed=seed, log_dir=log_dir, kernel=kernel)
     if tiers is not None:
         config.tiers = tiers
     system = NTierSystem(config, faults=faults)
@@ -128,6 +129,7 @@ def scenario_a(
     log_dir: Path | None = None,
     monitor_interval: Micros = ms(50),
     with_sysviz: bool = False,
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """Database-I/O very short bottleneck (Figures 2, 4, 6, 7)."""
     fault = DBLogFlushFault(
@@ -147,6 +149,7 @@ def scenario_a(
         with_event_monitors=True,
         with_resource_monitors=True,
         with_sysviz=with_sysviz,
+        kernel=kernel,
     )
     result = system.run(duration)
     return ScenarioRun(
@@ -169,6 +172,7 @@ def scenario_b(
     log_dir: Path | None = None,
     monitor_interval: Micros = ms(50),
     with_sysviz: bool = False,
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """Dirty-page recycling bottleneck, two staggered peaks (Figure 8).
 
@@ -202,6 +206,7 @@ def scenario_b(
         with_event_monitors=True,
         with_resource_monitors=True,
         with_sysviz=with_sysviz,
+        kernel=kernel,
     )
     result = system.run(duration)
     return ScenarioRun(
@@ -225,6 +230,7 @@ def _single_fault_scenario(
     log_dir: Path | None,
     monitor_interval: Micros,
     with_sysviz: bool,
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """Run one injected fault on the calibrated small-pool testbed."""
     system, events, resources, sysviz = _build(
@@ -238,6 +244,7 @@ def _single_fault_scenario(
         with_event_monitors=True,
         with_resource_monitors=True,
         with_sysviz=with_sysviz,
+        kernel=kernel,
     )
     result = system.run(duration)
     return ScenarioRun(
@@ -262,6 +269,7 @@ def scenario_gc(
     log_dir: Path | None = None,
     monitor_interval: Micros = ms(50),
     with_sysviz: bool = False,
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """Stop-the-world JVM collection on the Tomcat tier (Section II)."""
     fault = GarbageCollectionFault(
@@ -273,7 +281,7 @@ def scenario_gc(
     )
     return _single_fault_scenario(
         fault, seed, users, think_ms, duration, log_dir,
-        monitor_interval, with_sysviz,
+        monitor_interval, with_sysviz, kernel=kernel,
     )
 
 
@@ -288,6 +296,7 @@ def scenario_dvfs(
     log_dir: Path | None = None,
     monitor_interval: Micros = ms(50),
     with_sysviz: bool = False,
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """CPU frequency-scaling slowdown on the Tomcat tier (Section II)."""
     fault = DvfsSlowdownFault(
@@ -300,7 +309,7 @@ def scenario_dvfs(
     )
     return _single_fault_scenario(
         fault, seed, users, think_ms, duration, log_dir,
-        monitor_interval, with_sysviz,
+        monitor_interval, with_sysviz, kernel=kernel,
     )
 
 
@@ -314,6 +323,7 @@ def scenario_vm(
     log_dir: Path | None = None,
     monitor_interval: Micros = ms(50),
     with_sysviz: bool = False,
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """Co-located-VM CPU steal on the Tomcat tier (Section II)."""
     fault = VmConsolidationFault(
@@ -325,7 +335,7 @@ def scenario_vm(
     )
     return _single_fault_scenario(
         fault, seed, users, think_ms, duration, log_dir,
-        monitor_interval, with_sysviz,
+        monitor_interval, with_sysviz, kernel=kernel,
     )
 
 
@@ -339,6 +349,7 @@ def baseline_run(
     log_dir: Path | None = None,
     with_sysviz: bool = False,
     monitor_interval: Micros = ms(50),
+    kernel: str = "scalar",
 ) -> ScenarioRun:
     """A healthy full-size run for accuracy/overhead evaluation.
 
@@ -356,6 +367,7 @@ def baseline_run(
         with_event_monitors=monitors_enabled,
         with_resource_monitors=resource_monitors,
         with_sysviz=with_sysviz,
+        kernel=kernel,
     )
     result = system.run(duration)
     return ScenarioRun(

@@ -21,6 +21,7 @@ from repro.ntier.node import Node, NodeSpec
 from repro.ntier.request import Request
 from repro.ntier.server import TierServer
 from repro.ntier.system import (
+    KERNELS,
     NTierSystem,
     SystemConfig,
     SystemResult,
@@ -36,6 +37,7 @@ from repro.ntier.tiers import (
     TIER_ORDER,
     TomcatServer,
 )
+from repro.ntier.vectorclient import VectorClientEmulator
 
 __all__ = [
     "ApacheServer",
@@ -52,6 +54,7 @@ __all__ = [
     "FileLogSink",
     "GarbageCollectionFault",
     "HookDispatcher",
+    "KERNELS",
     "LogSink",
     "MemoryLogSink",
     "Message",
@@ -71,6 +74,7 @@ __all__ = [
     "TierServer",
     "TomcatServer",
     "TraceCollector",
+    "VectorClientEmulator",
     "VmConsolidationFault",
     "default_tier_configs",
     "logical_tier",

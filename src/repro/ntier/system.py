@@ -34,7 +34,7 @@ from repro.ntier.tiers import (
 from repro.rubbos.workload import WorkloadSpec
 from repro.sim.engine import Engine
 
-__all__ = ["TierConfig", "SystemConfig", "NTierSystem", "SystemResult"]
+__all__ = ["TierConfig", "SystemConfig", "NTierSystem", "SystemResult", "KERNELS"]
 
 _TIER_CLASSES = {
     "apache": ApacheServer,
@@ -92,9 +92,19 @@ def default_tier_configs() -> dict[str, TierConfig]:
     }
 
 
+#: Simulator kernels a system can run on.
+KERNELS = ("scalar", "vector")
+
+
 @dataclasses.dataclass(slots=True)
 class SystemConfig:
-    """Everything needed to build a reproducible system instance."""
+    """Everything needed to build a reproducible system instance.
+
+    ``kernel`` selects the simulator substrate: ``"scalar"`` runs
+    every occurrence as a Python event; ``"vector"`` runs the client's
+    timer traffic on the numpy event calendar
+    (:mod:`repro.sim.vector`) with identical monitor-log output.
+    """
 
     workload: WorkloadSpec
     seed: int = 1
@@ -102,12 +112,17 @@ class SystemConfig:
     network_latency_us: Micros = 150
     log_dir: Path | None = None
     experiment_tag: str = "0A"
+    kernel: str = "scalar"
     tiers: dict[str, TierConfig] = dataclasses.field(
         default_factory=default_tier_configs
     )
 
     def validate(self) -> None:
         self.workload.validate()
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
         missing = [t for t in TIER_ORDER if t not in self.tiers]
         if missing:
             raise ConfigError(f"missing tier configs: {missing}")
@@ -148,7 +163,12 @@ class NTierSystem:
     def __init__(self, config: SystemConfig, faults: Iterable[Fault] = ()) -> None:
         config.validate()
         self.config = config
-        self.engine = Engine()
+        if config.kernel == "vector":
+            from repro.sim.vector import VectorEngine
+
+            self.engine = VectorEngine()
+        else:
+            self.engine = Engine()
         self.wall_clock = WallClock(config.epoch)
         self.streams = RngStreams(config.seed)
         self.bus = NetworkBus(self.engine, latency_us=config.network_latency_us)
@@ -157,7 +177,13 @@ class NTierSystem:
         self._build_tiers()
         self.id_generator = RequestIdGenerator(config.experiment_tag)
         first_tier = TIER_ORDER[0]
-        self.client = ClientEmulator(
+        if config.kernel == "vector":
+            from repro.ntier.vectorclient import VectorClientEmulator
+
+            client_class = VectorClientEmulator
+        else:
+            client_class = ClientEmulator
+        self.client = client_class(
             self.engine,
             self.bus,
             config.workload,

@@ -3,6 +3,14 @@
 The engine owns the simulation clock (integer microseconds) and the
 agenda — a priority queue of triggered events.  Ties at the same
 timestamp are broken by insertion order, which keeps runs deterministic.
+
+``Engine`` is the *scalar* kernel: every occurrence is a Python
+:class:`~repro.sim.events.Event` popped one at a time.  The vector
+kernel (:class:`repro.sim.vector.VectorEngine`) extends it with a
+numpy event calendar for high-volume typed events while reusing this
+agenda for everything else; both kernels share the global
+``(timestamp, sequence)`` ordering contract, which is what makes their
+runs byte-identical.
 """
 
 from __future__ import annotations
@@ -16,6 +24,9 @@ from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
 __all__ = ["Engine"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Engine:
@@ -33,6 +44,11 @@ class Engine:
     'done'
     """
 
+    __slots__ = ("_now", "_agenda", "_sequence", "_running")
+
+    #: Kernel name; the vector kernel overrides this.
+    kernel = "scalar"
+
     def __init__(self) -> None:
         self._now: Micros = 0
         self._agenda: list[tuple[Micros, int, Event]] = []
@@ -44,12 +60,27 @@ class Engine:
         """Current simulation time in microseconds."""
         return self._now
 
+    def _alloc_seq(self) -> int:
+        """Claim the next agenda sequence number (kernel use only).
+
+        Tie-breaking is global across everything the engine orders —
+        scalar events *and* (in the vector kernel) calendar rows — so
+        every schedulable occurrence must draw from this one counter.
+        """
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        return sequence
+
     def _schedule(self, event: Event, delay: Micros = 0) -> None:
         """Place a triggered event on the agenda (kernel use only)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        heapq.heappush(self._agenda, (self._now + delay, self._sequence, event))
-        self._sequence += 1
+        # One tuple per entry is forced by heapq's API, but the hot
+        # path stays free of repeated attribute loads: one read of the
+        # agenda and counter, one write back.
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        _heappush(self._agenda, (self._now + delay, sequence, event))
 
     def event(self) -> Event:
         """Create a fresh, untriggered event bound to this engine."""
@@ -73,7 +104,7 @@ class Engine:
         """Process the single next event on the agenda."""
         if not self._agenda:
             raise SimulationError("agenda is empty")
-        timestamp, _, event = heapq.heappop(self._agenda)
+        timestamp, _, event = _heappop(self._agenda)
         if timestamp < self._now:
             raise SimulationError("agenda went backwards in time")
         self._now = timestamp
@@ -90,11 +121,18 @@ class Engine:
             raise SimulationError("engine is already running (no reentrant run)")
         self._running = True
         try:
-            while self._agenda:
-                next_time = self._agenda[0][0]
-                if until is not None and next_time > until:
+            # Inlined pop loop: peeking and popping through step() costs
+            # an extra method call plus double head indexing per event,
+            # which is measurable at millions of events (the
+            # scalar-kernel micro-bench in test_kernel_throughput.py
+            # guards this fast path against regressing to step() rate).
+            agenda = self._agenda
+            while agenda:
+                if until is not None and agenda[0][0] > until:
                     break
-                self.step()
+                timestamp, _, event = _heappop(agenda)
+                self._now = timestamp
+                event._process()
             if until is not None:
                 if until < self._now:
                     raise SimulationError(

@@ -59,6 +59,17 @@ class Resource:
     >>> # resource.release(claim)
     """
 
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "busy_series",
+        "queue_series",
+        "_users",
+        "_waiting",
+        "_sequence",
+    )
+
     def __init__(self, engine: "Engine", capacity: int, name: str = "resource") -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1: {capacity}")
@@ -124,6 +135,8 @@ class Store:
     both sides); otherwise they buffer.  The buffer length is tracked
     as a :class:`~repro.sim.tracking.StepSeries`.
     """
+
+    __slots__ = ("engine", "name", "_items", "_getters", "length_series")
 
     def __init__(self, engine: "Engine", name: str = "store") -> None:
         self.engine = engine

@@ -47,6 +47,11 @@ class ConformancePair:
     #: analysis fan-out leave the warehouse identical by construction).
     compare: str
     claim: str
+    #: Simulator kernel the variant side runs on.  A cross-kernel pair
+    #: simulates twice (two log directories), so its content lines are
+    #: compared with each side's log-dir prefix normalized away —
+    #: everything else must match byte for byte.
+    variant_kernel: str = "scalar"
 
 
 CONFORMANCE_PAIRS: tuple[ConformancePair, ...] = (
@@ -109,6 +114,16 @@ CONFORMANCE_PAIRS: tuple[ConformancePair, ...] = (
         claim="under coherent head sampling a sharded warehouse holds "
         "exactly the sampled monolith's content, sampling ledger "
         "included",
+    ),
+    ConformancePair(
+        key="kernel-vector",
+        baseline_mode="batch",
+        variant_mode="batch",
+        variant_kernel="vector",
+        compare="content",
+        claim="a vector-kernel simulation yields a warehouse holding "
+        "exactly the scalar kernel's content (modulo the log "
+        "directory the source paths point into)",
     ),
 )
 
@@ -189,6 +204,21 @@ def _report_divergence(
     return None
 
 
+def _normalized_content_lines(outcome: ScenarioOutcome):
+    """Content lines with the outcome's log-dir prefix masked.
+
+    A cross-kernel pair necessarily simulates twice, so the registry
+    tables record source paths under two different log directories.
+    Masking each side's own prefix with ``<logs>`` leaves every other
+    byte — timestamps, payloads, row order — under comparison.
+    """
+    prefix = str(outcome.log_dir) if outcome.log_dir is not None else None
+    for line in outcome.content_lines():
+        if prefix is not None and prefix in line:
+            line = line.replace(prefix, "<logs>")
+        yield line
+
+
 def _paths_divergence(baseline: ScenarioOutcome) -> str | None:
     """Scalar vs bulk path reconstruction over the baseline warehouse."""
     from repro.analysis.causal import reconstruct_path, reconstruct_paths_bulk
@@ -248,11 +278,19 @@ def run_conformance_pair(
             equal=divergence is None,
             divergence=divergence,
         )
-    variant = runner.run(scenario, seed=seed, mode=pair.variant_mode)
+    variant = runner.run(
+        scenario, seed=seed, mode=pair.variant_mode, kernel=pair.variant_kernel
+    )
+    cross_kernel = pair.variant_kernel != baseline.kernel
     if pair.compare in ("warehouse", "content"):
         if pair.compare == "warehouse":
             divergence = _first_dump_divergence(
                 baseline.dump_lines(), variant.dump_lines()
+            )
+        elif cross_kernel:
+            divergence = _first_dump_divergence(
+                _normalized_content_lines(baseline),
+                _normalized_content_lines(variant),
             )
         else:
             divergence = _first_dump_divergence(

@@ -32,6 +32,7 @@ from typing import Callable
 from repro.analysis.diagnosis import Diagnoser, DiagnosisReport
 from repro.common.errors import ConfigError
 from repro.common.timebase import Micros
+from repro.ntier.system import KERNELS
 from repro.experiments.scenarios import (
     ScenarioRun,
     record_run_metadata,
@@ -94,8 +95,9 @@ class ScenarioSpec:
 
     name: str
     description: str
-    #: ``(seed, log_dir) -> ScenarioRun``; must run the simulation.
-    build: Callable[[int, Path], ScenarioRun]
+    #: ``(seed, log_dir, kernel) -> ScenarioRun``; must run the
+    #: simulation on the requested simulator kernel.
+    build: Callable[[int, Path, str], ScenarioRun]
     #: Fast enough for the gating CI job (the rest run nightly).
     fast: bool
     #: Accuracy floors the gating/nightly checks assert.
@@ -106,7 +108,9 @@ SCENARIOS: dict[str, ScenarioSpec] = {
     "db_log_flush": ScenarioSpec(
         name="db_log_flush",
         description="database log flush saturates the DB disk (paper §V-A)",
-        build=lambda seed, log_dir: scenario_a(seed=seed, log_dir=log_dir),
+        build=lambda seed, log_dir, kernel="scalar": scenario_a(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
         fast=True,
         floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
     ),
@@ -115,28 +119,36 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         description=(
             "kernel dirty-page recycling saturates web/app CPUs (paper §V-B)"
         ),
-        build=lambda seed, log_dir: scenario_b(seed=seed, log_dir=log_dir),
+        build=lambda seed, log_dir, kernel="scalar": scenario_b(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
         fast=True,
         floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
     ),
     "jvm_gc": ScenarioSpec(
         name="jvm_gc",
         description="stop-the-world JVM collection on the app tier (§II)",
-        build=lambda seed, log_dir: scenario_gc(seed=seed, log_dir=log_dir),
+        build=lambda seed, log_dir, kernel="scalar": scenario_gc(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
         fast=False,
         floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
     ),
     "dvfs_slowdown": ScenarioSpec(
         name="dvfs_slowdown",
         description="CPU frequency scaling slows the app tier (§II)",
-        build=lambda seed, log_dir: scenario_dvfs(seed=seed, log_dir=log_dir),
+        build=lambda seed, log_dir, kernel="scalar": scenario_dvfs(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
         fast=False,
         floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
     ),
     "vm_consolidation": ScenarioSpec(
         name="vm_consolidation",
         description="co-located VM steals app-tier CPU (§II)",
-        build=lambda seed, log_dir: scenario_vm(seed=seed, log_dir=log_dir),
+        build=lambda seed, log_dir, kernel="scalar": scenario_vm(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
         fast=False,
         floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
     ),
@@ -160,6 +172,11 @@ class ScenarioOutcome:
     reports: list[DiagnosisReport]
     schedule: FaultSchedule
     db_path: Path
+    #: Simulator kernel the scenario ran on.
+    kernel: str = "scalar"
+    #: The simulated native-log directory this warehouse was built
+    #: from (cross-kernel conformance normalizes its prefix away).
+    log_dir: Path | None = None
 
     def dump_lines(self):
         """The warehouse SQL dump, streamed line by line."""
@@ -266,16 +283,20 @@ class ScenarioRunner:
     ) -> None:
         self.workdir = Path(workdir)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        # One simulation per (scenario, seed), shared by every mode:
-        # all modes then ingest the *same* native logs, so warehouse
-        # dumps (which record source paths) are directly comparable and
-        # any conformance divergence is the ingest path's fault.
-        self._runs: dict[tuple[str, int], tuple[ScenarioRun, FaultSchedule]] = {}
-        # One outcome per (scenario, seed, mode, sampling): re-requesting
-        # a mode (e.g. the conformance pass after a full-matrix sweep)
-        # must reuse the built warehouse, not re-ingest into it.
+        # One simulation per (scenario, seed, kernel), shared by every
+        # mode: all modes then ingest the *same* native logs, so
+        # warehouse dumps (which record source paths) are directly
+        # comparable and any conformance divergence is the ingest
+        # path's fault.
+        self._runs: dict[
+            tuple[str, int, str], tuple[ScenarioRun, FaultSchedule]
+        ] = {}
+        # One outcome per (scenario, seed, mode, sampling, kernel):
+        # re-requesting a mode (e.g. the conformance pass after a
+        # full-matrix sweep) must reuse the built warehouse, not
+        # re-ingest into it.
         self._outcomes: dict[
-            tuple[str, int, str, str | None], ScenarioOutcome
+            tuple[str, int, str, str | None, str], ScenarioOutcome
         ] = {}
 
     def run(
@@ -285,6 +306,7 @@ class ScenarioRunner:
         mode: str = "batch",
         slack_us: Micros = DEFAULT_SLACK_US,
         sampling: str | None = None,
+        kernel: str = "scalar",
     ) -> ScenarioOutcome:
         """Simulate, ingest (per ``mode``), diagnose, and score.
 
@@ -292,7 +314,10 @@ class ScenarioRunner:
         the warehouse build (the frontier sweep varies it); the
         ``sampled``/``sampled-sharded`` modes default it to
         :data:`CONFORMANCE_SAMPLING` so the conformance runner can
-        name a fixed sampled pair.
+        name a fixed sampled pair.  ``kernel`` selects the simulator
+        substrate (:data:`repro.ntier.system.KERNELS`); the vector
+        kernel must produce the same logs, warehouse content, and
+        scores, and the kernel conformance pair holds it to that.
         """
         spec = SCENARIOS.get(scenario)
         if spec is None:
@@ -304,9 +329,13 @@ class ScenarioRunner:
             raise ConfigError(
                 f"unknown mode {mode!r}; expected one of {MODES}"
             )
+        if kernel not in KERNELS:
+            raise ConfigError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
         if sampling is None and mode in ("sampled", "sampled-sharded"):
             sampling = CONFORMANCE_SAMPLING
-        done = self._outcomes.get((scenario, seed, mode, sampling))
+        done = self._outcomes.get((scenario, seed, mode, sampling, kernel))
         if done is not None:
             if done.score.slack_us == slack_us:
                 return done
@@ -319,23 +348,28 @@ class ScenarioRunner:
                 ),
             )
 
-        rundir = self.workdir / f"{scenario}-seed{seed}"
+        # The scalar kernel keeps the historical directory name, so
+        # reused workdirs and existing tooling see unchanged paths.
+        leaf_run = f"{scenario}-seed{seed}"
+        if kernel != "scalar":
+            leaf_run = f"{leaf_run}-{kernel}"
+        rundir = self.workdir / leaf_run
         # Distinct policy specs build distinct warehouses; slug the
         # spec into the directory so a frontier sweep never collides.
         leaf = mode if sampling is None else f"{mode}+{sampling.replace(':', '_')}"
         mode_dir = rundir / leaf
         mode_dir.mkdir(parents=True, exist_ok=True)
 
-        cached = self._runs.get((scenario, seed))
+        cached = self._runs.get((scenario, seed, kernel))
         if cached is None:
             # A leftover logs tree (reused --workdir) must not survive:
             # the monitors append to existing files, which would double
             # every log line on re-simulation.
             shutil.rmtree(rundir / "logs", ignore_errors=True)
-            run = spec.build(seed, rundir / "logs")
+            run = spec.build(seed, rundir / "logs", kernel)
             schedule = FaultSchedule.from_faults(run.system, run.faults)
             schedule.save(rundir / SCHEDULE_FILE)
-            self._runs[(scenario, seed)] = (run, schedule)
+            self._runs[(scenario, seed, kernel)] = (run, schedule)
         else:
             run, schedule = cached
 
@@ -370,8 +404,10 @@ class ScenarioRunner:
             reports=reports,
             schedule=schedule,
             db_path=db_path,
+            kernel=kernel,
+            log_dir=run.log_dir,
         )
-        self._outcomes[(scenario, seed, mode, sampling)] = outcome
+        self._outcomes[(scenario, seed, mode, sampling, kernel)] = outcome
         return outcome
 
     def _build_warehouse(

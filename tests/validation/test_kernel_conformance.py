@@ -1,0 +1,76 @@
+"""Kernel conformance across the labeled fault scenarios.
+
+The tentpole claim of the vector kernel: for every validation scenario
+at the gating seed, ``kernel="vector"`` produces
+
+* an identical ``fault_schedule.json`` (fault injection is untouched
+  scalar code, so the recorded episodes must match to the byte),
+* a warehouse whose ``iterdump_content()`` equals the scalar run's
+  (modulo the log-directory prefix inside registered source paths —
+  the two kernels necessarily simulate into two directories),
+* equal validation scores and identical diagnosis reports.
+
+The fast scenarios gate every run; set ``MSCOPE_KERNEL_CONFORMANCE=all``
+(the CI kernel-conformance job does) to sweep all five.
+"""
+
+import os
+
+import pytest
+
+from repro.validation.conformance import (
+    CONFORMANCE_PAIRS,
+    run_conformance_pair,
+)
+from repro.validation.runner import SCENARIOS
+
+GATING_SEED = 7  # matches conftest.GATING_SEED
+
+KERNEL_PAIR = next(p for p in CONFORMANCE_PAIRS if p.key == "kernel-vector")
+
+
+def _scenarios() -> list[str]:
+    if os.environ.get("MSCOPE_KERNEL_CONFORMANCE", "").lower() == "all":
+        return list(SCENARIOS)
+    return [name for name, spec in SCENARIOS.items() if spec.fast]
+
+
+@pytest.mark.parametrize("scenario", _scenarios())
+def test_vector_kernel_matches_scalar(scenario, validation_runner):
+    result = run_conformance_pair(
+        KERNEL_PAIR,
+        scenario,
+        GATING_SEED,
+        validation_runner.workdir,
+        runner=validation_runner,
+    )
+    assert result.equal, (
+        f"kernel conformance violated on {scenario}:\n{result.divergence}"
+    )
+
+
+@pytest.mark.parametrize("scenario", _scenarios())
+def test_fault_schedule_and_scores_equal(scenario, validation_runner):
+    scalar = validation_runner.run(scenario, seed=GATING_SEED)
+    vector = validation_runner.run(scenario, seed=GATING_SEED, kernel="vector")
+    scalar_schedule = (
+        validation_runner.workdir
+        / f"{scenario}-seed{GATING_SEED}"
+        / "fault_schedule.json"
+    ).read_text()
+    vector_schedule = (
+        validation_runner.workdir
+        / f"{scenario}-seed{GATING_SEED}-vector"
+        / "fault_schedule.json"
+    ).read_text()
+    assert scalar_schedule == vector_schedule
+    assert scalar.score.to_dict() == vector.score.to_dict()
+    assert scalar.report_texts == vector.report_texts
+
+
+def test_kernel_pair_is_catalogued():
+    assert KERNEL_PAIR.variant_kernel == "vector"
+    assert KERNEL_PAIR.compare == "content"
+    # Cross-kernel comparison cannot share one simulation, so the
+    # outcome must say where its logs live for prefix normalization.
+    assert KERNEL_PAIR.baseline_mode == KERNEL_PAIR.variant_mode == "batch"
