@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import dataclasses
 from operator import attrgetter
-from typing import Iterable, Iterator, NamedTuple
+from typing import Iterable, Iterator, NamedTuple, Sequence
 
-from repro.common.errors import AnalysisError
+from repro.common.errors import AnalysisError, QueryError
 from repro.common.timebase import Micros, to_ms
 from repro.warehouse.db import MScopeDB, quote_identifier
 
@@ -21,6 +21,7 @@ __all__ = [
     "CausalPath",
     "reconstruct_path",
     "reconstruct_paths_bulk",
+    "discover_tier_tables",
     "DEFAULT_EVENT_TABLES",
 ]
 
@@ -33,13 +34,61 @@ FULL_SCAN_FRACTION = 0.2
 
 _BY_ARRIVAL = attrgetter("upstream_arrival_us")
 
-#: The standard deployment's tier → event table mapping.
+#: The standard deployment's tier → event table mapping.  A replicated
+#: deployment maps a tier to a *list* of per-replica tables instead
+#: (see :func:`discover_tier_tables`).
 DEFAULT_EVENT_TABLES = {
     "apache": "apache_events_web1",
     "tomcat": "tomcat_events_app1",
     "cjdbc": "cjdbc_events_mid1",
     "mysql": "mysql_events_db1",
 }
+
+
+def _host_of(table: str) -> str | None:
+    """The host a ``{tier}_events_{host}`` table belongs to."""
+    _, _, host = table.partition("_events_")
+    return host or None
+
+
+def _host_sort_key(table: str) -> tuple[str, int, str]:
+    """Order replica tables host-number-aware (db2 before db10)."""
+    host = _host_of(table) or table
+    prefix = host.rstrip("0123456789")
+    digits = host[len(prefix):]
+    return (prefix, int(digits) if digits else 0, table)
+
+
+def _tier_table_pairs(
+    tables: "dict[str, str | Sequence[str]]",
+) -> list[tuple[str, str]]:
+    """Flatten a tier mapping's single-or-list values to (tier, table)."""
+    pairs: list[tuple[str, str]] = []
+    for tier, value in tables.items():
+        if isinstance(value, str):
+            pairs.append((tier, value))
+        else:
+            pairs.extend((tier, table) for table in value)
+    return pairs
+
+
+def discover_tier_tables(db: MScopeDB) -> dict[str, list[str]]:
+    """Every tier's event tables actually present in a warehouse.
+
+    A replicated deployment writes one ``{tier}_events_{host}`` table
+    per replica; this inspects the catalog so reconstruction and
+    diagnosis cover whatever replicas a run actually had (and skip
+    tables a sampling policy kept no rows for).
+    """
+    found: dict[str, list[str]] = {}
+    for table in db.tables():
+        tier, sep, host = table.partition("_events_")
+        if sep and host:
+            found.setdefault(tier, []).append(table)
+    return {
+        tier: sorted(tables, key=_host_sort_key)
+        for tier, tables in found.items()
+    }
 
 
 class CausalHop(NamedTuple):
@@ -57,6 +106,9 @@ class CausalHop(NamedTuple):
     upstream_departure_us: Micros
     downstream_sending_us: Micros | None
     downstream_receiving_us: Micros | None
+    #: Host whose event table recorded this visit (``None`` on legacy
+    #: single-replica mappings) — what lets blame name a replica.
+    host: str | None = None
 
     def server_time_ms(self) -> float:
         """Total time on this tier visit (ms)."""
@@ -97,6 +149,32 @@ class CausalPath:
         breakdown = self.tier_breakdown_ms()
         return max(breakdown, key=breakdown.__getitem__)
 
+    def host_breakdown_ms(self) -> dict[tuple[str, str | None], float]:
+        """Local (exclusive) time per ``(tier, host)``, summed over visits."""
+        breakdown: dict[tuple[str, str | None], float] = {}
+        for hop in self.hops:
+            key = (hop.tier, hop.host)
+            breakdown[key] = breakdown.get(key, 0.0) + hop.local_time_ms()
+        return breakdown
+
+    def dominant_replica(self) -> tuple[str, str | None]:
+        """The ``(tier, host)`` contributing the most exclusive time.
+
+        Replica-level blame: with a scaled-out tier the dominant tier
+        alone cannot say *which* backend held the request; the host
+        recorded on each hop can.
+        """
+        breakdown = self.host_breakdown_ms()
+        return max(breakdown, key=breakdown.__getitem__)
+
+    def hosts_per_tier(self) -> dict[str, set[str]]:
+        """Distinct hosts visited per logical tier (``None`` excluded)."""
+        visited: dict[str, set[str]] = {}
+        for hop in self.hops:
+            if hop.host is not None:
+                visited.setdefault(hop.tier, set()).add(hop.host)
+        return visited
+
     def validate_happens_before(self) -> None:
         """Check the hop nesting is causally consistent.
 
@@ -126,11 +204,17 @@ def _hop_selects(db: MScopeDB, table: str) -> tuple[str, str] | None:
     """The downstream-column select fragments for one tier table.
 
     ``None`` when the table has no ``request_id`` column (resource
-    tables share directories with event tables; skip them).  Schema
+    tables share directories with event tables; skip them) or does not
+    exist at all — a head-sampling policy that kept zero rows for a
+    low-traffic replica never creates its table, and a missing branch
+    must degrade to a partial path, not crash the join.  Schema
     lookups hit :meth:`MScopeDB.table_schema`'s cache, so per-request
     scalar reconstruction no longer re-reads the catalog every call.
     """
-    columns = {name for name, _ in db.table_schema(table)}
+    try:
+        columns = {name for name, _ in db.table_schema(table)}
+    except QueryError:
+        return None
     if "request_id" not in columns:
         return None
     select_ds = (
@@ -147,16 +231,17 @@ def _hop_selects(db: MScopeDB, table: str) -> tuple[str, str] | None:
 def reconstruct_path(
     db: MScopeDB,
     request_id: str,
-    tier_tables: dict[str, str] | None = None,
+    tier_tables: "dict[str, str | Sequence[str]] | None" = None,
 ) -> CausalPath:
-    """Join one request's records across every tier table."""
+    """Join one request's records across every tier (and replica) table."""
     tables = tier_tables or DEFAULT_EVENT_TABLES
     hops: list[CausalHop] = []
-    for tier, table in tables.items():
+    for tier, table in _tier_table_pairs(tables):
         selects = _hop_selects(db, table)
         if selects is None:
             continue
         select_ds, select_dr = selects
+        host = _host_of(table)
         # rowid breaks arrival-time ties, pinning one deterministic hop
         # order shared with the bulk path.
         rows = db.query(
@@ -173,6 +258,7 @@ def reconstruct_path(
                     upstream_departure_us=departure,
                     downstream_sending_us=sending,
                     downstream_receiving_us=receiving,
+                    host=host,
                 )
             )
     if not hops:
@@ -184,7 +270,7 @@ def reconstruct_path(
 def reconstruct_paths_bulk(
     db: MScopeDB,
     request_ids: Iterable[str],
-    tier_tables: dict[str, str] | None = None,
+    tier_tables: "dict[str, str | Sequence[str]] | None" = None,
     *,
     strict: bool = False,
     full_scan_fraction: float = FULL_SCAN_FRACTION,
@@ -210,11 +296,12 @@ def reconstruct_paths_bulk(
         return
     wanted = set(ids)
     hops_by_id: dict[str, list[CausalHop]] = {rid: [] for rid in ids}
-    for tier, table in tables.items():
+    for tier, table in _tier_table_pairs(tables):
         selects = _hop_selects(db, table)
         if selects is None:
             continue
         select_ds, select_dr = selects
+        host = _host_of(table)
         select = (
             f"SELECT request_id, upstream_arrival_us, upstream_departure_us, "
             f"{select_ds}, {select_dr} FROM {quote_identifier(table)}"
@@ -233,7 +320,7 @@ def reconstruct_paths_bulk(
             )
         for request_id, arrival, departure, sending, receiving in rows:
             hops_by_id[request_id].append(
-                CausalHop(tier, arrival, departure, sending, receiving)
+                CausalHop(tier, arrival, departure, sending, receiving, host)
             )
     for request_id in ids:
         hops = hops_by_id[request_id]

@@ -255,23 +255,47 @@ class Diagnoser:
     def __init__(
         self,
         db: MScopeDB,
-        tier_tables: dict[str, str] | None = None,
+        tier_tables: "dict[str, str | list[str]] | None" = None,
         front_table: str = "apache_events_web1",
         epoch_us: int = 0,
         telemetry: TelemetryCollector | None = None,
         jobs: int | None = None,
         window_us: "tuple[Micros | None, Micros | None] | None" = None,
     ) -> None:
-        from repro.analysis.causal import DEFAULT_EVENT_TABLES
+        from repro.analysis.causal import (
+            DEFAULT_EVENT_TABLES,
+            discover_tier_tables,
+        )
 
         self.db = db
-        requested = tier_tables or dict(DEFAULT_EVENT_TABLES)
         present = set(db.tables())
-        # Not every deployment instruments every tier; analyze what
-        # actually loaded.
-        self.tier_tables = {
-            tier: table for tier, table in requested.items() if table in present
-        }
+        if tier_tables is None:
+            # Discover whatever replicas this warehouse actually holds,
+            # keeping the known upstream-to-downstream tier order (the
+            # first tier's queue is the pushback reference).
+            discovered = discover_tier_tables(db)
+            order = [t for t in DEFAULT_EVENT_TABLES if t in discovered]
+            order += [t for t in sorted(discovered) if t not in DEFAULT_EVENT_TABLES]
+            requested: dict[str, str | list[str]] = {
+                tier: discovered[tier] for tier in order
+            }
+            if not requested:
+                requested = dict(DEFAULT_EVENT_TABLES)
+        else:
+            requested = dict(tier_tables)
+        # Not every deployment instruments every tier, and a sampling
+        # policy may have kept zero rows for a quiet replica; analyze
+        # what actually loaded.  Single tables stay bare strings (the
+        # established mapping shape); replicated tiers carry lists.
+        self.tier_tables: dict[str, str | list[str]] = {}
+        for tier, value in requested.items():
+            kept = [
+                table
+                for table in ([value] if isinstance(value, str) else value)
+                if table in present
+            ]
+            if kept:
+                self.tier_tables[tier] = kept[0] if len(kept) == 1 else kept
         if front_table not in present:
             raise AnalysisError(
                 f"front event table {front_table!r} is not in the warehouse"
@@ -286,7 +310,8 @@ class Diagnoser:
         # touches the catalog again.
         self.tier_columns: dict[str, set[str]] = {
             table: {name for name, _ in db.table_schema(table)}
-            for table in self.tier_tables.values()
+            for value in self.tier_tables.values()
+            for table in ([value] if isinstance(value, str) else value)
         }
         for table, columns in self.tier_columns.items():
             if "upstream_arrival_us" not in columns:
@@ -735,7 +760,7 @@ _WORKER: (
 
 def _init_window_worker(
     db_path: str,
-    tier_tables: dict[str, str],
+    tier_tables: "dict[str, str | list[str]]",
     front_table: str,
     epoch_us: int,
     window_us: "tuple[Micros | None, Micros | None] | None" = None,

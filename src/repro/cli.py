@@ -352,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="warehouse-construction mode; 'all' sweeps every mode",
     )
     validate.add_argument(
+        "--kernel",
+        choices=("scalar", "vector", "all"),
+        default="scalar",
+        help="simulator kernel; 'all' scores every scenario on both "
+        "(the nightly matrix does)",
+    )
+    validate.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -813,6 +820,8 @@ def _cmd_validate(args) -> int:
     else:
         names = [args.scenario]
     modes = list(MODES) if args.mode == "all" else [args.mode]
+    kernel = getattr(args, "kernel", "scalar")
+    kernels = ["scalar", "vector"] if kernel == "all" else [kernel]
 
     workdir = args.workdir
     cleanup = workdir is None
@@ -827,13 +836,18 @@ def _cmd_validate(args) -> int:
             spec = SCENARIOS[name]
             baseline = None
             for mode in modes:
-                outcome = runner.run(name, seed=args.seed, mode=mode)
-                if mode == "batch":
-                    baseline = outcome
-                outcomes.append(outcome)
-                if args.check_floors:
-                    for violation in outcome.passes_floors(spec.floors):
-                        failures.append(f"{name} ({mode}): {violation}")
+                for run_kernel in kernels:
+                    outcome = runner.run(
+                        name, seed=args.seed, mode=mode, kernel=run_kernel
+                    )
+                    if mode == "batch" and run_kernel == "scalar":
+                        baseline = outcome
+                    outcomes.append(outcome)
+                    if args.check_floors:
+                        for violation in outcome.passes_floors(spec.floors):
+                            failures.append(
+                                f"{name} ({mode}, {run_kernel}): {violation}"
+                            )
             if args.conformance:
                 for pair in CONFORMANCE_PAIRS:
                     result = run_conformance_pair(

@@ -29,8 +29,17 @@ from repro.ntier.faults import (
     Fault,
     GarbageCollectionFault,
 )
+from repro.ntier.faults_catalog import (
+    CacheStampedeFault,
+    ConnectionPoolExhaustionFault,
+    LockConvoyFault,
+    MemoryLeakFault,
+    NetworkJitterFault,
+    RetryStormFault,
+)
 from repro.ntier.faults_extra import DvfsSlowdownFault, VmConsolidationFault
 from repro.ntier.system import NTierSystem, SystemConfig, SystemResult, TierConfig
+from repro.rubbos.interactions import FANOUT_MIX, READ_WRITE_MIX
 from repro.rubbos.workload import WorkloadSpec
 from repro.transformer.pipeline import MScopeDataTransformer
 from repro.warehouse.db import MScopeDB
@@ -43,6 +52,12 @@ __all__ = [
     "scenario_gc",
     "scenario_dvfs",
     "scenario_vm",
+    "scenario_retry_storm",
+    "scenario_pool_exhaustion",
+    "scenario_lock_convoy",
+    "scenario_cache_stampede",
+    "scenario_net_jitter",
+    "scenario_memory_leak",
     "baseline_run",
     "load_warehouse",
     "record_run_metadata",
@@ -96,11 +111,17 @@ def _build(
     with_resource_monitors: bool,
     with_sysviz: bool,
     kernel: str = "scalar",
+    mix_name: str = READ_WRITE_MIX,
+    dispatch: str = "round-robin",
 ) -> tuple[NTierSystem, EventMonitorSuite | None, ResourceMonitorSuite | None, SysVizTracer | None]:
     workload = WorkloadSpec(
-        users=users, think_time_us=ms(think_ms), ramp_up_us=ms(300)
+        users=users, think_time_us=ms(think_ms), ramp_up_us=ms(300),
+        mix_name=mix_name,
     )
-    config = SystemConfig(workload=workload, seed=seed, log_dir=log_dir, kernel=kernel)
+    config = SystemConfig(
+        workload=workload, seed=seed, log_dir=log_dir, kernel=kernel,
+        dispatch=dispatch,
+    )
     if tiers is not None:
         config.tiers = tiers
     system = NTierSystem(config, faults=faults)
@@ -231,6 +252,9 @@ def _single_fault_scenario(
     monitor_interval: Micros,
     with_sysviz: bool,
     kernel: str = "scalar",
+    tiers: dict[str, TierConfig] | None = None,
+    mix_name: str = READ_WRITE_MIX,
+    dispatch: str = "round-robin",
 ) -> ScenarioRun:
     """Run one injected fault on the calibrated small-pool testbed."""
     system, events, resources, sysviz = _build(
@@ -238,13 +262,15 @@ def _single_fault_scenario(
         think_ms,
         seed,
         log_dir,
-        scenario_tier_configs(),
+        tiers if tiers is not None else scenario_tier_configs(),
         [fault],
         monitor_interval,
         with_event_monitors=True,
         with_resource_monitors=True,
         with_sysviz=with_sysviz,
         kernel=kernel,
+        mix_name=mix_name,
+        dispatch=dispatch,
     )
     result = system.run(duration)
     return ScenarioRun(
@@ -333,6 +359,170 @@ def scenario_vm(
         burst=burst,
         episodes=1,
     )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz, kernel=kernel,
+    )
+
+
+def scenario_retry_storm(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    storm_at: Micros = seconds(2),
+    storm_duration: Micros = ms(400),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+    kernel: str = "scalar",
+) -> ScenarioRun:
+    """Timeout-retry amplification saturates the app tier's CPU."""
+    fault = RetryStormFault(
+        tier="tomcat",
+        start_at=storm_at,
+        period=seconds(10),
+        storm_duration=storm_duration,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz, kernel=kernel,
+    )
+
+
+def scenario_pool_exhaustion(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    exhaust_at: Micros = seconds(2),
+    hold_duration: Micros = ms(450),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+    kernel: str = "scalar",
+) -> ScenarioRun:
+    """Connection-pool exhaustion on ONE of two MySQL replicas.
+
+    The replicated-tier scenario: C-JDBC balances over two database
+    backends and the fault hits only the second (``mysql#2`` → node
+    ``db2``), so a correct diagnosis must blame the *replica address*,
+    not merely "the database tier".
+    """
+    tiers = scenario_tier_configs()
+    tiers["mysql"] = TierConfig(workers=16, replicas=2)
+    fault = ConnectionPoolExhaustionFault(
+        tier="mysql#2",
+        start_at=exhaust_at,
+        period=seconds(10),
+        hold_duration=hold_duration,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz, kernel=kernel, tiers=tiers,
+    )
+
+
+def scenario_lock_convoy(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    convoy_at: Micros = seconds(2),
+    convoy_duration: Micros = ms(400),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+    kernel: str = "scalar",
+) -> ScenarioRun:
+    """A hot-lock convoy serializes the database tier."""
+    fault = LockConvoyFault(
+        tier="mysql",
+        start_at=convoy_at,
+        period=seconds(10),
+        convoy_duration=convoy_duration,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz, kernel=kernel,
+    )
+
+
+def scenario_cache_stampede(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    stampede_at: Micros = seconds(2),
+    stampede_duration: Micros = ms(450),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+    kernel: str = "scalar",
+) -> ScenarioRun:
+    """A buffer-pool flush stampedes every read to the database disk.
+
+    Runs the fan-out interaction mix over three C-JDBC replicas, so
+    the catalogue also exercises fan-out/fan-in call graphs under a
+    disk-level fault downstream of the join.
+    """
+    tiers = scenario_tier_configs()
+    tiers["cjdbc"] = TierConfig(workers=24, replicas=3)
+    fault = CacheStampedeFault(
+        tier="mysql",
+        start_at=stampede_at,
+        period=seconds(10),
+        stampede_duration=stampede_duration,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz, kernel=kernel, tiers=tiers,
+        mix_name=FANOUT_MIX,
+    )
+
+
+def scenario_net_jitter(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    jitter_at: Micros = seconds(2),
+    jitter_duration: Micros = ms(350),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+    kernel: str = "scalar",
+) -> ScenarioRun:
+    """A noisy neighbour jitters the database node's network and CPU."""
+    fault = NetworkJitterFault(
+        tier="mysql",
+        start_at=jitter_at,
+        period=seconds(10),
+        jitter_duration=jitter_duration,
+        episodes=1,
+    )
+    return _single_fault_scenario(
+        fault, seed, users, think_ms, duration, log_dir,
+        monitor_interval, with_sysviz, kernel=kernel,
+    )
+
+
+def scenario_memory_leak(
+    seed: int = 3,
+    users: int = 300,
+    think_ms: float = 700.0,
+    duration: Micros = seconds(5),
+    log_dir: Path | None = None,
+    monitor_interval: Micros = ms(50),
+    with_sysviz: bool = False,
+    kernel: str = "scalar",
+) -> ScenarioRun:
+    """A slow leak on the middleware node ends in reclaim thrash."""
+    fault = MemoryLeakFault(tier="cjdbc")
     return _single_fault_scenario(
         fault, seed, users, think_ms, duration, log_dir,
         monitor_interval, with_sysviz, kernel=kernel,

@@ -1,0 +1,127 @@
+"""Replica dispatch policies for load-balanced tiers.
+
+A :class:`LoadBalancer` decides which downstream replica serves a
+request.  The decision is *sticky per request* (and per fan-out
+branch): ModJK pins a session to one Tomcat and a connection pool pins
+a transaction to one backend, so every SQL statement a request issues
+travels to the same replica — which is also what lets causal-path
+reconstruction attribute a request's database time to exactly one
+replica.
+
+Three policies:
+
+* ``round-robin`` — new requests rotate over the replicas in address
+  order (ModJK's default ``lbmethod=byrequests``);
+* ``least-connections`` — new requests go to the replica with the
+  fewest requests currently in flight, ties broken by address order
+  (ModJK's ``bybusyness``); needs an in-flight probe wired by
+  :class:`~repro.ntier.system.NTierSystem`;
+* ``seeded-random`` — new requests draw a replica from a dedicated RNG
+  stream, so the choice is deterministic per ``(seed, request)`` and
+  never perturbs any other stream.
+
+With one replica every policy degenerates to "the replica", so the
+default deployment's behaviour (and its warehouse bytes) is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.common.errors import ConfigError
+
+__all__ = ["DISPATCH_POLICIES", "LoadBalancer"]
+
+#: Dispatch policies a :class:`~repro.ntier.system.SystemConfig` may name.
+DISPATCH_POLICIES = ("round-robin", "least-connections", "seeded-random")
+
+#: Sticky assignments are pruned oldest-first past this bound.  Requests
+#: live milliseconds, so anything this old has long completed; the bound
+#: keeps week-long simulations from accreting one entry per request.
+_STICKY_BOUND = 131072
+
+
+class LoadBalancer:
+    """Per-server dispatcher over a fixed downstream replica list.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`DISPATCH_POLICIES`.
+    targets:
+        Downstream replica addresses, in deterministic order.
+    rng:
+        Dedicated stream for ``seeded-random`` (unused otherwise).
+    inflight:
+        ``address -> outstanding requests`` probe for
+        ``least-connections``; wired after construction because the
+        downstream servers do not exist yet when the upstream tier is
+        built.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        targets: list[str],
+        rng: random.Random | None = None,
+        inflight: Callable[[str], float] | None = None,
+    ) -> None:
+        if policy not in DISPATCH_POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {policy!r}; "
+                f"expected one of {DISPATCH_POLICIES}"
+            )
+        if policy == "seeded-random" and rng is None:
+            raise ConfigError("seeded-random dispatch needs an rng stream")
+        self.policy = policy
+        self.targets = list(targets)
+        self.rng = rng
+        self.inflight = inflight
+        self._counter = 0
+        #: ``(request_id, branch) -> target`` sticky assignments.
+        self._sticky: dict[tuple[str, int], str] = {}
+
+    def pick(self, request_id: str, branch: int = 0) -> str:
+        """The replica serving ``request_id`` (branch-distinct in fan-out).
+
+        The first call for a ``(request, branch)`` assigns a replica by
+        policy; repeats return the same one.
+        """
+        if not self.targets:
+            raise ConfigError("load balancer has no downstream targets")
+        if len(self.targets) == 1:
+            return self.targets[0]
+        key = (request_id, branch)
+        target = self._sticky.get(key)
+        if target is None:
+            target = self._assign()
+            if len(self._sticky) >= _STICKY_BOUND:
+                self._prune()
+            self._sticky[key] = target
+        return target
+
+    def _assign(self) -> str:
+        if self.policy == "round-robin":
+            target = self.targets[self._counter % len(self.targets)]
+            self._counter += 1
+            return target
+        if self.policy == "least-connections":
+            if self.inflight is None:
+                raise ConfigError(
+                    "least-connections dispatch has no in-flight probe wired"
+                )
+            # min() keeps the first of equals, so ties resolve by
+            # address order — deterministic under any replica count.
+            return min(self.targets, key=self.inflight)
+        assert self.rng is not None  # validated in the constructor
+        return self.targets[self.rng.randrange(len(self.targets))]
+
+    def _prune(self) -> None:
+        """Drop the oldest half of the sticky map (dict order = insertion)."""
+        for key in list(self._sticky)[: _STICKY_BOUND // 2]:
+            del self._sticky[key]
+
+    def assignments(self) -> dict[tuple[str, int], str]:
+        """A snapshot of the sticky map (tests inspect the spread)."""
+        return dict(self._sticky)

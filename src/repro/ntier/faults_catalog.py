@@ -1,0 +1,409 @@
+"""The extended millibottleneck fault catalogue.
+
+Six further root causes of VLRT requests, drawn from the
+millibottleneck taxonomy and the microservices trace studies cited in
+the paper's related work.  Each injector follows the house idiom: a
+deterministic episode schedule (``start_at`` / ``period`` /
+``episodes``), a process attached in :meth:`~Fault.install`, and a
+``*_windows`` list of completed ``(start, stop)`` episodes that
+:func:`~repro.validation.schedule.FaultSchedule.from_faults` turns into
+labeled ground truth.
+
+* :class:`RetryStormFault` — timeout-triggered retries multiply the
+  servlet load on the application tier; CPU saturates for the storm.
+* :class:`ConnectionPoolExhaustionFault` — stuck transactions hold
+  most of a database replica's connection pool while hammering its
+  disk; fresh queries queue behind the stragglers.
+* :class:`LockConvoyFault` — a hot lock serializes the database: the
+  commit barrier rises while lock-holder scheduling burns every core.
+* :class:`CacheStampedeFault` — a cache flush makes every read miss
+  the buffer pool at full-table sizes; the disk saturates under the
+  stampede of re-fetches.
+* :class:`NetworkJitterFault` — a noisy neighbour on the host's
+  switch/NIC adds per-hop latency while the hypervisor steals cycles.
+* :class:`MemoryLeakFault` — a slow leak raises memory pressure until
+  reclaim thrashes: every core scans at kernel priority while the
+  dirty level collapses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.common.timebase import Micros, ms
+from repro.ntier.faults import Fault
+from repro.ntier.hardware import Cpu
+from repro.ntier.node import Node
+
+if TYPE_CHECKING:
+    from repro.ntier.system import NTierSystem
+
+__all__ = [
+    "RetryStormFault",
+    "ConnectionPoolExhaustionFault",
+    "LockConvoyFault",
+    "CacheStampedeFault",
+    "NetworkJitterFault",
+    "MemoryLeakFault",
+]
+
+
+class _EpisodicFault(Fault):
+    """Shared start/period/episodes scheduling for the catalogue faults.
+
+    Subclasses implement :meth:`_episode` (a generator running one
+    episode) and name the attribute their completed windows land in via
+    ``windows_attr``.
+    """
+
+    windows_attr = "windows"
+
+    def __init__(
+        self,
+        tier: str,
+        start_at: Micros,
+        period: Micros,
+        episodes: int | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ConfigError("period must be positive")
+        self.tier = tier
+        self.start_at = start_at
+        self.period = period
+        self.episodes = episodes
+        setattr(self, self.windows_attr, [])
+
+    @property
+    def windows(self) -> list[tuple[Micros, Micros]]:
+        """Completed episode windows regardless of the attribute name."""
+        return getattr(self, self.windows_attr)
+
+    def install(self, system: "NTierSystem") -> None:
+        self._system = system
+        system.engine.process(self._schedule(system))
+
+    def _schedule(self, system: "NTierSystem"):
+        engine = system.engine
+        node = system.node_for_tier(self.tier)
+        yield engine.timeout(self.start_at)
+        injected = 0
+        while self.episodes is None or injected < self.episodes:
+            started = engine.now
+            yield from self._episode(system, node)
+            self.windows.append((started, engine.now))
+            injected += 1
+            if self.episodes is not None and injected >= self.episodes:
+                break
+            yield engine.timeout(self.period)
+
+    def _episode(self, system: "NTierSystem", node: Node):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _burn_cores(self, node: Node, duration: Micros, category: str):
+        """Hold every core for ``duration``, charging ``category`` in quanta."""
+        workers = [
+            node.engine.process(self._burn_one(node, duration, category))
+            for _ in range(node.spec.cores)
+        ]
+        for worker in workers:
+            yield worker
+
+    def _burn_one(self, node: Node, duration: Micros, category: str):
+        claim = node.cpu.seize(priority=Cpu.KERNEL_PRIORITY)
+        yield claim
+        try:
+            remaining = duration
+            while remaining > 0:
+                piece = min(node.cpu.quantum, remaining)
+                yield node.engine.timeout(piece)
+                node.cpu.charge(category, piece)
+                remaining -= piece
+        finally:
+            node.cpu.release(claim)
+
+
+class RetryStormFault(_EpisodicFault):
+    """Timeout-triggered retry amplification on the application tier.
+
+    A transient blip pushes some responses past the client timeout;
+    every timed-out caller retries, multiplying the servlet load, whose
+    timeouts trigger still more retries — the storm sustains itself for
+    hundreds of milliseconds of user-CPU saturation before the queues
+    drain.  Modeled as the amplified servlet work itself: all cores
+    busy executing (user-mode) retry copies for ``storm_duration``.
+    """
+
+    name = "retry_storm"
+    windows_attr = "storm_windows"
+
+    def __init__(
+        self,
+        tier: str = "tomcat",
+        start_at: Micros = 0,
+        period: Micros = ms(1000),
+        storm_duration: Micros = ms(400),
+        episodes: int | None = None,
+    ) -> None:
+        if storm_duration <= 0:
+            raise ConfigError("storm_duration must be positive")
+        super().__init__(tier, start_at, period, episodes)
+        self.storm_duration = storm_duration
+
+    def _episode(self, system: "NTierSystem", node: Node):
+        yield from self._burn_cores(node, self.storm_duration, "user")
+
+
+class ConnectionPoolExhaustionFault(_EpisodicFault):
+    """Stuck transactions exhaust one replica's connection pool.
+
+    ``held_fraction`` of the replica's worker pool is claimed by
+    stragglers that sit on their connections running oversized reads;
+    fresh queries wait in the pool's queue until the stragglers
+    release.  The disk saturates under the stragglers' reads — the
+    observable resource signal on the afflicted replica's node.
+    """
+
+    name = "pool_exhaustion"
+    windows_attr = "exhaustion_windows"
+
+    def __init__(
+        self,
+        tier: str = "mysql",
+        start_at: Micros = 0,
+        period: Micros = ms(1000),
+        hold_duration: Micros = ms(450),
+        held_fraction: float = 0.9,
+        read_bytes: int = 512 * 1024,
+        episodes: int | None = None,
+    ) -> None:
+        if hold_duration <= 0:
+            raise ConfigError("hold_duration must be positive")
+        if not 0.0 < held_fraction <= 1.0:
+            raise ConfigError(f"held_fraction out of (0, 1]: {held_fraction}")
+        if read_bytes <= 0:
+            raise ConfigError("read_bytes must be positive")
+        super().__init__(tier, start_at, period, episodes)
+        self.hold_duration = hold_duration
+        self.held_fraction = held_fraction
+        self.read_bytes = read_bytes
+
+    def _episode(self, system: "NTierSystem", node: Node):
+        server = system.servers[self.tier]
+        count = max(1, int(server.workers.capacity * self.held_fraction))
+        stragglers = [
+            system.engine.process(self._straggler(server, node))
+            for _ in range(count)
+        ]
+        for straggler in stragglers:
+            yield straggler
+
+    def _straggler(self, server, node: Node):
+        # Stragglers outrank arriving queries in the pool queue
+        # (priority -1 < the servers' default 0), so the exhaustion
+        # takes hold even on a busy replica.
+        claim = server.workers.acquire(priority=-1)
+        yield claim
+        try:
+            deadline = node.engine.now + self.hold_duration
+            while node.engine.now < deadline:
+                started = node.engine.now
+                yield from node.disk.read(self.read_bytes, priority=5)
+                node.cpu.charge("iowait", node.engine.now - started)
+        finally:
+            server.workers.release(claim)
+
+
+class LockConvoyFault(_EpisodicFault):
+    """A hot lock serializes the database tier.
+
+    Every transaction convoys behind one lock: commits stall on the
+    barrier while the lock-holder handoffs burn system CPU on every
+    core (the convoy's context-switch storm) for ``convoy_duration``.
+    """
+
+    name = "lock_convoy"
+    windows_attr = "convoy_windows"
+
+    def __init__(
+        self,
+        tier: str = "mysql",
+        start_at: Micros = 0,
+        period: Micros = ms(1000),
+        convoy_duration: Micros = ms(400),
+        episodes: int | None = None,
+    ) -> None:
+        if convoy_duration <= 0:
+            raise ConfigError("convoy_duration must be positive")
+        super().__init__(tier, start_at, period, episodes)
+        self.convoy_duration = convoy_duration
+
+    def _episode(self, system: "NTierSystem", node: Node):
+        server = system.servers.get(self.tier)
+        if server is not None and hasattr(server, "begin_log_flush"):
+            server.begin_log_flush()
+        try:
+            yield from self._burn_cores(node, self.convoy_duration, "system")
+        finally:
+            if server is not None and hasattr(server, "end_log_flush"):
+                server.end_log_flush()
+
+
+class CacheStampedeFault(_EpisodicFault):
+    """A buffer-pool flush stampedes every read to disk.
+
+    For ``stampede_duration`` the replica's cache hit rate collapses to
+    zero (``miss_override = 1.0``) and each miss fetches
+    ``read_multiplier`` times the hot-page volume — cold reads are
+    full-table scans.  The disk saturates under the re-fetch stampede.
+    """
+
+    name = "cache_stampede"
+    windows_attr = "stampede_windows"
+
+    def __init__(
+        self,
+        tier: str = "mysql",
+        start_at: Micros = 0,
+        period: Micros = ms(1000),
+        stampede_duration: Micros = ms(450),
+        read_multiplier: float = 12.0,
+        episodes: int | None = None,
+    ) -> None:
+        if stampede_duration <= 0:
+            raise ConfigError("stampede_duration must be positive")
+        if read_multiplier <= 0:
+            raise ConfigError("read_multiplier must be positive")
+        super().__init__(tier, start_at, period, episodes)
+        self.stampede_duration = stampede_duration
+        self.read_multiplier = read_multiplier
+
+    def _episode(self, system: "NTierSystem", node: Node):
+        server = system.servers[self.tier]
+        server.miss_override = 1.0
+        server.read_multiplier = self.read_multiplier
+        try:
+            yield system.engine.timeout(self.stampede_duration)
+        finally:
+            server.miss_override = None
+            server.read_multiplier = 1.0
+
+
+class NetworkJitterFault(_EpisodicFault):
+    """A noisy neighbour congests the afflicted node's network path.
+
+    During a burst every hop into or out of the tier's bus address pays
+    ``extra_latency_us`` one-way, and the co-located tenant's softirq
+    load shows up as stolen cycles on the node — the guest-visible
+    signature of a neighbour saturating a shared NIC.
+    """
+
+    name = "net_jitter"
+    windows_attr = "jitter_windows"
+
+    def __init__(
+        self,
+        tier: str = "mysql",
+        start_at: Micros = 0,
+        period: Micros = ms(1000),
+        jitter_duration: Micros = ms(350),
+        extra_latency_us: Micros = ms(20),
+        episodes: int | None = None,
+    ) -> None:
+        if jitter_duration <= 0:
+            raise ConfigError("jitter_duration must be positive")
+        if extra_latency_us <= 0:
+            raise ConfigError("extra_latency_us must be positive")
+        super().__init__(tier, start_at, period, episodes)
+        self.jitter_duration = jitter_duration
+        self.extra_latency_us = extra_latency_us
+
+    def _episode(self, system: "NTierSystem", node: Node):
+        system.bus.set_extra_latency(self.tier, self.extra_latency_us)
+        try:
+            yield from self._burn_cores(node, self.jitter_duration, "steal")
+        finally:
+            system.bus.set_extra_latency(self.tier, None)
+
+
+class MemoryLeakFault(Fault):
+    """A slow memory leak ends in periodic reclaim thrash.
+
+    A leaking process dirties pages at ``leak_rate_bytes_per_sec``;
+    when the dirty level crosses ``threshold_bytes`` reclaim takes
+    every core at kernel priority and scans the level back down to
+    ``low_watermark_bytes``.  Unlike the catalogue's episodic faults
+    the thrash times emerge from the leak rate — the windows list fills
+    with whatever bursts actually happened.
+    """
+
+    name = "memory_leak"
+
+    def __init__(
+        self,
+        tier: str = "cjdbc",
+        start_at: Micros = 0,
+        leak_rate_bytes_per_sec: int = 28 * 1024 * 1024,
+        threshold_bytes: int = 40 * 1024 * 1024,
+        low_watermark_bytes: int = 8 * 1024 * 1024,
+        chunk_bytes: int = 256 * 1024,
+        cpu_per_chunk_us: Micros = ms(10),
+        check_interval: Micros = ms(10),
+    ) -> None:
+        if leak_rate_bytes_per_sec <= 0:
+            raise ConfigError("leak rate must be positive")
+        if low_watermark_bytes >= threshold_bytes:
+            raise ConfigError("low watermark must be below the threshold")
+        if min(chunk_bytes, cpu_per_chunk_us, check_interval) <= 0:
+            raise ConfigError("chunk/cpu/check parameters must be positive")
+        self.tier = tier
+        self.start_at = start_at
+        self.leak_rate = leak_rate_bytes_per_sec
+        self.threshold_bytes = threshold_bytes
+        self.low_watermark_bytes = low_watermark_bytes
+        self.chunk_bytes = chunk_bytes
+        self.cpu_per_chunk_us = cpu_per_chunk_us
+        self.check_interval = check_interval
+        self.thrash_windows: list[tuple[Micros, Micros]] = []
+
+    def install(self, system: "NTierSystem") -> None:
+        node = system.node_for_tier(self.tier)
+        system.engine.process(self._leaker(node))
+        system.engine.process(self._watcher(node))
+
+    def _leaker(self, node: Node):
+        engine = node.engine
+        yield engine.timeout(self.start_at)
+        per_tick = int(self.leak_rate * self.check_interval / 1_000_000)
+        while True:
+            yield engine.timeout(self.check_interval)
+            node.page_cache.dirty(per_tick)
+
+    def _watcher(self, node: Node):
+        engine = node.engine
+        while True:
+            yield engine.timeout(self.check_interval)
+            if node.page_cache.dirty_bytes >= self.threshold_bytes:
+                started = engine.now
+                yield from self._thrash(node)
+                self.thrash_windows.append((started, engine.now))
+
+    def _thrash(self, node: Node):
+        workers = [
+            node.engine.process(self._reclaim_worker(node))
+            for _ in range(node.spec.cores)
+        ]
+        for worker in workers:
+            yield worker
+
+    def _reclaim_worker(self, node: Node):
+        claim = node.cpu.seize(priority=Cpu.KERNEL_PRIORITY)
+        yield claim
+        try:
+            while node.page_cache.dirty_bytes > self.low_watermark_bytes:
+                yield node.engine.timeout(self.cpu_per_chunk_us)
+                node.cpu.charge("system", self.cpu_per_chunk_us)
+                node.page_cache.clean(self.chunk_bytes)
+        finally:
+            node.cpu.release(claim)

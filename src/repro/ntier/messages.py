@@ -73,6 +73,30 @@ class NetworkBus:
         self._inboxes: dict[str, Store] = {}
         self._taps: list[BusTap] = []
         self._serial = itertools.count()
+        #: Per-address added one-way latency (noisy-neighbor jitter).
+        self._extra_latency: dict[str, Micros] = {}
+
+    def set_extra_latency(self, address: str, extra_us: Micros | None) -> None:
+        """Add (or clear, with ``None``/0) latency on one endpoint's links.
+
+        Every hop into *or* out of ``address`` pays the extra one-way
+        delay — how a noisy neighbor saturating a shared NIC looks to
+        the tiers talking to the afflicted node.
+        """
+        if not extra_us:
+            self._extra_latency.pop(address, None)
+            return
+        if extra_us < 0:
+            raise SimulationError(f"negative extra latency: {extra_us}")
+        self._extra_latency[address] = extra_us
+
+    def _latency(self, src: str, dst: str) -> Micros:
+        """One-way latency for a hop, including per-endpoint jitter."""
+        return (
+            self.latency_us
+            + self._extra_latency.get(src, 0)
+            + self._extra_latency.get(dst, 0)
+        )
 
     def register(self, tier: str) -> Store:
         """Create and return the inbox for ``tier``."""
@@ -118,7 +142,7 @@ class NetworkBus:
             serial=next(self._serial),
         )
         self._notify_taps(message)
-        delivery = self.engine.timeout(self.latency_us)
+        delivery = self.engine.timeout(self._latency(src, dst))
         delivery.callbacks.append(lambda _e: self._deliver(message, inbox))
         return reply_to
 
@@ -140,7 +164,9 @@ class NetworkBus:
             serial=next(self._serial),
         )
         self._notify_taps(reply)
-        original.reply_to.succeed(payload, delay=self.latency_us)
+        original.reply_to.succeed(
+            payload, delay=self._latency(original.dst, original.src)
+        )
 
     def _notify_taps(self, message: Message) -> None:
         for tap in self._taps:

@@ -17,6 +17,7 @@ from typing import Any, Callable
 from repro.common.errors import SimulationError
 from repro.common.records import BoundaryRecord, DownstreamCall
 from repro.common.timebase import WallClock
+from repro.ntier.balancer import LoadBalancer
 from repro.ntier.hardware import CumulativeCounter
 from repro.ntier.hooks import HookDispatcher
 from repro.ntier.messages import Message, NetworkBus
@@ -58,6 +59,9 @@ class TierServer:
     address:
         Bus address of *this* server; defaults to the tier name.
         Replicas use ``"<tier>#<n>"``.
+    balancer:
+        Replica dispatch policy over ``downstream``; defaults to a
+        sticky round-robin :class:`~repro.ntier.balancer.LoadBalancer`.
     """
 
     #: Name of the native log stream this tier writes to.
@@ -74,6 +78,7 @@ class TierServer:
         wall_clock: WallClock,
         rng: random.Random,
         address: str | None = None,
+        balancer: LoadBalancer | None = None,
     ) -> None:
         self.engine = engine
         self.tier = tier
@@ -86,7 +91,11 @@ class TierServer:
             self.downstream_targets = [downstream]
         else:
             self.downstream_targets = list(downstream)
-        self._balance_counter = 0
+        self.balancer = (
+            balancer
+            if balancer is not None
+            else LoadBalancer("round-robin", self.downstream_targets)
+        )
         self.wall_clock = wall_clock
         self.rng = rng
         self.inbox = bus.register(self.address)
@@ -164,13 +173,9 @@ class TierServer:
         """First downstream address (``None`` on the last tier)."""
         return self.downstream_targets[0] if self.downstream_targets else None
 
-    def _pick_downstream(self) -> str:
-        """Round-robin over the downstream replicas."""
-        target = self.downstream_targets[
-            self._balance_counter % len(self.downstream_targets)
-        ]
-        self._balance_counter += 1
-        return target
+    def _pick_downstream(self, request: Request, branch: int = 0) -> str:
+        """The dispatch policy's sticky replica choice for ``request``."""
+        return self.balancer.pick(request.request_id, branch)
 
     def call_downstream(
         self, request: Request, boundary: BoundaryRecord, payload: Any = None
@@ -182,7 +187,58 @@ class TierServer:
         """
         if not self.downstream_targets:
             raise SimulationError(f"tier {self.tier!r} has no downstream")
-        target = self._pick_downstream()
+        target = self._pick_downstream(request)
+        return (
+            yield from self._call_target(request, boundary, payload, target)
+        )
+
+    def call_fanout(
+        self, request: Request, boundary: BoundaryRecord, payloads: list
+    ):
+        """Issue one downstream call per payload *concurrently* and join.
+
+        The fan-out half of a fan-out/fan-in call graph: every branch
+        is its own process, branch *i* dispatched by the balancer under
+        branch key *i* (so round-robin spreads the branches over the
+        replicas), and the caller resumes only after every branch's
+        reply — the join.  Returns the replies in payload order.
+        """
+        if not self.downstream_targets:
+            raise SimulationError(f"tier {self.tier!r} has no downstream")
+        results: list[Any] = [None] * len(payloads)
+        branches = [
+            self.engine.process(
+                self._fanout_branch(
+                    request,
+                    boundary,
+                    payload,
+                    self._pick_downstream(request, branch=index),
+                    results,
+                    index,
+                )
+            )
+            for index, payload in enumerate(payloads)
+        ]
+        for branch in branches:
+            yield branch
+        return results
+
+    def _fanout_branch(
+        self,
+        request: Request,
+        boundary: BoundaryRecord,
+        payload: Any,
+        target: str,
+        results: list,
+        index: int,
+    ):
+        results[index] = yield from self._call_target(
+            request, boundary, payload, target
+        )
+
+    def _call_target(
+        self, request: Request, boundary: BoundaryRecord, payload: Any, target: str
+    ):
         yield from self.hooks.downstream_sending(self, request, target)
         sending = self.engine.now
         reply_event = self.bus.send(request, self.address, target, payload)

@@ -19,6 +19,7 @@ from repro.common.ids import RequestIdGenerator
 from repro.common.records import RequestTrace
 from repro.common.rng import RngStreams
 from repro.common.timebase import DEFAULT_EPOCH, Micros, WallClock
+from repro.ntier.balancer import DISPATCH_POLICIES, LoadBalancer
 from repro.ntier.client import ClientEmulator, TraceCollector
 from repro.ntier.faults import Fault
 from repro.ntier.messages import NetworkBus
@@ -104,6 +105,8 @@ class SystemConfig:
     every occurrence as a Python event; ``"vector"`` runs the client's
     timer traffic on the numpy event calendar
     (:mod:`repro.sim.vector`) with identical monitor-log output.
+    ``dispatch`` names the :data:`~repro.ntier.balancer.DISPATCH_POLICIES`
+    entry every tier uses to spread requests over downstream replicas.
     """
 
     workload: WorkloadSpec
@@ -113,6 +116,7 @@ class SystemConfig:
     log_dir: Path | None = None
     experiment_tag: str = "0A"
     kernel: str = "scalar"
+    dispatch: str = "round-robin"
     tiers: dict[str, TierConfig] = dataclasses.field(
         default_factory=default_tier_configs
     )
@@ -122,6 +126,11 @@ class SystemConfig:
         if self.kernel not in KERNELS:
             raise ConfigError(
                 f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        if self.dispatch not in DISPATCH_POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {self.dispatch!r}; "
+                f"expected one of {DISPATCH_POLICIES}"
             )
         missing = [t for t in TIER_ORDER if t not in self.tiers]
         if missing:
@@ -241,6 +250,17 @@ class NTierSystem:
                         )
                     )
                 node.wall_clock = node_wall
+                balancer = None
+                if downstream is not None:
+                    # Every server gets its own dispatcher with its own
+                    # rng stream, so a seeded-random choice on one
+                    # replica never perturbs another's draws.
+                    balancer = LoadBalancer(
+                        self.config.dispatch,
+                        downstream,
+                        rng=self.streams.stream(f"balance.{address}"),
+                        inflight=self._inflight_of,
+                    )
                 server = _TIER_CLASSES[tier](
                     engine=self.engine,
                     tier=tier,
@@ -251,8 +271,13 @@ class NTierSystem:
                     wall_clock=node_wall,
                     rng=self.streams.stream(f"server.{address}"),
                     address=address,
+                    balancer=balancer,
                 )
                 self.servers[address] = server
+
+    def _inflight_of(self, address: str) -> float:
+        """Requests currently on a server — the least-connections probe."""
+        return self.servers[address].concurrency.current
 
     def node_for_tier(self, tier: str) -> Node:
         """The node hosting a tier (or a specific replica address).

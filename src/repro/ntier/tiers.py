@@ -49,7 +49,13 @@ class ApacheServer(TierServer):
 
 
 class TomcatServer(TierServer):
-    """The application tier: runs the servlet, issues SQL sequentially."""
+    """The application tier: runs the servlet and issues its SQL.
+
+    A plain interaction issues its statements sequentially; a
+    ``fanout`` interaction issues them concurrently — one branch per
+    statement, spread over the downstream replicas by the balancer —
+    and joins on all replies before assembling the response.
+    """
 
     log_stream = "catalina_log"
 
@@ -57,11 +63,17 @@ class TomcatServer(TierServer):
         interaction = message.request.interaction
         yield from self.node.cpu.consume(int(interaction.tomcat_cpu_us * 0.5))
         rows = 0
-        for query in interaction.queries:
-            result = yield from self.call_downstream(
-                message.request, boundary, payload=query
+        if interaction.fanout and len(interaction.queries) > 1:
+            results = yield from self.call_fanout(
+                message.request, boundary, list(interaction.queries)
             )
-            rows += result if isinstance(result, int) else 0
+            rows = sum(r for r in results if isinstance(r, int))
+        else:
+            for query in interaction.queries:
+                result = yield from self.call_downstream(
+                    message.request, boundary, payload=query
+                )
+                rows += result if isinstance(result, int) else 0
         yield from self.node.cpu.consume(int(interaction.tomcat_cpu_us * 0.5))
         return rows
 
@@ -105,6 +117,12 @@ class MySqlServer(TierServer):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._log_flush_barrier = None
+        #: When set, replaces every query's ``miss_ratio`` — a cache
+        #: stampede forces 1.0 (everything misses to disk).
+        self.miss_override: float | None = None
+        #: Scales the bytes fetched per buffer-pool miss (a stampede's
+        #: un-cached reads are full-table, not hot-page, sized).
+        self.read_multiplier: float = 1.0
 
     def begin_log_flush(self):
         """Raise the commit barrier; returns the event to succeed at flush end."""
@@ -122,9 +140,14 @@ class MySqlServer(TierServer):
     def work(self, message: Message, boundary: BoundaryRecord):
         query: QuerySpec = message.payload
         yield from self.node.cpu.consume(query.mysql_cpu_us)
-        if query.read_bytes > 0 and self.rng.random() < query.miss_ratio:
+        miss_ratio = (
+            query.miss_ratio if self.miss_override is None else self.miss_override
+        )
+        if query.read_bytes > 0 and self.rng.random() < miss_ratio:
             started = self.engine.now
-            yield from self.node.disk.read(query.read_bytes, priority=5)
+            yield from self.node.disk.read(
+                int(query.read_bytes * self.read_multiplier), priority=5
+            )
             self.node.cpu.charge("iowait", self.engine.now - started)
         if query.is_write:
             started = self.engine.now

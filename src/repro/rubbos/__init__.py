@@ -2,10 +2,12 @@
 
 from repro.rubbos.interactions import (
     BROWSE_ONLY_MIX,
+    FANOUT_MIX,
     READ_WRITE_MIX,
     InteractionProfile,
     QuerySpec,
     default_interactions,
+    fanout_interactions,
     interaction_by_name,
 )
 from repro.rubbos.transitions import (
@@ -17,6 +19,7 @@ from repro.rubbos.workload import InteractionMix, WorkloadSpec
 
 __all__ = [
     "BROWSE_ONLY_MIX",
+    "FANOUT_MIX",
     "InteractionMix",
     "START_STATE",
     "TransitionModel",
@@ -26,5 +29,6 @@ __all__ = [
     "READ_WRITE_MIX",
     "WorkloadSpec",
     "default_interactions",
+    "fanout_interactions",
     "interaction_by_name",
 ]

@@ -25,9 +25,11 @@ __all__ = [
     "QuerySpec",
     "InteractionProfile",
     "default_interactions",
+    "fanout_interactions",
     "interaction_by_name",
     "READ_WRITE_MIX",
     "BROWSE_ONLY_MIX",
+    "FANOUT_MIX",
 ]
 
 
@@ -82,6 +84,11 @@ class InteractionProfile:
     queries: tuple[QuerySpec, ...]
     weight: float
     response_bytes: int = 8 * 1024
+    #: Fan-out/fan-in call graph: the servlet issues every query
+    #: *concurrently* (one branch per query, spread over the downstream
+    #: replicas) and joins on all replies, instead of the default
+    #: sequential statement loop.
+    fanout: bool = False
 
     def __post_init__(self) -> None:
         if self.weight < 0:
@@ -194,10 +201,41 @@ def default_interactions() -> tuple[InteractionProfile, ...]:
     )
 
 
+def fanout_interactions() -> tuple[InteractionProfile, ...]:
+    """The catalog restructured as a fan-out microservice graph.
+
+    Every multi-query interaction becomes fan-out/fan-in (the servlet
+    issues its statements concurrently and joins), and the hottest page
+    — ``StoriesOfTheDay`` — grows to a three-branch aggregation, the
+    story list, the comment counts, and the moderation summary fetched
+    from three backend services in parallel.
+    """
+    profiles = []
+    for profile in default_interactions():
+        if profile.name == "StoriesOfTheDay":
+            profile = dataclasses.replace(
+                profile,
+                queries=(
+                    _read("SELECT id,title FROM stories WHERE date=CURDATE()"),
+                    _read("SELECT count(*) FROM comments WHERE story_id=?", 500),
+                    _read("SELECT avg(rating) FROM comments WHERE story_id=?",
+                          450),
+                ),
+                fanout=True,
+            )
+        elif len(profile.queries) > 1:
+            profile = dataclasses.replace(profile, fanout=True)
+        profiles.append(profile)
+    return tuple(profiles)
+
+
 #: Default read-write mix: the catalog weights as given (~5% writes).
 READ_WRITE_MIX = "read_write"
 #: Browse-only mix: write interactions removed.
 BROWSE_ONLY_MIX = "browse_only"
+#: Fan-out mix: multi-query interactions issue their statements
+#: concurrently (fan-out/fan-in) instead of sequentially.
+FANOUT_MIX = "fanout"
 
 
 def interaction_by_name(name: str) -> InteractionProfile:

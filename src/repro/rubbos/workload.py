@@ -16,9 +16,11 @@ from repro.common.errors import ConfigError
 from repro.common.timebase import Micros, ms
 from repro.rubbos.interactions import (
     BROWSE_ONLY_MIX,
+    FANOUT_MIX,
     READ_WRITE_MIX,
     InteractionProfile,
     default_interactions,
+    fanout_interactions,
 )
 
 __all__ = ["InteractionMix", "WorkloadSpec"]
@@ -46,13 +48,15 @@ class InteractionMix:
 
     @classmethod
     def named(cls, name: str) -> "InteractionMix":
-        """Build one of the standard mixes (read-write or browse-only)."""
+        """Build one of the standard mixes (read-write, browse-only, fanout)."""
         profiles = default_interactions()
         if name == READ_WRITE_MIX:
             return cls(profiles)
         if name == BROWSE_ONLY_MIX:
             reads = tuple(p for p in profiles if not p.is_write)
             return cls(reads)
+        if name == FANOUT_MIX:
+            return cls(fanout_interactions())
         raise ConfigError(f"unknown interaction mix {name!r}")
 
     @property
@@ -86,7 +90,7 @@ class WorkloadSpec:
         Users start uniformly spread over this interval so the first
         samples are not a synchronized thundering herd.
     mix_name:
-        ``"read_write"`` or ``"browse_only"``.
+        ``"read_write"``, ``"browse_only"``, or ``"fanout"``.
     session_model:
         ``"weighted"`` draws interactions independently from the mix;
         ``"markov"`` walks the RUBBoS transition table per user (the

@@ -480,18 +480,13 @@ class MScopeServeDaemon:
 
     def causal_paths(self, request_ids: list[str]) -> list[dict[str, Any]]:
         """Bulk causal-path reconstruction for the ``/paths`` endpoint."""
-        from repro.analysis.causal import DEFAULT_EVENT_TABLES
+        from repro.analysis.causal import discover_tier_tables
 
         with self._db_lock:
             # A live warehouse may not have every tier loaded yet;
             # reconstruct over the tables that exist (Diagnoser does
-            # the same).
-            present = set(self.db.tables())
-            tables = {
-                tier: table
-                for tier, table in DEFAULT_EVENT_TABLES.items()
-                if table in present
-            }
+            # the same), covering every replica the run deployed.
+            tables = discover_tier_tables(self.db)
             if not tables:
                 return []
             paths = list(
@@ -506,6 +501,7 @@ class MScopeServeDaemon:
             "hops": [
                 {
                     "tier": hop.tier,
+                    "host": hop.host,
                     "upstream_arrival_us": hop.upstream_arrival_us,
                     "upstream_departure_us": hop.upstream_departure_us,
                     "downstream_sending_us": hop.downstream_sending_us,

@@ -38,8 +38,14 @@ from repro.experiments.scenarios import (
     record_run_metadata,
     scenario_a,
     scenario_b,
+    scenario_cache_stampede,
     scenario_dvfs,
     scenario_gc,
+    scenario_lock_convoy,
+    scenario_memory_leak,
+    scenario_net_jitter,
+    scenario_pool_exhaustion,
+    scenario_retry_storm,
     scenario_vm,
 )
 from repro.telemetry.spans import NULL_TELEMETRY, TelemetryCollector
@@ -152,6 +158,66 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         fast=False,
         floors={"precision": 0.9, "recall": 0.9, "attribution": 0.5},
     ),
+    "retry_storm": ScenarioSpec(
+        name="retry_storm",
+        description="timeout-retry amplification saturates the app tier",
+        build=lambda seed, log_dir, kernel="scalar": scenario_retry_storm(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
+        fast=True,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "pool_exhaustion": ScenarioSpec(
+        name="pool_exhaustion",
+        description=(
+            "connection-pool exhaustion on one of two MySQL replicas "
+            "(replica-level blame)"
+        ),
+        build=lambda seed, log_dir, kernel="scalar": scenario_pool_exhaustion(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
+        fast=True,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "lock_convoy": ScenarioSpec(
+        name="lock_convoy",
+        description="hot-lock convoy serializes the database tier",
+        build=lambda seed, log_dir, kernel="scalar": scenario_lock_convoy(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "cache_stampede": ScenarioSpec(
+        name="cache_stampede",
+        description=(
+            "buffer-pool stampede under the fan-out mix over three "
+            "C-JDBC replicas"
+        ),
+        build=lambda seed, log_dir, kernel="scalar": scenario_cache_stampede(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "net_jitter": ScenarioSpec(
+        name="net_jitter",
+        description="noisy-neighbour network jitter plus CPU steal on the DB",
+        build=lambda seed, log_dir, kernel="scalar": scenario_net_jitter(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
+    "memory_leak": ScenarioSpec(
+        name="memory_leak",
+        description="slow memory leak thrashes reclaim on the middleware",
+        build=lambda seed, log_dir, kernel="scalar": scenario_memory_leak(
+            seed=seed, log_dir=log_dir, kernel=kernel
+        ),
+        fast=False,
+        floors={"precision": 0.9, "recall": 0.9, "attribution": 0.9},
+    ),
 }
 
 
@@ -225,6 +291,7 @@ class ScenarioOutcome:
             "scenario": self.scenario,
             "seed": self.seed,
             "mode": self.mode,
+            "kernel": self.kernel,
             "score": self.score.to_dict(),
             "reports": self.report_texts,
         }
@@ -235,8 +302,10 @@ class ScenarioOutcome:
     def to_text(self) -> str:
         score = self.score
         latency = score.mean_detection_latency_us
+        kernel = "" if self.kernel == "scalar" else f", kernel {self.kernel}"
         lines = [
-            f"scenario {self.scenario} (seed {self.seed}, mode {self.mode})",
+            f"scenario {self.scenario} "
+            f"(seed {self.seed}, mode {self.mode}{kernel})",
             f"  injected episodes : {score.labels_total}",
             f"  detected          : {score.labels_detected}",
             f"  precision         : {score.precision:.3f}",

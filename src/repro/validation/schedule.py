@@ -36,6 +36,12 @@ _FAULT_WINDOWS: dict[str, tuple[str, str]] = {
     "jvm_gc": ("pause_windows", "cpu"),
     "dvfs_slowdown": ("slow_windows", "cpu"),
     "vm_consolidation": ("steal_windows", "cpu"),
+    "retry_storm": ("storm_windows", "cpu"),
+    "pool_exhaustion": ("exhaustion_windows", "disk"),
+    "lock_convoy": ("convoy_windows", "cpu"),
+    "cache_stampede": ("stampede_windows", "disk"),
+    "net_jitter": ("jitter_windows", "cpu"),
+    "memory_leak": ("thrash_windows", "cpu"),
 }
 
 

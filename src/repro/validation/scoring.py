@@ -48,6 +48,12 @@ EXPECTED_KINDS: dict[str, tuple[str, ...]] = {
     "jvm_gc": ("cpu_busy",),
     "dvfs_slowdown": ("cpu_busy",),
     "vm_consolidation": ("cpu_steal",),
+    "retry_storm": ("cpu_busy",),
+    "pool_exhaustion": ("disk_util",),
+    "lock_convoy": ("cpu_busy",),
+    "cache_stampede": ("disk_util",),
+    "net_jitter": ("cpu_steal",),
+    "memory_leak": ("cpu_busy", "dirty_pages"),
 }
 
 #: Default matching slack.  Queue-drain after a 300–800 ms VSB lasts

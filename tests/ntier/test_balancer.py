@@ -1,0 +1,129 @@
+"""Unit tests for the replica dispatch policies."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.ntier.balancer import DISPATCH_POLICIES, LoadBalancer
+from repro.ntier.system import logical_tier, tier_address
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigError, match="dispatch policy"):
+        LoadBalancer("fastest", ["a", "b"])
+
+
+def test_seeded_random_requires_rng():
+    with pytest.raises(ConfigError, match="rng"):
+        LoadBalancer("seeded-random", ["a", "b"])
+
+
+def test_no_targets_rejected_at_pick():
+    balancer = LoadBalancer("round-robin", [])
+    with pytest.raises(ConfigError, match="no downstream targets"):
+        balancer.pick("R1")
+
+
+def test_single_target_short_circuits():
+    balancer = LoadBalancer("round-robin", ["mysql"])
+    assert balancer.pick("R1") == "mysql"
+    assert balancer.pick("R2") == "mysql"
+    # The degenerate (default deployment) case records no sticky state.
+    assert balancer.assignments() == {}
+
+
+def test_round_robin_rotates_in_address_order():
+    balancer = LoadBalancer("round-robin", ["mysql", "mysql#2", "mysql#3"])
+    picks = [balancer.pick(f"R{i}") for i in range(6)]
+    assert picks == ["mysql", "mysql#2", "mysql#3"] * 2
+
+
+def test_assignment_is_sticky_per_request():
+    balancer = LoadBalancer("round-robin", ["a", "b"])
+    first = balancer.pick("R1")
+    # Interleave other requests; R1 must keep its replica throughout.
+    for i in range(5):
+        balancer.pick(f"other-{i}")
+        assert balancer.pick("R1") == first
+
+
+def test_fanout_branches_spread_and_stay_sticky():
+    balancer = LoadBalancer("round-robin", ["a", "b", "c"])
+    picks = {balancer.pick("R1", branch=i) for i in range(3)}
+    assert picks == {"a", "b", "c"}
+    for branch in range(3):
+        assert balancer.pick("R1", branch=branch) == balancer.pick(
+            "R1", branch=branch
+        )
+
+
+def test_least_connections_needs_probe():
+    balancer = LoadBalancer("least-connections", ["a", "b"])
+    with pytest.raises(ConfigError, match="in-flight"):
+        balancer.pick("R1")
+
+
+def test_least_connections_picks_idle_replica():
+    load = {"a": 3, "b": 1, "c": 2}
+    balancer = LoadBalancer(
+        "least-connections", ["a", "b", "c"], inflight=load.__getitem__
+    )
+    assert balancer.pick("R1") == "b"
+    # The load shifts; a *new* request follows it, the old one sticks.
+    load["b"], load["c"] = 5, 0
+    assert balancer.pick("R2") == "c"
+    assert balancer.pick("R1") == "b"
+
+
+def test_least_connections_ties_resolve_by_address_order():
+    balancer = LoadBalancer(
+        "least-connections", ["b", "a", "c"], inflight=lambda _: 2
+    )
+    assert balancer.pick("R1") == "b"
+
+
+def test_seeded_random_is_deterministic_per_seed():
+    runs = []
+    for _ in range(2):
+        balancer = LoadBalancer(
+            "seeded-random", ["a", "b", "c"], rng=random.Random(42)
+        )
+        runs.append([balancer.pick(f"R{i}") for i in range(30)])
+    assert runs[0] == runs[1]
+    assert set(runs[0]) == {"a", "b", "c"}
+
+
+def test_sticky_map_prunes_oldest_half(monkeypatch):
+    import repro.ntier.balancer as balancer_mod
+
+    monkeypatch.setattr(balancer_mod, "_STICKY_BOUND", 8)
+    balancer = LoadBalancer("round-robin", ["a", "b"])
+    for i in range(9):
+        balancer.pick(f"R{i}")
+    kept = balancer.assignments()
+    # The ninth pick evicted the oldest half before inserting.
+    assert len(kept) == 5
+    assert ("R0", 0) not in kept and ("R4", 0) in kept and ("R8", 0) in kept
+    # Surviving (live) assignments keep their stickiness.
+    assert balancer.pick("R8") == kept[("R8", 0)]
+
+
+def test_policy_catalogue_is_closed():
+    assert DISPATCH_POLICIES == (
+        "round-robin",
+        "least-connections",
+        "seeded-random",
+    )
+
+
+def test_tier_addresses_round_trip():
+    for tier in ("apache", "tomcat", "cjdbc", "mysql"):
+        for replica in range(12):
+            assert logical_tier(tier_address(tier, replica)) == tier
+    assert tier_address("mysql", 0) == "mysql"
+    assert tier_address("mysql", 1) == "mysql#2"
+    assert tier_address("mysql", 9) == "mysql#10"
+    assert logical_tier("mysql#10") == "mysql"
+    # A bare logical name passes through unchanged.
+    assert logical_tier("mysql") == "mysql"

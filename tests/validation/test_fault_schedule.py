@@ -90,3 +90,89 @@ def test_json_round_trip(tmp_path):
     assert loaded.labels == schedule.labels
     # Serialization is stable: saving the loaded schedule is a no-op.
     assert loaded.to_json() == schedule.to_json()
+
+
+def _label(start_us, stop_us):
+    return FaultLabel(
+        cause="retry_storm",
+        tier="tomcat",
+        hostname="app1",
+        resource="cpu",
+        start_us=start_us,
+        stop_us=stop_us,
+    )
+
+
+def test_overlap_boundary_touching_counts_at_zero_slack():
+    """An episode ending exactly where the window starts (and vice
+    versa) still matches with no slack: the intervals are closed."""
+    label = _label(seconds(2), seconds(2) + ms(300))
+    # Window starts at the episode's last microsecond.
+    assert label.overlaps(seconds(2) + ms(300), seconds(3), slack_us=0)
+    # Window ends at the episode's first microsecond.
+    assert label.overlaps(seconds(1), seconds(2), slack_us=0)
+    # One microsecond past either edge no longer touches.
+    assert not label.overlaps(seconds(2) + ms(300) + 1, seconds(3), slack_us=0)
+    assert not label.overlaps(seconds(1), seconds(2) - 1, slack_us=0)
+
+
+def test_overlap_boundary_edge_plus_slack_is_inclusive():
+    label = _label(seconds(2), seconds(2) + ms(300))
+    # Exactly slack_us past the episode's stop: still a match...
+    assert label.overlaps(
+        seconds(2) + ms(300) + ms(50), seconds(3), slack_us=ms(50)
+    )
+    # ...one microsecond further: a miss.
+    assert not label.overlaps(
+        seconds(2) + ms(300) + ms(50) + 1, seconds(3), slack_us=ms(50)
+    )
+
+
+def test_zero_length_episode_at_window_edge():
+    """An episode recorded with start == stop (an instantaneous burst
+    landing exactly on a window edge) still scores as overlapping."""
+    label = _label(seconds(2), seconds(2))
+    assert label.duration_us == 0
+    assert label.overlaps(seconds(2), seconds(3), slack_us=0)
+    assert label.overlaps(seconds(1), seconds(2), slack_us=0)
+    assert not label.overlaps(seconds(2) + 1, seconds(3), slack_us=0)
+
+
+def test_catalogue_faults_all_have_window_mappings():
+    """Every injector in the extended catalogue maps to a window
+    attribute and an expected resource kind — a fault that cannot be
+    labeled cannot be scored."""
+    from repro.ntier import faults_catalog
+    from repro.validation.schedule import _FAULT_WINDOWS
+    from repro.validation.scoring import EXPECTED_KINDS
+
+    catalogue = [
+        faults_catalog.RetryStormFault(),
+        faults_catalog.ConnectionPoolExhaustionFault(),
+        faults_catalog.LockConvoyFault(),
+        faults_catalog.CacheStampedeFault(),
+        faults_catalog.NetworkJitterFault(),
+        faults_catalog.MemoryLeakFault(),
+    ]
+    for fault in catalogue:
+        window_attr, resource = _FAULT_WINDOWS[fault.name]
+        assert getattr(fault, window_attr) == []
+        assert fault.name in EXPECTED_KINDS
+        assert resource in ("cpu", "disk")
+
+
+def test_episodic_fault_windows_extract_at_run_edges():
+    """Episodes recorded flush against t=0 and the run end label
+    cleanly (no off-by-one at the schedule boundary)."""
+    from repro.ntier.faults_catalog import RetryStormFault
+
+    fault = RetryStormFault(start_at=0)
+    fault.storm_windows = [(0, ms(400)), (seconds(2), seconds(2) + ms(400))]
+
+    class _AppSystem(_System):
+        _hosts = {"tomcat": "app1"}
+
+    schedule = FaultSchedule.from_faults(_AppSystem(), [fault])
+    assert [label.start_us for label in schedule] == [0, seconds(2)]
+    assert schedule.labels[0].duration_us == ms(400)
+    assert all(label.hostname == "app1" for label in schedule)
